@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 1 (batches per frame over time) of "Workload Characterization of 3D Games"
+ * (IISWC 2006): emits the per-frame series as CSV (under WC3D_FIG_DIR)
+ * and summarises it through benchmark counters.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+namespace {
+
+/** The paper plots these workloads. */
+const std::vector<std::string> kGames = {
+    "ut2004/primeval",    "doom3/trdemo2",  "quake4/demo4",
+    "riddick/prisonarea", "fear/interval2", "hl2lc/builtin",
+    "oblivion/anvilcastle", "splintercell3/firstlevel"};
+
+const std::vector<core::ApiRun> &
+figRuns()
+{
+    static const std::vector<core::ApiRun> kRuns = [] {
+        std::vector<core::ApiRun> runs;
+        for (const auto &id : kGames)
+            runs.push_back(core::runApiLevel(id, figureFrames()));
+        return runs;
+    }();
+    return kRuns;
+}
+
+} // namespace
+
+static void
+BM_Series(benchmark::State &state)
+{
+    const auto &run = figRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    stats::Distribution d;
+    for (auto _ : state) {
+        d = run.stats.series().summary("batches");
+        benchmark::DoNotOptimize(d.mean());
+    }
+    state.SetLabel(run.id);
+    state.counters["mean"] = d.mean();
+    state.counters["min"] = d.min();
+    state.counters["max"] = d.max();
+}
+BENCHMARK(BM_Series)->DenseRange(0,
+    static_cast<int>(kGames.size()) - 1);
+
+static void
+printDeliverable()
+{
+    std::printf("=== Figure 1: batches per frame (series summary) ===\n");
+    for (const auto &run : figRuns()) {
+        auto d = run.stats.series().summary("batches");
+        std::printf("%-28s mean %10.1f  min %10.1f  max %10.1f\n",
+                    run.id.c_str(), d.mean(), d.min(), d.max());
+        std::string fname = run.id;
+        for (char &c : fname)
+            if (c == '/') c = '_';
+        writeCsv(fname + "_fig1.csv", core::figureCsv(run));
+    }
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

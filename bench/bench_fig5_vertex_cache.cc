@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 5 (post-transform vertex cache hit rate per frame) of "Workload Characterization of 3D Games"
+ * (IISWC 2006): emits the per-frame series as CSV (under WC3D_FIG_DIR)
+ * and summarises it through benchmark counters.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_Series(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            run.series.summary("vcache_hit_rate").mean());
+    }
+    state.SetLabel(run.id);
+    state.counters["vcache_hit_rate"] = run.series.summary("vcache_hit_rate").mean();
+}
+BENCHMARK(BM_Series)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    std::printf("=== Figure 5: vertex cache hit rate (per-frame mean; theoretical strip bound is 0.667) ===\n");
+    for (const auto &run : sharedMicroRuns()) {
+        std::printf("%-22s", run.id.c_str());
+        std::printf("  vcache_hit_rate=%.2f", run.series.summary("vcache_hit_rate").mean());
+        std::printf("\n");
+        std::string fname = run.id;
+        for (char &c : fname)
+            if (c == '/') c = '_';
+        writeCsv(fname + "_fig5.csv", core::microFigureCsv(run));
+    }
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figure 6 (indices, assembled and traversed triangles) of "Workload Characterization of 3D Games"
+ * (IISWC 2006): emits the per-frame series as CSV (under WC3D_FIG_DIR)
+ * and summarises it through benchmark counters.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_Series(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            run.series.summary("indices").mean());
+    }
+    state.SetLabel(run.id);
+    state.counters["indices"] = run.series.summary("indices").mean();
+    state.counters["assembled"] = run.series.summary("assembled").mean();
+    state.counters["traversed"] = run.series.summary("traversed").mean();
+}
+BENCHMARK(BM_Series)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    std::printf("=== Figure 6: indices / assembled / traversed per frame ===\n");
+    for (const auto &run : sharedMicroRuns()) {
+        std::printf("%-22s", run.id.c_str());
+        std::printf("  indices=%.2f", run.series.summary("indices").mean());
+        std::printf("  assembled=%.2f", run.series.summary("assembled").mean());
+        std::printf("  traversed=%.2f", run.series.summary("traversed").mean());
+        std::printf("\n");
+        std::string fname = run.id;
+        for (char &c : fname)
+            if (c == '/') c = '_';
+        writeCsv(fname + "_fig6.csv", core::microFigureCsv(run));
+    }
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figure 7 (average triangle size per frame per stage) of "Workload Characterization of 3D Games"
+ * (IISWC 2006): emits the per-frame series as CSV (under WC3D_FIG_DIR)
+ * and summarises it through benchmark counters.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_Series(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            run.series.summary("tri_size_raster").mean());
+    }
+    state.SetLabel(run.id);
+    state.counters["tri_size_raster"] = run.series.summary("tri_size_raster").mean();
+    state.counters["tri_size_zst"] = run.series.summary("tri_size_zst").mean();
+    state.counters["tri_size_shaded"] = run.series.summary("tri_size_shaded").mean();
+}
+BENCHMARK(BM_Series)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    std::printf("=== Figure 7: per-frame average triangle size at raster/z/shade ===\n");
+    for (const auto &run : sharedMicroRuns()) {
+        std::printf("%-22s", run.id.c_str());
+        std::printf("  tri_size_raster=%.2f", run.series.summary("tri_size_raster").mean());
+        std::printf("  tri_size_zst=%.2f", run.series.summary("tri_size_zst").mean());
+        std::printf("  tri_size_shaded=%.2f", run.series.summary("tri_size_shaded").mean());
+        std::printf("\n");
+        std::string fname = run.id;
+        for (char &c : fname)
+            if (c == '/') c = '_';
+        writeCsv(fname + "_fig7.csv", core::microFigureCsv(run));
+    }
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Table I (workload description) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_TableI_Build(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::tableWorkloads().rows());
+}
+BENCHMARK(BM_TableI_Build);
+
+static void
+printDeliverable()
+{
+    printTable("Table I: game workload description",
+               core::tableWorkloads());
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

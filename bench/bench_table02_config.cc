@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reproduces Table II (ATTILA/R520 configuration) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_TableII_Build(benchmark::State &state)
+{
+    gpu::GpuConfig config;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::tableConfig(config).rows());
+}
+BENCHMARK(BM_TableII_Build);
+
+static void
+printDeliverable()
+{
+    printTable("Table II: simulator configuration",
+               core::tableConfig(gpu::GpuConfig{}));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces Table III (index traffic and bandwidth) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedApiRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.stats.avgIndicesPerBatch());
+    state.SetLabel(run.id);
+    state.counters["idx_per_batch"] = run.stats.avgIndicesPerBatch();
+    state.counters["idx_per_frame"] = run.stats.avgIndicesPerFrame();
+    state.counters["bw_at_100fps_MBs"] =
+        run.stats.indexBwAtFps(100.0) / 1e6;
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 11);
+
+static void
+printDeliverable()
+{
+    printTable("Table III: indices per batch/frame and index BW @100fps", core::tableIndexTraffic(sharedApiRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Table V (primitive utilization) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedApiRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.stats.avgIndicesPerBatch());
+    state.SetLabel(run.id);
+    state.counters["pct_TL"] = run.stats.primitiveSharePct(
+        geom::PrimitiveType::TriangleList);
+    state.counters["pct_TS"] = run.stats.primitiveSharePct(
+        geom::PrimitiveType::TriangleStrip);
+    state.counters["pct_TF"] = run.stats.primitiveSharePct(
+        geom::PrimitiveType::TriangleFan);
+    state.counters["prims_per_frame"] =
+        run.stats.avgPrimitivesPerFrame();
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 11);
+
+static void
+printDeliverable()
+{
+    printTable("Table V: primitive utilization", core::tablePrimitives(sharedApiRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Table VI (system bus bandwidths) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_BusHeadroom(benchmark::State &state)
+{
+    const auto &bus = core::busCatalog()[static_cast<std::size_t>(
+        state.range(0))];
+    // Worst-case index traffic across the twelve games.
+    double worst = 0.0;
+    for (const auto &run : sharedApiRuns())
+        worst = std::max(worst, run.stats.indexBwAtFps(100.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::busHeadroom(bus, worst));
+    state.SetLabel(bus.name);
+    state.counters["bus_GBs"] = bus.bandwidthGBs;
+    state.counters["headroom_x"] = core::busHeadroom(bus, worst);
+}
+BENCHMARK(BM_BusHeadroom)->DenseRange(0, 4);
+
+static void
+printDeliverable()
+{
+    printTable("Table VI: current system bus BWs", core::tableBuses());
+    double worst = 0.0;
+    std::string worst_id;
+    for (const auto &run : sharedApiRuns()) {
+        if (run.stats.indexBwAtFps(100.0) > worst) {
+            worst = run.stats.indexBwAtFps(100.0);
+            worst_id = run.id;
+        }
+    }
+    std::printf("worst-case index traffic: %s at %.0f MB/s @100fps -- "
+                "far below every bus above (the paper's argument for "
+                "triangle lists)\n",
+                worst_id.c_str(), worst / 1e6);
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

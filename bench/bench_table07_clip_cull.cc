@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces Table VII (clipped/culled/traversed triangles) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    state.counters["pct_clipped"] = run.counters.pctClipped();
+    state.counters["pct_culled"] = run.counters.pctCulled();
+    state.counters["pct_traversed"] = run.counters.pctTraversed();
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table VII: percentage of clipped, culled and traversed triangles", core::tableClipCull(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Table VIII (average triangle size per stage) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    state.counters["raster"] = run.counters.avgTriangleSizeRaster();
+    state.counters["zstencil"] =
+        run.counters.avgTriangleSizeZStencil();
+    state.counters["shaded"] = run.counters.avgTriangleSizeShaded();
+    state.counters["blended"] = run.counters.avgTriangleSizeBlended();
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table VIII: average triangle size (fragments) per stage", core::tableTriangleSize(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Table IX (quad removal per stage) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    state.counters["pct_hz"] = run.counters.pctQuadsRemovedHz();
+    state.counters["pct_zstencil"] =
+        run.counters.pctQuadsRemovedZStencil();
+    state.counters["pct_alpha"] = run.counters.pctQuadsRemovedAlpha();
+    state.counters["pct_mask"] =
+        run.counters.pctQuadsRemovedColorMask();
+    state.counters["pct_blended"] = run.counters.pctQuadsBlended();
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table IX: percentage of removed or processed quads per stage", core::tableQuadRemoval(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

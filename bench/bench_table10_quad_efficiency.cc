@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces Table X (quad efficiency) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    state.counters["raster_eff"] =
+        100.0 * run.counters.rasterQuadEfficiency();
+    state.counters["zstencil_eff"] =
+        100.0 * run.counters.zStencilQuadEfficiency();
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table X: quad efficiency (percent complete quads)", core::tableQuadEfficiency(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

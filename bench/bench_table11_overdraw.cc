@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Table XI (overdraw per stage) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    std::uint64_t px = run.totalPixels();
+    state.counters["raster"] = run.counters.overdrawRaster(px);
+    state.counters["zstencil"] = run.counters.overdrawZStencil(px);
+    state.counters["shaded"] = run.counters.overdrawShaded(px);
+    state.counters["blended"] = run.counters.overdrawBlended(px);
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table XI: average overdraw per pixel per stage", core::tableOverdraw(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Table XII (fragment shader composition) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedApiRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.stats.avgIndicesPerBatch());
+    state.SetLabel(run.id);
+    state.counters["fs_instructions"] =
+        run.stats.avgFragmentInstructions();
+    state.counters["fs_tex_instructions"] =
+        run.stats.avgFragmentTexInstructions();
+    state.counters["alu_tex_ratio"] = run.stats.aluToTexRatio();
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 11);
+
+static void
+printDeliverable()
+{
+    printTable("Table XII: fragment instructions, texture instructions, ALU:TEX", core::tableFragmentShader(sharedApiRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces Table XIV (cache configuration and hit rates) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    state.counters["z_hit"] = 100.0 * run.zCache.hitRate();
+    state.counters["color_hit"] = 100.0 * run.colorCache.hitRate();
+    state.counters["tex_l0_hit"] = 100.0 * run.texL0.hitRate();
+    state.counters["tex_l1_hit"] = 100.0 * run.texL1.hitRate();
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table XIV: cache configuration and hit rates", core::tableCaches(sharedMicroRuns(), gpu::GpuConfig{}));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Table XV (memory bandwidth per frame) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    double total = static_cast<double>(run.counters.traffic.total());
+    state.counters["MB_per_frame"] = run.bytesPerFrame() / 1e6;
+    state.counters["pct_read"] = total
+        ? 100.0 * run.counters.traffic.totalRead() / total : 0.0;
+    state.counters["GBs_at_100fps"] =
+        run.bytesPerFrame() * 100.0 / 1e9;
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table XV: average memory usage profile", core::tableMemoryBw(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Table XVI (memory traffic distribution per stage) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    double total = static_cast<double>(run.counters.traffic.total());
+    auto share = [&](memsys::Client c) {
+        int i = static_cast<int>(c);
+        return total ? 100.0 *
+            (run.counters.traffic.readBytes[i] +
+             run.counters.traffic.writeBytes[i]) / total : 0.0;
+    };
+    state.counters["vertex"] = share(memsys::Client::Vertex);
+    state.counters["zstencil"] = share(memsys::Client::ZStencil);
+    state.counters["texture"] = share(memsys::Client::Texture);
+    state.counters["color"] = share(memsys::Client::Color);
+    state.counters["dac"] = share(memsys::Client::Dac);
+    state.counters["cp"] = share(memsys::Client::CommandProcessor);
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table XVI: memory traffic distribution per GPU stage", core::tableTrafficDistribution(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Table XVII (bytes per vertex and fragment) of "Workload Characterization of 3D Games"
+ * (IISWC 2006). See DESIGN.md for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#include "bench_common.hh"
+
+using namespace wc3d;
+using namespace wc3d::bench;
+
+
+static void
+BM_PerGame(benchmark::State &state)
+{
+    const auto &run = sharedMicroRuns()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run.counters.pctTraversed());
+    state.SetLabel(run.id);
+    auto bytes_of = [&](memsys::Client c) {
+        int i = static_cast<int>(c);
+        return static_cast<double>(
+            run.counters.traffic.readBytes[i] +
+            run.counters.traffic.writeBytes[i]);
+    };
+    auto per = [](double b, std::uint64_t n) {
+        return n ? b / static_cast<double>(n) : 0.0;
+    };
+    state.counters["vertex"] = per(bytes_of(memsys::Client::Vertex),
+                                   run.counters.vertexCacheMisses);
+    state.counters["zstencil"] =
+        per(bytes_of(memsys::Client::ZStencil),
+            run.counters.zStencilFragments);
+    state.counters["shaded"] = per(bytes_of(memsys::Client::Texture),
+                                   run.counters.shadedFragments);
+    state.counters["color"] = per(bytes_of(memsys::Client::Color),
+                                  run.counters.blendedFragments);
+}
+BENCHMARK(BM_PerGame)->DenseRange(0, 2);
+
+static void
+printDeliverable()
+{
+    printTable("Table XVII: bytes per vertex and fragment", core::tableBytesPerItem(sharedMicroRuns()));
+}
+
+WC3D_BENCH_MAIN(printDeliverable)

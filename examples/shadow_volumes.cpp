@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Stencil shadow volumes end to end: renders a Doom3-style frame
+ * (z-prepass, z-fail stencil volume, stencil-gated lighting) through
+ * the public API, writes the lit frame as a PPM, and prints the
+ * per-stage quad accounting that explains the paper's Doom3/Quake4
+ * columns (huge raster/z overdraw, large colour-mask removal, modest
+ * shading).
+ *
+ *     ./shadow_volumes [output.ppm]
+ */
+
+#include <cstdio>
+
+#include "api/device.hh"
+#include "gpu/simulator.hh"
+
+using namespace wc3d;
+
+namespace {
+
+std::pair<std::uint32_t, std::uint32_t>
+makeQuad(api::Device &device, Vec3 a, Vec3 b, Vec3 c, Vec3 d, Vec4 color)
+{
+    api::VertexBufferData vb;
+    Vec2 uvs[4] = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+    Vec3 ps[4] = {a, b, c, d};
+    for (int i = 0; i < 4; ++i) {
+        api::VertexData v;
+        v.position = ps[i];
+        v.uv = uvs[i];
+        v.color = color;
+        vb.vertices.push_back(v);
+    }
+    api::IndexBufferData ib;
+    ib.type = api::IndexType::U16;
+    ib.indices = {0, 1, 2, 0, 2, 3};
+    return {device.createVertexBuffer(std::move(vb)),
+            device.createIndexBuffer(std::move(ib))};
+}
+
+void
+setMvp(api::Device &device, const Mat4 &mvp)
+{
+    for (int row = 0; row < 4; ++row) {
+        device.setConstant(shader::ProgramKind::Vertex,
+                           static_cast<std::uint32_t>(row),
+                           {mvp.m[0][row], mvp.m[1][row], mvp.m[2][row],
+                            mvp.m[3][row]});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "shadow_volumes.ppm";
+
+    gpu::GpuConfig config;
+    config.width = 640;
+    config.height = 480;
+    gpu::GpuSimulator gpu(config);
+    api::Device device;
+    device.setSink(&gpu);
+
+    auto vs = device.createProgram(shader::ProgramKind::Vertex,
+                                   "!!VP transform\n"
+                                   "DP4 o0.x, v0, c0;\n"
+                                   "DP4 o0.y, v0, c1;\n"
+                                   "DP4 o0.z, v0, c2;\n"
+                                   "DP4 o0.w, v0, c3;\n"
+                                   "MOV o1, v2;\n"
+                                   "MOV o2, v3;\n");
+    auto fs_color = device.createProgram(shader::ProgramKind::Fragment,
+                                         "!!FP lit\nMOV o0, v1;\n");
+    device.bindProgram(shader::ProgramKind::Vertex, vs);
+    device.bindProgram(shader::ProgramKind::Fragment, fs_color);
+
+    // Scene: a floor and a back wall; a shadow volume slab hangs in the
+    // middle of the room.
+    auto floor = makeQuad(device, {-12, 0, -2}, {12, 0, -2},
+                          {12, 0, -30}, {-12, 0, -30},
+                          {0.8f, 0.8f, 0.7f, 1});
+    auto wall = makeQuad(device, {-12, 0, -30}, {12, 0, -30},
+                         {12, 12, -30}, {-12, 12, -30},
+                         {0.7f, 0.7f, 0.9f, 1});
+    auto volume = makeQuad(device, {-4, 0.0f, -12}, {4, 0.0f, -12},
+                           {4, 7.0f, -16}, {-4, 7.0f, -16},
+                           {0, 0, 0, 1});
+
+    Mat4 mvp = Mat4::perspective(radians(70.0f), 640.0f / 480.0f, 0.5f,
+                                 100.0f) *
+               Mat4::lookAt({0, 4, 6}, {0, 2, -20}, {0, 1, 0});
+
+    device.clear();
+    setMvp(device, mvp);
+
+    // Pass 1: depth-only prepass (colour masked).
+    frag::BlendState masked;
+    masked.colorWriteMask = false;
+    device.setBlend(masked);
+    device.draw(floor.first, floor.second, 0, 6,
+                geom::PrimitiveType::TriangleList);
+    device.draw(wall.first, wall.second, 0, 6,
+                geom::PrimitiveType::TriangleList);
+
+    // Pass 2: z-fail stencil volume (Carmack's reverse).
+    frag::DepthStencilState sv;
+    sv.depthFunc = frag::CompareFunc::Less;
+    sv.depthWrite = false;
+    sv.stencilTest = true;
+    sv.front.zfail = frag::StencilOp::DecrWrap;
+    sv.back.zfail = frag::StencilOp::IncrWrap;
+    device.setDepthStencil(sv);
+    device.setCullMode(geom::CullMode::None);
+    device.draw(volume.first, volume.second, 0, 6,
+                geom::PrimitiveType::TriangleList);
+    device.setCullMode(geom::CullMode::Back);
+
+    // Pass 3: additive light gated by depth-equal and stencil == 0.
+    frag::DepthStencilState light;
+    light.depthFunc = frag::CompareFunc::Equal;
+    light.depthWrite = false;
+    light.stencilTest = true;
+    light.front.func = frag::CompareFunc::Equal;
+    light.front.ref = 0;
+    light.back = light.front;
+    device.setDepthStencil(light);
+    frag::BlendState additive;
+    additive.enabled = true;
+    additive.srcFactor = frag::BlendFactor::One;
+    additive.dstFactor = frag::BlendFactor::One;
+    device.setBlend(additive);
+    device.draw(floor.first, floor.second, 0, 6,
+                geom::PrimitiveType::TriangleList);
+    device.draw(wall.first, wall.second, 0, 6,
+                geom::PrimitiveType::TriangleList);
+    device.endFrame();
+
+    gpu.framebufferImage().writePpm(out_path);
+    std::printf("wrote %s (shadowed region stays dark)\n", out_path);
+
+    gpu::PipelineCounters c = gpu.counters();
+    std::printf("\nquad accounting (the paper's Table IX mechanics):\n");
+    std::printf("  rasterized quads     %llu\n",
+                static_cast<unsigned long long>(c.rasterQuads));
+    std::printf("  removed at HZ        %.1f%%\n",
+                c.pctQuadsRemovedHz());
+    std::printf("  removed at z/stencil %.1f%%  (z-fail volume parts "
+                "counted stencil here)\n",
+                c.pctQuadsRemovedZStencil());
+    std::printf("  removed at colormask %.1f%%  (prepass + volume "
+                "fragments that passed z)\n",
+                c.pctQuadsRemovedColorMask());
+    std::printf("  reached blending     %.1f%%\n", c.pctQuadsBlended());
+    return 0;
+}

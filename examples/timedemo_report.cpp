@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Full characterization report: reproduces the paper's tables for one
+ * named timedemo or for the whole workload set.
+ *
+ *     ./timedemo_report               # all tables, all games
+ *     ./timedemo_report doom3/trdemo2 # one game
+ *     ./timedemo_report --list        # available timedemo ids
+ *
+ * WC3D_FRAMES / WC3D_API_FRAMES control run lengths.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/report.hh"
+#include "workloads/games.hh"
+
+using namespace wc3d;
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        std::printf("available timedemos:\n");
+        for (const auto &id : workloads::allTimedemoIds()) {
+            bool simulated = false;
+            for (const auto &s : workloads::simulatedTimedemoIds())
+                simulated |= s == id;
+            std::printf("  %-28s %s\n", id.c_str(),
+                        simulated ? "(simulated at uarch level)" : "");
+        }
+        return 0;
+    }
+
+    if (argc > 1) {
+        std::string id = argv[1];
+        if (!workloads::isTimedemoId(id)) {
+            std::fprintf(stderr,
+                         "unknown timedemo '%s' (try --list)\n",
+                         id.c_str());
+            return 1;
+        }
+        std::fputs(core::gameReport(id).c_str(), stdout);
+        return 0;
+    }
+
+    std::fputs(core::fullReport().c_str(), stdout);
+    return 0;
+}

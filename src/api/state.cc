@@ -1,0 +1,36 @@
+#include "api/state.hh"
+
+#include "common/log.hh"
+
+namespace wc3d::api {
+
+const char *
+graphicsApiName(GraphicsApi a)
+{
+    return a == GraphicsApi::OpenGL ? "OpenGL" : "Direct3D";
+}
+
+int
+indexTypeBytes(IndexType t)
+{
+    return t == IndexType::U16 ? 2 : 4;
+}
+
+tex::Texture2D
+TextureSpec::build(const std::string &name) const
+{
+    switch (kind) {
+      case Kind::Checker:
+        return tex::Texture2D::checkerboard(name, size, cell, colorA,
+                                            colorB, format);
+      case Kind::Noise:
+        return tex::Texture2D::noise(name, size, seed, format,
+                                     alphaNoise);
+      case Kind::Gradient:
+        return tex::Texture2D::gradient(name, size, colorA, colorB,
+                                        format);
+    }
+    panic("unknown texture spec kind");
+}
+
+} // namespace wc3d::api

@@ -1,0 +1,543 @@
+#include "api/trace.hh"
+
+#include <cstring>
+
+#include "api/device.hh"
+#include "common/log.hh"
+
+namespace wc3d::api {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'C', '3', 'D', 'T', 'R', 'C', '1'};
+
+/** Little-endian primitive writers/readers over stdio. */
+struct Out
+{
+    std::FILE *f;
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        if (std::fwrite(p, 1, n, f) != n)
+            fatal("trace: short write");
+    }
+
+    void u8(std::uint8_t v) { bytes(&v, 1); }
+    void
+    u32(std::uint32_t v)
+    {
+        std::uint8_t b[4] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 24)};
+        bytes(b, 4);
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+    void
+    f32(float v)
+    {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, 4);
+        u32(bits);
+    }
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+    void
+    vec4(const Vec4 &v)
+    {
+        f32(v.x);
+        f32(v.y);
+        f32(v.z);
+        f32(v.w);
+    }
+};
+
+struct In
+{
+    std::FILE *f;
+    bool failed = false;
+
+    bool
+    bytes(void *p, std::size_t n)
+    {
+        if (std::fread(p, 1, n, f) != n) {
+            failed = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        bytes(&v, 1);
+        return v;
+    }
+    std::uint32_t
+    u32()
+    {
+        std::uint8_t b[4] = {};
+        bytes(b, 4);
+        return static_cast<std::uint32_t>(b[0]) |
+               (static_cast<std::uint32_t>(b[1]) << 8) |
+               (static_cast<std::uint32_t>(b[2]) << 16) |
+               (static_cast<std::uint32_t>(b[3]) << 24);
+    }
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+    float
+    f32()
+    {
+        std::uint32_t bits = u32();
+        float v;
+        std::memcpy(&v, &bits, 4);
+        return v;
+    }
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        if (failed || n > (1u << 30)) {
+            failed = true;
+            return {};
+        }
+        std::string s(n, '\0');
+        bytes(s.data(), n);
+        return s;
+    }
+    Vec4
+    vec4()
+    {
+        Vec4 v;
+        v.x = f32();
+        v.y = f32();
+        v.z = f32();
+        v.w = f32();
+        return v;
+    }
+};
+
+void
+writeDepthStencil(Out &o, const frag::DepthStencilState &s)
+{
+    o.u8(s.depthTest);
+    o.u8(static_cast<std::uint8_t>(s.depthFunc));
+    o.u8(s.depthWrite);
+    o.u8(s.stencilTest);
+    for (const frag::StencilFace *face : {&s.front, &s.back}) {
+        o.u8(static_cast<std::uint8_t>(face->func));
+        o.u8(face->ref);
+        o.u8(face->readMask);
+        o.u8(face->writeMask);
+        o.u8(static_cast<std::uint8_t>(face->sfail));
+        o.u8(static_cast<std::uint8_t>(face->zfail));
+        o.u8(static_cast<std::uint8_t>(face->zpass));
+    }
+}
+
+frag::DepthStencilState
+readDepthStencil(In &i)
+{
+    frag::DepthStencilState s;
+    s.depthTest = i.u8();
+    s.depthFunc = static_cast<frag::CompareFunc>(i.u8());
+    s.depthWrite = i.u8();
+    s.stencilTest = i.u8();
+    for (frag::StencilFace *face : {&s.front, &s.back}) {
+        face->func = static_cast<frag::CompareFunc>(i.u8());
+        face->ref = i.u8();
+        face->readMask = i.u8();
+        face->writeMask = i.u8();
+        face->sfail = static_cast<frag::StencilOp>(i.u8());
+        face->zfail = static_cast<frag::StencilOp>(i.u8());
+        face->zpass = static_cast<frag::StencilOp>(i.u8());
+    }
+    return s;
+}
+
+void
+writeBlend(Out &o, const frag::BlendState &s)
+{
+    o.u8(s.enabled);
+    o.u8(static_cast<std::uint8_t>(s.srcFactor));
+    o.u8(static_cast<std::uint8_t>(s.dstFactor));
+    o.u8(static_cast<std::uint8_t>(s.op));
+    o.u8(s.colorWriteMask);
+}
+
+frag::BlendState
+readBlend(In &i)
+{
+    frag::BlendState s;
+    s.enabled = i.u8();
+    s.srcFactor = static_cast<frag::BlendFactor>(i.u8());
+    s.dstFactor = static_cast<frag::BlendFactor>(i.u8());
+    s.op = static_cast<frag::BlendOp>(i.u8());
+    s.colorWriteMask = i.u8();
+    return s;
+}
+
+void
+writeSampler(Out &o, const tex::SamplerState &s)
+{
+    o.u8(static_cast<std::uint8_t>(s.filter));
+    o.u8(static_cast<std::uint8_t>(s.wrap));
+    o.u32(static_cast<std::uint32_t>(s.maxAniso));
+    o.f32(s.lodBias);
+}
+
+tex::SamplerState
+readSampler(In &i)
+{
+    tex::SamplerState s;
+    s.filter = static_cast<tex::TexFilter>(i.u8());
+    s.wrap = static_cast<tex::TexWrap>(i.u8());
+    s.maxAniso = static_cast<int>(i.u32());
+    s.lodBias = i.f32();
+    return s;
+}
+
+void
+writeTextureSpec(Out &o, const TextureSpec &s)
+{
+    o.u8(static_cast<std::uint8_t>(s.kind));
+    o.u32(static_cast<std::uint32_t>(s.size));
+    o.u32(static_cast<std::uint32_t>(s.cell));
+    o.u64(s.seed);
+    o.u32(s.colorA.packed());
+    o.u32(s.colorB.packed());
+    o.u8(static_cast<std::uint8_t>(s.format));
+    o.u8(s.alphaNoise);
+}
+
+TextureSpec
+readTextureSpec(In &i)
+{
+    TextureSpec s;
+    s.kind = static_cast<TextureSpec::Kind>(i.u8());
+    s.size = static_cast<int>(i.u32());
+    s.cell = static_cast<int>(i.u32());
+    s.seed = i.u64();
+    s.colorA = Rgba8::fromPacked(i.u32());
+    s.colorB = Rgba8::fromPacked(i.u32());
+    s.format = static_cast<tex::TexFormat>(i.u8());
+    s.alphaNoise = i.u8();
+    return s;
+}
+
+struct WriteVisitor
+{
+    Out &o;
+
+    void
+    operator()(const CreateVertexBufferCmd &c)
+    {
+        o.u32(c.id);
+        o.u32(static_cast<std::uint32_t>(c.data.strideFloats));
+        o.u32(static_cast<std::uint32_t>(c.data.vertices.size()));
+        for (const VertexData &v : c.data.vertices) {
+            o.f32(v.position.x);
+            o.f32(v.position.y);
+            o.f32(v.position.z);
+            o.f32(v.normal.x);
+            o.f32(v.normal.y);
+            o.f32(v.normal.z);
+            o.f32(v.uv.x);
+            o.f32(v.uv.y);
+            o.vec4(v.color);
+        }
+    }
+
+    void
+    operator()(const CreateIndexBufferCmd &c)
+    {
+        o.u32(c.id);
+        o.u8(static_cast<std::uint8_t>(c.data.type));
+        o.u32(static_cast<std::uint32_t>(c.data.indices.size()));
+        for (std::uint32_t idx : c.data.indices)
+            o.u32(idx);
+    }
+
+    void
+    operator()(const CreateTextureCmd &c)
+    {
+        o.u32(c.id);
+        writeTextureSpec(o, c.spec);
+    }
+
+    void
+    operator()(const CreateProgramCmd &c)
+    {
+        o.u32(c.id);
+        o.u8(static_cast<std::uint8_t>(c.kind));
+        o.str(c.source);
+    }
+
+    void
+    operator()(const BindProgramCmd &c)
+    {
+        o.u8(static_cast<std::uint8_t>(c.kind));
+        o.u32(c.id);
+    }
+
+    void
+    operator()(const BindTextureCmd &c)
+    {
+        o.u32(c.unit);
+        o.u32(c.id);
+        writeSampler(o, c.sampler);
+    }
+
+    void operator()(const SetDepthStencilCmd &c)
+    { writeDepthStencil(o, c.state); }
+
+    void operator()(const SetBlendCmd &c) { writeBlend(o, c.state); }
+
+    void
+    operator()(const SetCullModeCmd &c)
+    {
+        o.u8(static_cast<std::uint8_t>(c.mode));
+    }
+
+    void
+    operator()(const SetConstantCmd &c)
+    {
+        o.u8(static_cast<std::uint8_t>(c.kind));
+        o.u32(c.index);
+        o.vec4(c.value);
+    }
+
+    void
+    operator()(const ClearCmd &c)
+    {
+        o.u8(c.color);
+        o.u8(c.depth);
+        o.u8(c.stencil);
+        o.u32(c.colorValue);
+        o.f32(c.depthValue);
+        o.u8(c.stencilValue);
+    }
+
+    void
+    operator()(const DrawCmd &c)
+    {
+        o.u32(c.vertexBuffer);
+        o.u32(c.indexBuffer);
+        o.u32(c.firstIndex);
+        o.u32(c.indexCount);
+        o.u8(static_cast<std::uint8_t>(c.topology));
+    }
+
+    void operator()(const EndFrameCmd &) {}
+};
+
+std::optional<Command>
+readCommand(In &in)
+{
+    int tag_int = std::fgetc(in.f);
+    if (tag_int == EOF)
+        return std::nullopt;
+    auto tag = static_cast<std::uint8_t>(tag_int);
+
+    Command cmd;
+    switch (tag) {
+      case 0: {
+        CreateVertexBufferCmd c;
+        c.id = in.u32();
+        c.data.strideFloats = static_cast<int>(in.u32());
+        std::uint32_t n = in.u32();
+        if (in.failed || n > (1u << 28))
+            return std::nullopt;
+        c.data.vertices.resize(n);
+        for (VertexData &v : c.data.vertices) {
+            v.position = {in.f32(), in.f32(), in.f32()};
+            v.normal = {in.f32(), in.f32(), in.f32()};
+            v.uv = {in.f32(), in.f32()};
+            v.color = in.vec4();
+        }
+        cmd = std::move(c);
+        break;
+      }
+      case 1: {
+        CreateIndexBufferCmd c;
+        c.id = in.u32();
+        c.data.type = static_cast<IndexType>(in.u8());
+        std::uint32_t n = in.u32();
+        if (in.failed || n > (1u << 28))
+            return std::nullopt;
+        c.data.indices.resize(n);
+        for (auto &idx : c.data.indices)
+            idx = in.u32();
+        cmd = std::move(c);
+        break;
+      }
+      case 2: {
+        CreateTextureCmd c;
+        c.id = in.u32();
+        c.spec = readTextureSpec(in);
+        cmd = c;
+        break;
+      }
+      case 3: {
+        CreateProgramCmd c;
+        c.id = in.u32();
+        c.kind = static_cast<shader::ProgramKind>(in.u8());
+        c.source = in.str();
+        cmd = std::move(c);
+        break;
+      }
+      case 4: {
+        BindProgramCmd c;
+        c.kind = static_cast<shader::ProgramKind>(in.u8());
+        c.id = in.u32();
+        cmd = c;
+        break;
+      }
+      case 5: {
+        BindTextureCmd c;
+        c.unit = in.u32();
+        c.id = in.u32();
+        c.sampler = readSampler(in);
+        cmd = c;
+        break;
+      }
+      case 6:
+        cmd = SetDepthStencilCmd{readDepthStencil(in)};
+        break;
+      case 7:
+        cmd = SetBlendCmd{readBlend(in)};
+        break;
+      case 8:
+        cmd = SetCullModeCmd{static_cast<geom::CullMode>(in.u8())};
+        break;
+      case 9: {
+        SetConstantCmd c;
+        c.kind = static_cast<shader::ProgramKind>(in.u8());
+        c.index = in.u32();
+        c.value = in.vec4();
+        cmd = c;
+        break;
+      }
+      case 10: {
+        ClearCmd c;
+        c.color = in.u8();
+        c.depth = in.u8();
+        c.stencil = in.u8();
+        c.colorValue = in.u32();
+        c.depthValue = in.f32();
+        c.stencilValue = in.u8();
+        cmd = c;
+        break;
+      }
+      case 11: {
+        DrawCmd c;
+        c.vertexBuffer = in.u32();
+        c.indexBuffer = in.u32();
+        c.firstIndex = in.u32();
+        c.indexCount = in.u32();
+        c.topology = static_cast<geom::PrimitiveType>(in.u8());
+        cmd = c;
+        break;
+      }
+      case 12:
+        cmd = EndFrameCmd{};
+        break;
+      default:
+        warn("trace: unknown command tag %u", tag);
+        return std::nullopt;
+    }
+    if (in.failed)
+        return std::nullopt;
+    return cmd;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    _file = std::fopen(path.c_str(), "wb");
+    if (!_file)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    Out out{_file};
+    out.bytes(kMagic, sizeof(kMagic));
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const Command &cmd)
+{
+    WC3D_ASSERT(_file);
+    Out out{_file};
+    out.u8(static_cast<std::uint8_t>(cmd.index()));
+    std::visit(WriteVisitor{out}, cmd);
+    ++_count;
+}
+
+void
+TraceWriter::close()
+{
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    _file = std::fopen(path.c_str(), "rb");
+    if (!_file)
+        return;
+    char magic[8] = {};
+    if (std::fread(magic, 1, 8, _file) == 8 &&
+        std::memcmp(magic, kMagic, 8) == 0) {
+        _ok = true;
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+std::optional<Command>
+TraceReader::next()
+{
+    if (!_ok || !_file)
+        return std::nullopt;
+    In in{_file};
+    return readCommand(in);
+}
+
+std::uint64_t
+playTrace(TraceReader &reader, Device &device)
+{
+    std::uint64_t count = 0;
+    while (auto cmd = reader.next()) {
+        device.submit(*cmd);
+        ++count;
+    }
+    return count;
+}
+
+} // namespace wc3d::api

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Binary API trace format: the GLInterceptor / PIX-player analogue.
+ * A trace is the full command stream of a run — including resource
+ * payloads — so it can be replayed bit-identically on a Device later
+ * ("allowing to replay exactly the same input several times", [4]).
+ *
+ * Layout: 8-byte magic "WC3DTRC1", then a sequence of records, each a
+ * 1-byte command tag followed by a command-specific payload. All
+ * integers are little-endian.
+ */
+
+#ifndef WC3D_API_TRACE_HH
+#define WC3D_API_TRACE_HH
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "api/commands.hh"
+
+namespace wc3d::api {
+
+class Device;
+
+/** Streams commands to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one command. */
+    void write(const Command &cmd);
+
+    /** Commands written so far. */
+    std::uint64_t commandsWritten() const { return _count; }
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+  private:
+    std::FILE *_file = nullptr;
+    std::uint64_t _count = 0;
+};
+
+/** Reads commands back from a trace file. */
+class TraceReader
+{
+  public:
+    /** Open @p path; ok() reports whether the header validated. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** @return true when the file opened and the magic matched. */
+    bool ok() const { return _ok; }
+
+    /** Read the next command; nullopt at end of file or on error. */
+    std::optional<Command> next();
+
+  private:
+    std::FILE *_file = nullptr;
+    bool _ok = false;
+};
+
+/**
+ * Replay a whole trace into @p device.
+ * @return number of commands replayed.
+ */
+std::uint64_t playTrace(TraceReader &reader, Device &device);
+
+} // namespace wc3d::api
+
+#endif // WC3D_API_TRACE_HH

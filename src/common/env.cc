@@ -1,0 +1,27 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+namespace wc3d {
+
+int
+envInt(const char *name, int fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    long parsed = std::strtol(v, &end, 10);
+    if (end == v)
+        return fallback;
+    return static_cast<int>(parsed);
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::string(v) : fallback;
+}
+
+} // namespace wc3d

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Environment-variable helpers used by benches to scale run lengths
+ * (e.g. WC3D_FRAMES) without recompiling.
+ */
+
+#ifndef WC3D_COMMON_ENV_HH
+#define WC3D_COMMON_ENV_HH
+
+#include <string>
+
+namespace wc3d {
+
+/** @return the integer value of env var @p name, or @p fallback. */
+int envInt(const char *name, int fallback);
+
+/** @return the value of env var @p name, or @p fallback. */
+std::string envString(const char *name, const std::string &fallback);
+
+} // namespace wc3d
+
+#endif // WC3D_COMMON_ENV_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32). All workload
+ * generators are seeded so every timedemo replays identically run-to-run
+ * and across platforms, which the paper's tracing methodology requires
+ * ("allowing to replay exactly the same input several times", [4]).
+ */
+
+#ifndef WC3D_COMMON_RNG_HH
+#define WC3D_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace wc3d {
+
+/** PCG32 generator (O'Neill): small, fast, statistically solid. */
+class Rng
+{
+  public:
+    /** Construct from a seed and an optional stream selector. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state = 0;
+        inc = (stream << 1u) | 1u;
+        nextU32();
+        state += seed;
+        nextU32();
+    }
+
+    /** @return the next 32 uniform random bits. */
+    std::uint32_t
+    nextU32()
+    {
+        std::uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** @return a uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint32_t
+    nextBounded(std::uint32_t bound)
+    {
+        // Debiased modulo (Lemire-style rejection).
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = nextU32();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** @return a uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextU32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** @return a uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** @return a uniform integer in [lo, hi] (inclusive). */
+    int
+    nextInt(int lo, int hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + static_cast<int>(
+            nextBounded(static_cast<std::uint32_t>(hi - lo + 1)));
+    }
+
+    /**
+     * Approximate normal sample via the sum of three uniforms (Irwin-Hall),
+     * adequate for workload jitter; exact normality is not needed.
+     */
+    float
+    nextGaussian(float mean, float sigma)
+    {
+        float s = nextFloat() + nextFloat() + nextFloat();
+        // Sum of 3 uniforms: mean 1.5, variance 3/12 = 0.25 => sigma 0.5.
+        return mean + sigma * (s - 1.5f) * 2.0f;
+    }
+
+  private:
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+};
+
+} // namespace wc3d
+
+#endif // WC3D_COMMON_RNG_HH

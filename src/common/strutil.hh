@@ -1,0 +1,35 @@
+/**
+ * @file
+ * printf-style string formatting and small string helpers.
+ */
+
+#ifndef WC3D_COMMON_STRUTIL_HH
+#define WC3D_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace wc3d {
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** ASCII lower-casing. */
+std::string toLower(const std::string &s);
+
+/** @return true when @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Render @p bytes as a human-readable quantity ("1.5 MB", "640 B"). */
+std::string humanBytes(double bytes);
+
+} // namespace wc3d
+
+#endif // WC3D_COMMON_STRUTIL_HH

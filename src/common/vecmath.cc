@@ -1,0 +1,143 @@
+#include "common/vecmath.hh"
+
+namespace wc3d {
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        r.m[i][i] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::translate(Vec3 t)
+{
+    Mat4 r = identity();
+    r.m[3][0] = t.x;
+    r.m[3][1] = t.y;
+    r.m[3][2] = t.z;
+    return r;
+}
+
+Mat4
+Mat4::scale(Vec3 s)
+{
+    Mat4 r;
+    r.m[0][0] = s.x;
+    r.m[1][1] = s.y;
+    r.m[2][2] = s.z;
+    r.m[3][3] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::rotateX(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[1][1] = c;
+    r.m[1][2] = s;
+    r.m[2][1] = -s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateY(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][2] = -s;
+    r.m[2][0] = s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateZ(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][1] = s;
+    r.m[1][0] = -s;
+    r.m[1][1] = c;
+    return r;
+}
+
+Mat4
+Mat4::perspective(float fovy_radians, float aspect, float znear, float zfar)
+{
+    Mat4 r;
+    float f = 1.0f / std::tan(fovy_radians * 0.5f);
+    r.m[0][0] = f / aspect;
+    r.m[1][1] = f;
+    r.m[2][2] = (zfar + znear) / (znear - zfar);
+    r.m[2][3] = -1.0f;
+    r.m[3][2] = (2.0f * zfar * znear) / (znear - zfar);
+    return r;
+}
+
+Mat4
+Mat4::lookAt(Vec3 eye, Vec3 target, Vec3 up)
+{
+    Vec3 f = (target - eye).normalized();
+    Vec3 s = f.cross(up).normalized();
+    Vec3 u = s.cross(f);
+
+    Mat4 r = identity();
+    r.m[0][0] = s.x;
+    r.m[1][0] = s.y;
+    r.m[2][0] = s.z;
+    r.m[0][1] = u.x;
+    r.m[1][1] = u.y;
+    r.m[2][1] = u.z;
+    r.m[0][2] = -f.x;
+    r.m[1][2] = -f.y;
+    r.m[2][2] = -f.z;
+    r.m[3][0] = -s.dot(eye);
+    r.m[3][1] = -u.dot(eye);
+    r.m[3][2] = f.dot(eye);
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int c = 0; c < 4; ++c) {
+        for (int row = 0; row < 4; ++row) {
+            float acc = 0.0f;
+            for (int k = 0; k < 4; ++k)
+                acc += m[k][row] * o.m[c][k];
+            r.m[c][row] = acc;
+        }
+    }
+    return r;
+}
+
+Vec4
+Mat4::transform(Vec4 v) const
+{
+    Vec4 r;
+    for (int row = 0; row < 4; ++row) {
+        r[row] = m[0][row] * v.x + m[1][row] * v.y +
+                 m[2][row] * v.z + m[3][row] * v.w;
+    }
+    return r;
+}
+
+Mat4
+Mat4::transposed() const
+{
+    Mat4 r;
+    for (int c = 0; c < 4; ++c)
+        for (int row = 0; row < 4; ++row)
+            r.m[c][row] = m[row][c];
+    return r;
+}
+
+} // namespace wc3d

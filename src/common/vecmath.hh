@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Small fixed-size linear algebra types used throughout the renderer:
+ * Vec2/Vec3/Vec4 of float and a column-major 4x4 matrix with the usual
+ * graphics transforms (perspective, lookAt, rotations).
+ */
+
+#ifndef WC3D_COMMON_VECMATH_HH
+#define WC3D_COMMON_VECMATH_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace wc3d {
+
+/** 2-component float vector. */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float x_, float y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+
+    constexpr float dot(Vec2 o) const { return x * o.x + y * o.y; }
+    float length() const { return std::sqrt(dot(*this)); }
+};
+
+/** 3-component float vector. */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(Vec3 o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(Vec3 o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    constexpr float dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3
+    cross(Vec3 o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float length() const { return std::sqrt(dot(*this)); }
+
+    Vec3
+    normalized() const
+    {
+        float len = length();
+        return len > 0.0f ? *this / len : Vec3{0.0f, 0.0f, 0.0f};
+    }
+};
+
+/** 4-component float vector (also the shader register word). */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float x_, float y_, float z_, float w_)
+        : x(x_), y(y_), z(z_), w(w_) {}
+    constexpr explicit Vec4(Vec3 v, float w_ = 1.0f)
+        : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+    constexpr Vec4 operator+(Vec4 o) const
+    { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+    constexpr Vec4 operator-(Vec4 o) const
+    { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+    constexpr Vec4 operator*(float s) const
+    { return {x * s, y * s, z * s, w * s}; }
+    constexpr Vec4 operator/(float s) const
+    { return {x / s, y / s, z / s, w / s}; }
+
+    constexpr float
+    dot(Vec4 o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+
+    /** Component access by index (0..3). */
+    constexpr float
+    operator[](std::size_t i) const
+    {
+        return i == 0 ? x : i == 1 ? y : i == 2 ? z : w;
+    }
+
+    float &
+    operator[](std::size_t i)
+    {
+        return i == 0 ? x : i == 1 ? y : i == 2 ? z : w;
+    }
+};
+
+/**
+ * Column-major 4x4 matrix. m[c][r] stores column c, row r, matching the
+ * OpenGL convention so transform() computes M * v.
+ */
+struct Mat4
+{
+    float m[4][4] = {};
+
+    /** @return the identity matrix. */
+    static Mat4 identity();
+
+    /** @return a translation matrix. */
+    static Mat4 translate(Vec3 t);
+
+    /** @return a non-uniform scale matrix. */
+    static Mat4 scale(Vec3 s);
+
+    /** @return rotation about the X axis by @p radians. */
+    static Mat4 rotateX(float radians);
+
+    /** @return rotation about the Y axis by @p radians. */
+    static Mat4 rotateY(float radians);
+
+    /** @return rotation about the Z axis by @p radians. */
+    static Mat4 rotateZ(float radians);
+
+    /**
+     * Right-handed perspective projection (OpenGL clip-space conventions,
+     * z in [-w, w]).
+     *
+     * @param fovy_radians vertical field of view
+     * @param aspect       width / height
+     * @param znear        near plane distance (> 0)
+     * @param zfar         far plane distance (> znear)
+     */
+    static Mat4 perspective(float fovy_radians, float aspect,
+                            float znear, float zfar);
+
+    /** Right-handed view matrix looking from @p eye towards @p target. */
+    static Mat4 lookAt(Vec3 eye, Vec3 target, Vec3 up);
+
+    /** Matrix product: this * @p o. */
+    Mat4 operator*(const Mat4 &o) const;
+
+    /** Transform a 4-vector: this * @p v. */
+    Vec4 transform(Vec4 v) const;
+
+    /** Transform a point (w = 1). */
+    Vec4 transformPoint(Vec3 v) const { return transform(Vec4(v, 1.0f)); }
+
+    /** Transform a direction (w = 0), returning the xyz part. */
+    Vec3
+    transformDir(Vec3 v) const
+    {
+        return transform(Vec4(v, 0.0f)).xyz();
+    }
+
+    /** Transpose. */
+    Mat4 transposed() const;
+};
+
+/** Clamp helper mirroring std::clamp but tolerant of lo > hi never used. */
+inline float
+clampf(float v, float lo, float hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/** Linear interpolation between @p a and @p b by @p t. */
+inline float
+lerp(float a, float b, float t)
+{
+    return a + (b - a) * t;
+}
+
+inline Vec3
+lerp(Vec3 a, Vec3 b, float t)
+{
+    return a + (b - a) * t;
+}
+
+inline Vec4
+lerp(Vec4 a, Vec4 b, float t)
+{
+    return a + (b - a) * t;
+}
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Degrees-to-radians conversion. */
+constexpr float
+radians(float degrees)
+{
+    return degrees * (kPi / 180.0f);
+}
+
+} // namespace wc3d
+
+#endif // WC3D_COMMON_VECMATH_HH

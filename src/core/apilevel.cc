@@ -1,0 +1,113 @@
+#include "core/apilevel.hh"
+
+#include "common/strutil.hh"
+#include "workloads/games.hh"
+
+namespace wc3d::core {
+
+namespace {
+
+using geom::PrimitiveType;
+
+std::string
+pct(double v)
+{
+    return v <= 0.0 ? std::string("-") : format("%.1f%%", v);
+}
+
+} // namespace
+
+stats::Table
+tableWorkloads()
+{
+    stats::Table t({"Game/Timedemo", "#Frames", "Duration@30fps",
+                    "Texture quality", "Aniso", "Shaders", "API",
+                    "Engine", "Release"});
+    for (const auto &id : workloads::allTimedemoIds()) {
+        const auto &p = workloads::gameProfile(id);
+        int secs = p.paperFrames / 30;
+        std::string quality =
+            p.filter == tex::TexFilter::Anisotropic
+                ? "High/Anisotropic"
+                : "High/Trilinear";
+        t.addRow({id, format("%d", p.paperFrames),
+                  format("%d'%02d\"", secs / 60, secs % 60), quality,
+                  p.filter == tex::TexFilter::Anisotropic
+                      ? format("%dX", p.maxAniso)
+                      : "-",
+                  p.usesShaders ? "YES" : "NO",
+                  api::graphicsApiName(p.apiKind), p.engine,
+                  p.releaseDate});
+    }
+    return t;
+}
+
+stats::Table
+tableIndexTraffic(const std::vector<ApiRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "idx/batch", "idx/frame",
+                    "bytes/idx", "BW@100fps"});
+    for (const auto &run : runs) {
+        const auto &p = workloads::gameProfile(run.id);
+        t.addRow({run.id,
+                  format("%.0f", run.stats.avgIndicesPerBatch()),
+                  format("%.0f", run.stats.avgIndicesPerFrame()),
+                  format("%d", api::indexTypeBytes(p.indexType)),
+                  format("%.0f MB/s",
+                         run.stats.indexBwAtFps(100.0) / 1e6)});
+    }
+    return t;
+}
+
+stats::Table
+tableVertexShader(const std::vector<ApiRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "API", "Avg VS instructions"});
+    for (const auto &run : runs) {
+        const auto &p = workloads::gameProfile(run.id);
+        t.addRow({run.id, api::graphicsApiName(p.apiKind),
+                  format("%.2f",
+                         run.stats.avgVertexShaderInstructions())});
+    }
+    return t;
+}
+
+stats::Table
+tablePrimitives(const std::vector<ApiRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "TL", "TS", "TF", "Prims/frame"});
+    for (const auto &run : runs) {
+        t.addRow({run.id,
+                  pct(run.stats.primitiveSharePct(
+                      PrimitiveType::TriangleList)),
+                  pct(run.stats.primitiveSharePct(
+                      PrimitiveType::TriangleStrip)),
+                  pct(run.stats.primitiveSharePct(
+                      PrimitiveType::TriangleFan)),
+                  format("%.0f", run.stats.avgPrimitivesPerFrame())});
+    }
+    return t;
+}
+
+stats::Table
+tableFragmentShader(const std::vector<ApiRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "Instructions", "Texture instr",
+                    "ALU:TEX"});
+    for (const auto &run : runs) {
+        t.addRow({run.id,
+                  format("%.2f", run.stats.avgFragmentInstructions()),
+                  format("%.2f",
+                         run.stats.avgFragmentTexInstructions()),
+                  format("%.2f", run.stats.aluToTexRatio())});
+    }
+    return t;
+}
+
+std::string
+figureCsv(const ApiRun &run)
+{
+    return run.stats.series().toCsv();
+}
+
+} // namespace wc3d::core

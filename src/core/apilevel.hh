@@ -1,0 +1,40 @@
+/**
+ * @file
+ * API-call-level characterization (paper Section III.A/B/D): builders
+ * for Tables I, III, IV, V and XII and the per-frame figure series
+ * (Figs. 1, 2, 3 and 8).
+ */
+
+#ifndef WC3D_CORE_APILEVEL_HH
+#define WC3D_CORE_APILEVEL_HH
+
+#include "core/runner.hh"
+#include "stats/table.hh"
+
+namespace wc3d::core {
+
+/** Table I: game workload description (static, from the profiles). */
+stats::Table tableWorkloads();
+
+/** Table III: indices per batch/frame, index size, index BW @100fps. */
+stats::Table tableIndexTraffic(const std::vector<ApiRun> &runs);
+
+/** Table IV: average vertex shader instructions (OGL / D3D halves). */
+stats::Table tableVertexShader(const std::vector<ApiRun> &runs);
+
+/** Table V: primitive utilization and primitives per frame. */
+stats::Table tablePrimitives(const std::vector<ApiRun> &runs);
+
+/** Table XII: fragment instructions, texture instructions, ALU:TEX. */
+stats::Table tableFragmentShader(const std::vector<ApiRun> &runs);
+
+/**
+ * Figure series CSV for one run: subset of the per-frame API series
+ * ("batches", "indices", "index_bytes", "state_calls", "fs_instr_avg",
+ * "fs_tex_avg").
+ */
+std::string figureCsv(const ApiRun &run);
+
+} // namespace wc3d::core
+
+#endif // WC3D_CORE_APILEVEL_HH

@@ -1,0 +1,39 @@
+#include "core/buses.hh"
+
+#include "common/strutil.hh"
+
+namespace wc3d::core {
+
+const std::vector<BusSpec> &
+busCatalog()
+{
+    static const std::vector<BusSpec> kBuses = {
+        {"AGP 4X", "32 bits", "66x4 MHz", 1.056},
+        {"AGP 8X", "32 bits", "66x8 MHz", 2.112},
+        {"PCI Express x4", "1 bit", "2.5 Gbaud x 4", 1.0},
+        {"PCI Express x8", "1 bit", "2.5 Gbaud x 8", 2.0},
+        {"PCI Express x16", "1 bit", "2.5 Gbaud x 16", 4.0},
+    };
+    return kBuses;
+}
+
+stats::Table
+tableBuses()
+{
+    stats::Table t({"Bus", "Width", "Bus Speed", "Bus BW"});
+    for (const auto &b : busCatalog()) {
+        t.addRow({b.name, b.width, b.speed,
+                  format("%.3f GB/s", b.bandwidthGBs)});
+    }
+    return t;
+}
+
+double
+busHeadroom(const BusSpec &bus, double index_bw_bytes_s)
+{
+    if (index_bw_bytes_s <= 0.0)
+        return 0.0;
+    return bus.bandwidthGBs * 1e9 / index_bw_bytes_s;
+}
+
+} // namespace wc3d::core

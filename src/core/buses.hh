@@ -1,0 +1,40 @@
+/**
+ * @file
+ * System bus catalogue (paper Table VI): AGP and PCI Express
+ * bandwidths, against which the paper argues that index traffic
+ * (< 1 GB/s) never justifies strips over lists.
+ */
+
+#ifndef WC3D_CORE_BUSES_HH
+#define WC3D_CORE_BUSES_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/table.hh"
+
+namespace wc3d::core {
+
+/** One bus generation. */
+struct BusSpec
+{
+    std::string name;
+    std::string width;
+    std::string speed;
+    double bandwidthGBs = 0.0;
+};
+
+/** The buses of the paper's Table VI. */
+const std::vector<BusSpec> &busCatalog();
+
+/** Table VI. */
+stats::Table tableBuses();
+
+/**
+ * Headroom factor of @p bus for a workload needing @p index_bw_bytes_s.
+ */
+double busHeadroom(const BusSpec &bus, double index_bw_bytes_s);
+
+} // namespace wc3d::core
+
+#endif // WC3D_CORE_BUSES_HH

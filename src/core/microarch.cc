@@ -1,0 +1,233 @@
+#include "core/microarch.hh"
+
+#include "common/strutil.hh"
+#include "memory/controller.hh"
+
+namespace wc3d::core {
+
+namespace {
+
+double
+clientBytes(const gpu::PipelineCounters &c, memsys::Client client)
+{
+    int i = static_cast<int>(client);
+    return static_cast<double>(c.traffic.readBytes[i] +
+                               c.traffic.writeBytes[i]);
+}
+
+} // namespace
+
+stats::Table
+tableConfig(const gpu::GpuConfig &config)
+{
+    stats::Table t({"Parameter", "R520", "This simulator"});
+    t.addRow({"Vertex/Fragment shaders", "8/16",
+              format("%d (unified)", config.unifiedShaders)});
+    t.addRow({"Triangle setup", "2 triangles/cycle",
+              format("%d triangles/cycle", config.trianglesPerCycle)});
+    t.addRow({"Texture rate", "16 bilinears/cycle",
+              format("%d bilinears/cycle", config.bilinearsPerCycle)});
+    t.addRow({"ZStencil/Color rates", "16 / 16 fragments/cycle",
+              format("%d / %d fragments/cycle", config.zOpsPerCycle,
+                     config.colorOpsPerCycle)});
+    t.addRow({"Memory BW", "> 64 bytes/cycle",
+              format("%d bytes/cycle", config.memBytesPerCycle)});
+    t.addRow({"Resolution", "1024x768",
+              format("%dx%d", config.width, config.height)});
+    return t;
+}
+
+stats::Table
+tableClipCull(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "% clipped", "% culled",
+                    "% traversed"});
+    for (const auto &r : runs) {
+        t.addRow({r.id, format("%.0f%%", r.counters.pctClipped()),
+                  format("%.0f%%", r.counters.pctCulled()),
+                  format("%.0f%%", r.counters.pctTraversed())});
+    }
+    return t;
+}
+
+stats::Table
+tableTriangleSize(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "Raster", "Z&Stencil", "Shading",
+                    "Blending"});
+    for (const auto &r : runs) {
+        t.addRow({r.id,
+                  format("%.0f", r.counters.avgTriangleSizeRaster()),
+                  format("%.0f", r.counters.avgTriangleSizeZStencil()),
+                  format("%.0f", r.counters.avgTriangleSizeShaded()),
+                  format("%.0f", r.counters.avgTriangleSizeBlended())});
+    }
+    return t;
+}
+
+stats::Table
+tableQuadRemoval(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "HZ", "Z&Stencil", "Alpha",
+                    "Color Mask", "Blending"});
+    for (const auto &r : runs) {
+        t.addRow({r.id,
+                  format("%.2f%%", r.counters.pctQuadsRemovedHz()),
+                  format("%.2f%%",
+                         r.counters.pctQuadsRemovedZStencil()),
+                  format("%.2f%%", r.counters.pctQuadsRemovedAlpha()),
+                  format("%.2f%%",
+                         r.counters.pctQuadsRemovedColorMask()),
+                  format("%.2f%%", r.counters.pctQuadsBlended())});
+    }
+    return t;
+}
+
+stats::Table
+tableQuadEfficiency(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "Raster", "Z&Stencil"});
+    for (const auto &r : runs) {
+        t.addRow({r.id,
+                  format("%.1f%%",
+                         100.0 * r.counters.rasterQuadEfficiency()),
+                  format("%.1f%%",
+                         100.0 * r.counters.zStencilQuadEfficiency())});
+    }
+    return t;
+}
+
+stats::Table
+tableOverdraw(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "Raster", "Z&Stencil", "Shading",
+                    "Blending"});
+    for (const auto &r : runs) {
+        std::uint64_t px = r.totalPixels();
+        t.addRow({r.id, format("%.2f", r.counters.overdrawRaster(px)),
+                  format("%.2f", r.counters.overdrawZStencil(px)),
+                  format("%.2f", r.counters.overdrawShaded(px)),
+                  format("%.2f", r.counters.overdrawBlended(px))});
+    }
+    return t;
+}
+
+stats::Table
+tableBilinears(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "Bilinears/request",
+                    "ALU instr/bilinear"});
+    for (const auto &r : runs) {
+        t.addRow({r.id,
+                  format("%.2f", r.counters.bilinearsPerRequest()),
+                  format("%.2f", r.counters.aluPerBilinear())});
+    }
+    return t;
+}
+
+stats::Table
+tableCaches(const std::vector<MicroRun> &runs,
+            const gpu::GpuConfig &config)
+{
+    std::vector<std::string> headers = {"Cache", "Size", "Way/Line"};
+    for (const auto &r : runs)
+        headers.push_back(r.id);
+    stats::Table t(headers);
+
+    auto row = [&](const char *name, int ways, int sets, int line,
+                   auto stat_of) {
+        std::vector<std::string> cells = {
+            name, format("%d KB", ways * sets * line / 1024),
+            sets == 1 ? format("%dw x %dB", ways, line)
+                      : format("%dw x %ds x %dB", ways, sets, line)};
+        for (const auto &r : runs)
+            cells.push_back(format("%.1f%%", 100.0 * stat_of(r)));
+        t.addRow(cells);
+    };
+
+    row("Z&Stencil", config.zCache.ways, config.zCache.sets,
+        config.zCache.lineBytes,
+        [](const MicroRun &r) { return r.zCache.hitRate(); });
+    row("Texture L0", config.textureCache.l0Ways,
+        config.textureCache.l0Sets, config.textureCache.l0Line,
+        [](const MicroRun &r) { return r.texL0.hitRate(); });
+    row("Texture L1", config.textureCache.l1Ways,
+        config.textureCache.l1Sets, config.textureCache.l1Line,
+        [](const MicroRun &r) { return r.texL1.hitRate(); });
+    row("Color", config.colorCache.ways, config.colorCache.sets,
+        config.colorCache.lineBytes,
+        [](const MicroRun &r) { return r.colorCache.hitRate(); });
+    return t;
+}
+
+stats::Table
+tableMemoryBw(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "MB/frame", "%Read", "%Write",
+                    "BW@100fps"});
+    for (const auto &r : runs) {
+        double total = static_cast<double>(r.counters.traffic.total());
+        double reads =
+            static_cast<double>(r.counters.traffic.totalRead());
+        t.addRow({r.id, format("%.0f", r.bytesPerFrame() / 1e6),
+                  format("%.0f%%", total ? 100.0 * reads / total : 0.0),
+                  format("%.0f%%",
+                         total ? 100.0 * (total - reads) / total : 0.0),
+                  format("%.0f GB/s",
+                         r.bytesPerFrame() * 100.0 / 1e9)});
+    }
+    return t;
+}
+
+stats::Table
+tableTrafficDistribution(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "Vertex", "Z&Stencil", "Texture",
+                    "Color", "DAC", "CP"});
+    using memsys::Client;
+    for (const auto &r : runs) {
+        double total = static_cast<double>(r.counters.traffic.total());
+        auto share = [&](Client c) {
+            return format("%.1f%%",
+                          total ? 100.0 * clientBytes(r.counters, c) /
+                                      total
+                                : 0.0);
+        };
+        t.addRow({r.id, share(Client::Vertex), share(Client::ZStencil),
+                  share(Client::Texture), share(Client::Color),
+                  share(Client::Dac), share(Client::CommandProcessor)});
+    }
+    return t;
+}
+
+stats::Table
+tableBytesPerItem(const std::vector<MicroRun> &runs)
+{
+    stats::Table t({"Game/Timedemo", "Vertex", "Z&Stencil", "Shaded",
+                    "Color"});
+    using memsys::Client;
+    for (const auto &r : runs) {
+        const auto &c = r.counters;
+        auto per = [](double bytes, std::uint64_t n) {
+            return n ? bytes / static_cast<double>(n) : 0.0;
+        };
+        t.addRow({r.id,
+                  format("%.2f", per(clientBytes(c, Client::Vertex),
+                                     c.vertexCacheMisses)),
+                  format("%.2f", per(clientBytes(c, Client::ZStencil),
+                                     c.zStencilFragments)),
+                  format("%.2f", per(clientBytes(c, Client::Texture),
+                                     c.shadedFragments)),
+                  format("%.2f", per(clientBytes(c, Client::Color),
+                                     c.blendedFragments))});
+    }
+    return t;
+}
+
+std::string
+microFigureCsv(const MicroRun &run)
+{
+    return run.series.toCsv();
+}
+
+} // namespace wc3d::core

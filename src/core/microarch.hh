@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Microarchitectural characterization (paper Section III.B/C/D/E):
+ * builders for Tables VII-XI and XIII-XVII from full-pipeline runs of
+ * the simulated OpenGL workloads.
+ */
+
+#ifndef WC3D_CORE_MICROARCH_HH
+#define WC3D_CORE_MICROARCH_HH
+
+#include "core/runner.hh"
+#include "gpu/config.hh"
+#include "stats/table.hh"
+
+namespace wc3d::core {
+
+/** Table II: simulator configuration vs the R520 reference. */
+stats::Table tableConfig(const gpu::GpuConfig &config);
+
+/** Table VII: % clipped / culled / traversed triangles. */
+stats::Table tableClipCull(const std::vector<MicroRun> &runs);
+
+/** Table VIII: average triangle size (fragments) per stage. */
+stats::Table tableTriangleSize(const std::vector<MicroRun> &runs);
+
+/** Table IX: % of quads removed or processed at each stage. */
+stats::Table tableQuadRemoval(const std::vector<MicroRun> &runs);
+
+/** Table X: quad efficiency (% complete quads). */
+stats::Table tableQuadEfficiency(const std::vector<MicroRun> &runs);
+
+/** Table XI: average overdraw per pixel per stage. */
+stats::Table tableOverdraw(const std::vector<MicroRun> &runs);
+
+/** Table XIII: bilinear samples per request, ALU:bilinear ratio. */
+stats::Table tableBilinears(const std::vector<MicroRun> &runs);
+
+/** Table XIV: cache configuration and hit rates. */
+stats::Table tableCaches(const std::vector<MicroRun> &runs,
+                         const gpu::GpuConfig &config);
+
+/** Table XV: MB/frame, %read, %write, BW@100fps. */
+stats::Table tableMemoryBw(const std::vector<MicroRun> &runs);
+
+/** Table XVI: memory traffic share per pipeline stage. */
+stats::Table tableTrafficDistribution(const std::vector<MicroRun> &runs);
+
+/** Table XVII: bytes per vertex and per fragment per stage. */
+stats::Table tableBytesPerItem(const std::vector<MicroRun> &runs);
+
+/** Figure 5/6/7 series CSV for one run (vertex cache hit rate,
+ *  indices/assembled/traversed, per-frame triangle sizes). */
+std::string microFigureCsv(const MicroRun &run);
+
+} // namespace wc3d::core
+
+#endif // WC3D_CORE_MICROARCH_HH

@@ -1,0 +1,124 @@
+#include "core/report.hh"
+
+#include "common/strutil.hh"
+#include "core/apilevel.hh"
+#include "core/buses.hh"
+#include "core/microarch.hh"
+#include "gpu/perfmodel.hh"
+#include "workloads/games.hh"
+
+namespace wc3d::core {
+
+namespace {
+
+std::string
+section(const char *title, const stats::Table &table)
+{
+    return format("== %s ==\n", title) + table.toString() + "\n";
+}
+
+} // namespace
+
+std::string
+fullReport(const ReportOptions &options)
+{
+    int api_frames =
+        options.apiFrames > 0 ? options.apiFrames : defaultApiFrames();
+    int micro_frames = options.microFrames > 0 ? options.microFrames
+                                               : defaultMicroFrames();
+
+    std::string out;
+    out += section("Table I: workload description", tableWorkloads());
+    out += section("Table II: simulator configuration",
+                   tableConfig(gpu::GpuConfig{}));
+
+    auto api_runs = runAllGamesApi(api_frames);
+    out += section("Table III: index traffic",
+                   tableIndexTraffic(api_runs));
+    out += section("Table IV: vertex shader instructions",
+                   tableVertexShader(api_runs));
+    out += section("Table V: primitive utilization",
+                   tablePrimitives(api_runs));
+    out += section("Table VI: system bus bandwidths", tableBuses());
+    out += section("Table XII: fragment shader composition",
+                   tableFragmentShader(api_runs));
+
+    if (options.includeMicroarch) {
+        auto micro = runSimulatedGames(micro_frames);
+        out += section("Table VII: clipped/culled/traversed",
+                       tableClipCull(micro));
+        out += section("Table VIII: triangle size per stage",
+                       tableTriangleSize(micro));
+        out += section("Table IX: quad removal per stage",
+                       tableQuadRemoval(micro));
+        out += section("Table X: quad efficiency",
+                       tableQuadEfficiency(micro));
+        out += section("Table XI: overdraw per stage",
+                       tableOverdraw(micro));
+        out += section("Table XIII: bilinears per request",
+                       tableBilinears(micro));
+        out += section("Table XIV: cache hit rates",
+                       tableCaches(micro, gpu::GpuConfig{}));
+        out += section("Table XV: memory bandwidth",
+                       tableMemoryBw(micro));
+        out += section("Table XVI: traffic distribution",
+                       tableTrafficDistribution(micro));
+        out += section("Table XVII: bytes per vertex/fragment",
+                       tableBytesPerItem(micro));
+    }
+    return out;
+}
+
+std::string
+gameReport(const std::string &id, const ReportOptions &options)
+{
+    int api_frames =
+        options.apiFrames > 0 ? options.apiFrames : defaultApiFrames();
+    int micro_frames = options.microFrames > 0 ? options.microFrames
+                                               : defaultMicroFrames();
+
+    const auto &profile = workloads::gameProfile(id);
+    std::string out =
+        format("Characterization of %s (%s, %s engine)\n\n", id.c_str(),
+               api::graphicsApiName(profile.apiKind),
+               profile.engine.c_str());
+
+    std::vector<ApiRun> api_runs = {runApiLevel(id, api_frames)};
+    out += section("API: index traffic", tableIndexTraffic(api_runs));
+    out += section("API: vertex shader", tableVertexShader(api_runs));
+    out += section("API: primitives", tablePrimitives(api_runs));
+    out += section("API: fragment shader",
+                   tableFragmentShader(api_runs));
+
+    bool simulated = false;
+    for (const auto &sim_id : workloads::simulatedTimedemoIds())
+        simulated |= sim_id == id;
+    if (options.includeMicroarch && simulated) {
+        std::vector<MicroRun> micro = {
+            runMicroarch(id, micro_frames)};
+        out += section("uArch: clip/cull", tableClipCull(micro));
+        out += section("uArch: triangle size",
+                       tableTriangleSize(micro));
+        out += section("uArch: quad removal", tableQuadRemoval(micro));
+        out += section("uArch: quad efficiency",
+                       tableQuadEfficiency(micro));
+        out += section("uArch: overdraw", tableOverdraw(micro));
+        out += section("uArch: bilinears", tableBilinears(micro));
+        out += section("uArch: caches",
+                       tableCaches(micro, gpu::GpuConfig{}));
+        out += section("uArch: memory BW", tableMemoryBw(micro));
+        out += section("uArch: traffic distribution",
+                       tableTrafficDistribution(micro));
+        out += section("uArch: bytes per item",
+                       tableBytesPerItem(micro));
+        // Extension: throughput-bound cycle estimate from the Table II
+        // rates (the paper reports no timing; see gpu/perfmodel.hh).
+        gpu::PerfEstimate perf =
+            gpu::estimatePerf(micro[0].counters, gpu::GpuConfig{});
+        out += "== Extension: throughput-bound performance model ==\n";
+        out += gpu::describePerf(perf, micro[0].frames);
+    }
+    return out;
+}
+
+} // namespace wc3d::core

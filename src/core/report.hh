@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Whole-paper characterization report: runs the workloads and renders
+ * every reproduced table in order. Used by the timedemo_report example
+ * and handy for regenerating EXPERIMENTS.md data in one shot.
+ */
+
+#ifndef WC3D_CORE_REPORT_HH
+#define WC3D_CORE_REPORT_HH
+
+#include <string>
+
+namespace wc3d::core {
+
+/** Options for a full report. */
+struct ReportOptions
+{
+    int apiFrames = 0;   ///< 0: defaultApiFrames()
+    int microFrames = 0; ///< 0: defaultMicroFrames()
+    bool includeMicroarch = true;
+};
+
+/** Render the full characterization (all tables) as text. */
+std::string fullReport(const ReportOptions &options = ReportOptions{});
+
+/** Render the characterization of a single timedemo. */
+std::string gameReport(const std::string &id,
+                       const ReportOptions &options = ReportOptions{});
+
+} // namespace wc3d::core
+
+#endif // WC3D_CORE_REPORT_HH

@@ -1,0 +1,86 @@
+#include "fragment/blend.hh"
+
+#include <algorithm>
+
+namespace wc3d::frag {
+
+Vec4
+blendFactorValue(BlendFactor f, const Vec4 &src, const Vec4 &dst)
+{
+    switch (f) {
+      case BlendFactor::Zero:
+        return {0, 0, 0, 0};
+      case BlendFactor::One:
+        return {1, 1, 1, 1};
+      case BlendFactor::SrcColor:
+        return src;
+      case BlendFactor::InvSrcColor:
+        return {1 - src.x, 1 - src.y, 1 - src.z, 1 - src.w};
+      case BlendFactor::SrcAlpha:
+        return {src.w, src.w, src.w, src.w};
+      case BlendFactor::InvSrcAlpha:
+        return {1 - src.w, 1 - src.w, 1 - src.w, 1 - src.w};
+      case BlendFactor::DstColor:
+        return dst;
+      case BlendFactor::InvDstColor:
+        return {1 - dst.x, 1 - dst.y, 1 - dst.z, 1 - dst.w};
+      case BlendFactor::DstAlpha:
+        return {dst.w, dst.w, dst.w, dst.w};
+      case BlendFactor::InvDstAlpha:
+        return {1 - dst.w, 1 - dst.w, 1 - dst.w, 1 - dst.w};
+    }
+    return {0, 0, 0, 0};
+}
+
+Vec4
+blendColors(const BlendState &state, const Vec4 &src, const Vec4 &dst)
+{
+    Vec4 result;
+    if (!state.enabled) {
+        result = src;
+    } else {
+        Vec4 sf = blendFactorValue(state.srcFactor, src, dst);
+        Vec4 df = blendFactorValue(state.dstFactor, src, dst);
+        Vec4 s{src.x * sf.x, src.y * sf.y, src.z * sf.z, src.w * sf.w};
+        Vec4 d{dst.x * df.x, dst.y * df.y, dst.z * df.z, dst.w * df.w};
+        switch (state.op) {
+          case BlendOp::Add:
+            result = s + d;
+            break;
+          case BlendOp::Subtract:
+            result = s - d;
+            break;
+          case BlendOp::RevSubtract:
+            result = d - s;
+            break;
+          case BlendOp::Min:
+            result = {std::min(src.x, dst.x), std::min(src.y, dst.y),
+                      std::min(src.z, dst.z), std::min(src.w, dst.w)};
+            break;
+          case BlendOp::Max:
+            result = {std::max(src.x, dst.x), std::max(src.y, dst.y),
+                      std::max(src.z, dst.z), std::max(src.w, dst.w)};
+            break;
+        }
+    }
+    return {clampf(result.x, 0.0f, 1.0f), clampf(result.y, 0.0f, 1.0f),
+            clampf(result.z, 0.0f, 1.0f), clampf(result.w, 0.0f, 1.0f)};
+}
+
+std::uint32_t
+packColor(const Vec4 &c)
+{
+    Rgba8 p{floatToUnorm8(c.x), floatToUnorm8(c.y), floatToUnorm8(c.z),
+            floatToUnorm8(c.w)};
+    return p.packed();
+}
+
+Vec4
+unpackColor(std::uint32_t word)
+{
+    Rgba8 p = Rgba8::fromPacked(word);
+    return {unorm8ToFloat(p.r), unorm8ToFloat(p.g), unorm8ToFloat(p.b),
+            unorm8ToFloat(p.a)};
+}
+
+} // namespace wc3d::frag

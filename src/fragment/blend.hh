@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Colour blending and write mask. "Blending is always active in the
+ * color stage for the three simulated benchmarks"; Doom3/Quake4 draw
+ * stencil-shadow geometry "with the color write mask set to false"
+ * (paper Section III.C/D) — both states are modelled here.
+ */
+
+#ifndef WC3D_FRAGMENT_BLEND_HH
+#define WC3D_FRAGMENT_BLEND_HH
+
+#include <cstdint>
+
+#include "common/image.hh"
+#include "common/vecmath.hh"
+
+namespace wc3d::frag {
+
+/** Blend factors (OpenGL subset used by the workloads). */
+enum class BlendFactor : std::uint8_t
+{
+    Zero,
+    One,
+    SrcColor,
+    InvSrcColor,
+    SrcAlpha,
+    InvSrcAlpha,
+    DstColor,
+    InvDstColor,
+    DstAlpha,
+    InvDstAlpha,
+};
+
+/** Blend equations. */
+enum class BlendOp : std::uint8_t
+{
+    Add,
+    Subtract,    ///< src*sf - dst*df
+    RevSubtract, ///< dst*df - src*sf
+    Min,
+    Max,
+};
+
+/** Colour-stage render state. */
+struct BlendState
+{
+    bool enabled = false;
+    BlendFactor srcFactor = BlendFactor::One;
+    BlendFactor dstFactor = BlendFactor::Zero;
+    BlendOp op = BlendOp::Add;
+    bool colorWriteMask = true; ///< false: fragments never update colour
+};
+
+/** Evaluate a blend factor for (src, dst). */
+Vec4 blendFactorValue(BlendFactor f, const Vec4 &src, const Vec4 &dst);
+
+/** Blend @p src over @p dst under @p state (no clamping of inputs;
+ *  result is clamped to [0,1]). */
+Vec4 blendColors(const BlendState &state, const Vec4 &src,
+                 const Vec4 &dst);
+
+/** Convert a float colour to the packed RGBA8 framebuffer word. */
+std::uint32_t packColor(const Vec4 &c);
+
+/** Convert a packed RGBA8 framebuffer word to float colour. */
+Vec4 unpackColor(std::uint32_t word);
+
+} // namespace wc3d::frag
+
+#endif // WC3D_FRAGMENT_BLEND_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Colour raster operations: the final stage that applies the colour
+ * write mask and blending to a quad of shaded fragments. Tracks the
+ * quantities behind the paper's Table IX (quads removed by colour mask
+ * vs blended) and Table XI (blending overdraw).
+ */
+
+#ifndef WC3D_FRAGMENT_ROP_HH
+#define WC3D_FRAGMENT_ROP_HH
+
+#include "fragment/blend.hh"
+#include "fragment/framebuffer.hh"
+
+namespace wc3d::frag {
+
+/** Colour-stage statistics. */
+struct ColorStats
+{
+    std::uint64_t quadsIn = 0;
+    std::uint64_t quadsMasked = 0;  ///< removed by colour write mask
+    std::uint64_t quadsBlended = 0; ///< updated the colour buffer
+    std::uint64_t fragmentsBlended = 0;
+};
+
+/** The colour write/blend unit operating on a colour CachedSurface. */
+class ColorUnit
+{
+  public:
+    explicit ColorUnit(CachedSurface *surface) : _surface(surface) {}
+
+    /**
+     * Write a quad of shaded colours.
+     *
+     * @param state     blend state (including the colour write mask)
+     * @param x,y       quad top-left pixel
+     * @param colors    per-lane shaded colour
+     * @param live_mask lanes that survived all tests
+     * @return true when the colour buffer was updated
+     */
+    bool writeQuad(const BlendState &state, int x, int y,
+                   const Vec4 colors[4], std::uint8_t live_mask);
+
+    const ColorStats &stats() const { return _stats; }
+    void resetStats() { _stats = ColorStats(); }
+
+  private:
+    CachedSurface *_surface;
+    ColorStats _stats;
+};
+
+} // namespace wc3d::frag
+
+#endif // WC3D_FRAGMENT_ROP_HH

@@ -1,0 +1,68 @@
+#include "geom/assembly.hh"
+
+#include "common/log.hh"
+
+namespace wc3d::geom {
+
+const char *
+primitiveShortName(PrimitiveType t)
+{
+    switch (t) {
+      case PrimitiveType::TriangleList:
+        return "TL";
+      case PrimitiveType::TriangleStrip:
+        return "TS";
+      case PrimitiveType::TriangleFan:
+        return "TF";
+    }
+    return "?";
+}
+
+int
+trianglesForIndices(PrimitiveType t, int index_count)
+{
+    switch (t) {
+      case PrimitiveType::TriangleList:
+        return index_count / 3;
+      case PrimitiveType::TriangleStrip:
+      case PrimitiveType::TriangleFan:
+        return index_count >= 3 ? index_count - 2 : 0;
+    }
+    return 0;
+}
+
+void
+assembleTriangles(PrimitiveType type, int count,
+                  std::vector<AssembledTriangle> &out)
+{
+    switch (type) {
+      case PrimitiveType::TriangleList:
+        for (int i = 0; i + 2 < count; i += 3) {
+            out.push_back({{static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(i + 1),
+                            static_cast<std::uint32_t>(i + 2)}});
+        }
+        break;
+      case PrimitiveType::TriangleStrip:
+        for (int i = 0; i + 2 < count; ++i) {
+            if (i & 1) {
+                out.push_back({{static_cast<std::uint32_t>(i + 1),
+                                static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(i + 2)}});
+            } else {
+                out.push_back({{static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(i + 1),
+                                static_cast<std::uint32_t>(i + 2)}});
+            }
+        }
+        break;
+      case PrimitiveType::TriangleFan:
+        for (int i = 1; i + 1 < count; ++i) {
+            out.push_back({{0u, static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(i + 1)}});
+        }
+        break;
+    }
+}
+
+} // namespace wc3d::geom

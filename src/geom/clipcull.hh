@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Clipper and culling stage: tests assembled triangles against the view
+ * frustum and rejects back (or front) faces, "to avoid rasterization of
+ * non-visible triangle faces". Produces the paper's Table VII
+ * percentages (clipped / culled / traversed).
+ *
+ * Triangles fully outside any frustum plane are rejected as clipped;
+ * triangles straddling only the near plane are polygon-clipped against
+ * it (up to two output triangles) so rasterization never sees w <= 0;
+ * everything else rasterizes with scissoring, as edge-function
+ * rasterizers do in place of geometric side-plane clipping.
+ */
+
+#ifndef WC3D_GEOM_CLIPCULL_HH
+#define WC3D_GEOM_CLIPCULL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/types.hh"
+
+namespace wc3d::geom {
+
+/** What happened to a triangle in the clip/cull stage. */
+enum class TriangleFate : std::uint8_t
+{
+    Clipped,   ///< rejected: fully outside the view frustum
+    Culled,    ///< rejected: facing away (or zero area)
+    Traversed, ///< forwarded to rasterization
+};
+
+/** Face-culling configuration. */
+enum class CullMode : std::uint8_t
+{
+    None,
+    Back,
+    Front,
+};
+
+/** Statistics for Table VII / Figure 6. */
+struct ClipCullStats
+{
+    std::uint64_t input = 0;
+    std::uint64_t clipped = 0;
+    std::uint64_t culled = 0;
+    std::uint64_t traversed = 0;
+
+    double pctClipped() const
+    { return input ? 100.0 * clipped / input : 0.0; }
+    double pctCulled() const
+    { return input ? 100.0 * culled / input : 0.0; }
+    double pctTraversed() const
+    { return input ? 100.0 * traversed / input : 0.0; }
+};
+
+/** The clip + cull stage. */
+class ClipCull
+{
+  public:
+    /**
+     * Process one triangle.
+     *
+     * @param verts      the three transformed vertices
+     * @param cull_mode  face culling mode (counter-clockwise = front)
+     * @param out        on Traversed: 1 or 2 clip-space triangles whose
+     *                   vertices all have w > 0 near-plane-wise
+     * @return the triangle's fate (stats updated)
+     */
+    TriangleFate process(const TransformedVertex verts[3],
+                         CullMode cull_mode,
+                         std::vector<std::array<TransformedVertex, 3>> &out);
+
+    const ClipCullStats &stats() const { return _stats; }
+    void resetStats() { _stats = ClipCullStats(); }
+
+  private:
+    ClipCullStats _stats;
+};
+
+/**
+ * Signed area of the projected triangle in NDC (positive =
+ * counter-clockwise with y up). Exposed for tests.
+ */
+float projectedSignedArea(const Vec4 &a, const Vec4 &b, const Vec4 &c);
+
+} // namespace wc3d::geom
+
+#endif // WC3D_GEOM_CLIPCULL_HH

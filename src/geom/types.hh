@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared geometry-pipeline types: transformed vertices carrying clip
+ * position + varyings, primitive types, assembled triangles.
+ */
+
+#ifndef WC3D_GEOM_TYPES_HH
+#define WC3D_GEOM_TYPES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/vecmath.hh"
+
+namespace wc3d::geom {
+
+/** Interpolated attributes carried from vertex to fragment shading. */
+constexpr int kMaxVaryings = 8;
+
+/** Output of the vertex shader for one vertex. */
+struct TransformedVertex
+{
+    Vec4 clip;  ///< clip-space position
+    std::array<Vec4, kMaxVaryings> varyings{};
+};
+
+/** Primitive topologies used by the paper's workloads (Table V). */
+enum class PrimitiveType : std::uint8_t
+{
+    TriangleList,
+    TriangleStrip,
+    TriangleFan,
+};
+
+/** Human-readable topology name ("TL", "TS", "TF"). */
+const char *primitiveShortName(PrimitiveType t);
+
+/** Triangles produced by @p index_count indices under topology @p t. */
+int trianglesForIndices(PrimitiveType t, int index_count);
+
+/** One assembled triangle (positions into a transformed-vertex array). */
+struct AssembledTriangle
+{
+    std::uint32_t v[3];
+};
+
+} // namespace wc3d::geom
+
+#endif // WC3D_GEOM_TYPES_HH

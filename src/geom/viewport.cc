@@ -1,0 +1,37 @@
+#include "geom/viewport.hh"
+
+#include "common/log.hh"
+
+namespace wc3d::geom {
+
+ScreenVertex
+toScreen(const TransformedVertex &vert, const Viewport &vp)
+{
+    WC3D_ASSERT(vert.clip.w > 0.0f);
+    float inv_w = 1.0f / vert.clip.w;
+    float ndc_x = vert.clip.x * inv_w;
+    float ndc_y = vert.clip.y * inv_w;
+    float ndc_z = vert.clip.z * inv_w;
+
+    ScreenVertex out;
+    out.x = static_cast<float>(vp.x) +
+            (ndc_x + 1.0f) * 0.5f * static_cast<float>(vp.width);
+    out.y = static_cast<float>(vp.y) +
+            (1.0f - ndc_y) * 0.5f * static_cast<float>(vp.height);
+    out.z = clampf((ndc_z + 1.0f) * 0.5f, 0.0f, 1.0f);
+    out.invW = inv_w;
+    out.varyings = vert.varyings;
+    return out;
+}
+
+ScreenTriangle
+toScreenTriangle(const std::array<TransformedVertex, 3> &tri,
+                 const Viewport &vp)
+{
+    ScreenTriangle out;
+    for (int i = 0; i < 3; ++i)
+        out.v[i] = toScreen(tri[static_cast<std::size_t>(i)], vp);
+    return out;
+}
+
+} // namespace wc3d::geom

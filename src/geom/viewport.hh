@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Viewport transform: clip space -> window coordinates, producing the
+ * screen vertices consumed by triangle setup. Depth maps to [0,1];
+ * window y grows downward (raster convention).
+ */
+
+#ifndef WC3D_GEOM_VIEWPORT_HH
+#define WC3D_GEOM_VIEWPORT_HH
+
+#include <array>
+
+#include "geom/types.hh"
+
+namespace wc3d::geom {
+
+/** Destination rectangle of the render target. */
+struct Viewport
+{
+    int x = 0;
+    int y = 0;
+    int width = 0;
+    int height = 0;
+};
+
+/** A vertex in window coordinates, ready for triangle setup. */
+struct ScreenVertex
+{
+    float x = 0.0f;     ///< window x in pixels
+    float y = 0.0f;     ///< window y in pixels (down)
+    float z = 0.0f;     ///< depth in [0,1]
+    float invW = 0.0f;  ///< 1/clip.w for perspective-correct interpolation
+    std::array<Vec4, kMaxVaryings> varyings{};
+};
+
+/** A triangle in window coordinates. */
+struct ScreenTriangle
+{
+    ScreenVertex v[3];
+};
+
+/**
+ * Apply perspective divide and viewport mapping.
+ * @pre vert.clip.w > 0 (guaranteed after clipping).
+ */
+ScreenVertex toScreen(const TransformedVertex &vert, const Viewport &vp);
+
+/** Transform a whole clip-space triangle. */
+ScreenTriangle toScreenTriangle(
+    const std::array<TransformedVertex, 3> &tri, const Viewport &vp);
+
+} // namespace wc3d::geom
+
+#endif // WC3D_GEOM_VIEWPORT_HH

@@ -1,0 +1,47 @@
+#include "gpu/config.hh"
+
+#include "common/strutil.hh"
+
+namespace wc3d::gpu {
+
+std::string
+GpuConfig::describe() const
+{
+    std::string out;
+    out += format("Resolution:            %dx%d\n", width, height);
+    out += format("Unified shaders:       %d\n", unifiedShaders);
+    out += format("Triangle setup:        %d triangles/cycle\n",
+                  trianglesPerCycle);
+    out += format("Texture rate:          %d bilinears/cycle\n",
+                  bilinearsPerCycle);
+    out += format("Z/Stencil rate:        %d fragments/cycle\n",
+                  zOpsPerCycle);
+    out += format("Color rate:            %d fragments/cycle\n",
+                  colorOpsPerCycle);
+    out += format("Memory BW:             %d bytes/cycle\n",
+                  memBytesPerCycle);
+    out += format("Vertex cache:          %d entries (FIFO)\n",
+                  vertexCacheEntries);
+    out += format("Z&Stencil cache:       %d KB (%dw x %ds x %dB)\n",
+                  zCache.ways * zCache.sets * zCache.lineBytes / 1024,
+                  zCache.ways, zCache.sets, zCache.lineBytes);
+    out += format("Color cache:           %d KB (%dw x %ds x %dB)\n",
+                  colorCache.ways * colorCache.sets *
+                      colorCache.lineBytes / 1024,
+                  colorCache.ways, colorCache.sets, colorCache.lineBytes);
+    out += format("Texture cache L0:      %d KB (%dw x %ds x %dB)\n",
+                  textureCache.l0Ways * textureCache.l0Sets *
+                      textureCache.l0Line / 1024,
+                  textureCache.l0Ways, textureCache.l0Sets,
+                  textureCache.l0Line);
+    out += format("Texture cache L1:      %d KB (%dw x %ds x %dB)\n",
+                  textureCache.l1Ways * textureCache.l1Sets *
+                      textureCache.l1Line / 1024,
+                  textureCache.l1Ways, textureCache.l1Sets,
+                  textureCache.l1Line);
+    out += format("Hierarchical Z:        %s\n",
+                  hzEnabled ? "enabled" : "disabled");
+    return out;
+}
+
+} // namespace wc3d::gpu

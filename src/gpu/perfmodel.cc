@@ -1,0 +1,77 @@
+#include "gpu/perfmodel.hh"
+
+#include <algorithm>
+
+#include "common/strutil.hh"
+
+namespace wc3d::gpu {
+
+double
+PerfEstimate::boundCycles() const
+{
+    return std::max({setupCycles, shaderCycles, textureCycles,
+                     zStencilCycles, colorCycles, memoryCycles});
+}
+
+const char *
+PerfEstimate::bottleneck() const
+{
+    double bound = boundCycles();
+    if (bound == memoryCycles)
+        return "memory";
+    if (bound == textureCycles)
+        return "texture";
+    if (bound == shaderCycles)
+        return "shader";
+    if (bound == zStencilCycles)
+        return "z-stencil";
+    if (bound == colorCycles)
+        return "color";
+    return "setup";
+}
+
+PerfEstimate
+estimatePerf(const PipelineCounters &counters, const GpuConfig &config)
+{
+    PerfEstimate e;
+    e.setupCycles = static_cast<double>(counters.trianglesAssembled) /
+                    std::max(1, config.trianglesPerCycle);
+    // Unified shaders execute one instruction per lane per cycle.
+    e.shaderCycles =
+        static_cast<double>(counters.vertexInstructions +
+                            counters.fragmentInstructions) /
+        std::max(1, config.unifiedShaders);
+    e.textureCycles = static_cast<double>(counters.bilinearSamples) /
+                      std::max(1, config.bilinearsPerCycle);
+    e.zStencilCycles = static_cast<double>(counters.zStencilFragments) /
+                       std::max(1, config.zOpsPerCycle);
+    e.colorCycles = static_cast<double>(counters.blendedFragments) /
+                    std::max(1, config.colorOpsPerCycle);
+    e.memoryCycles = static_cast<double>(counters.traffic.total()) /
+                     std::max(1, config.memBytesPerCycle);
+    return e;
+}
+
+std::string
+describePerf(const PerfEstimate &estimate, int frames, double clock_ghz)
+{
+    double per_frame =
+        frames > 0 ? estimate.boundCycles() / frames : 0.0;
+    double fps = per_frame > 0.0 ? clock_ghz * 1e9 / per_frame : 0.0;
+    std::string out;
+    out += format("throughput-bound estimate (%d frames):\n", frames);
+    out += format("  setup     %12.0f cycles\n", estimate.setupCycles);
+    out += format("  shader    %12.0f cycles\n", estimate.shaderCycles);
+    out += format("  texture   %12.0f cycles\n", estimate.textureCycles);
+    out += format("  z-stencil %12.0f cycles\n",
+                  estimate.zStencilCycles);
+    out += format("  color     %12.0f cycles\n", estimate.colorCycles);
+    out += format("  memory    %12.0f cycles\n", estimate.memoryCycles);
+    out += format("  bottleneck: %s; ~%.1f Mcycles/frame "
+                  "(~%.0f fps at %.1f GHz)\n",
+                  estimate.bottleneck(), per_frame / 1e6, fps,
+                  clock_ghz);
+    return out;
+}
+
+} // namespace wc3d::gpu

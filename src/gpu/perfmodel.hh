@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Throughput-bound performance estimate. The paper reports no timing —
+ * its Table II parameters exist to justify that the *counts* are
+ * representative — but those same parameters induce a lower-bound cycle
+ * model: each stage needs (work / stage rate) cycles, and a frame can
+ * go no faster than its slowest stage. This extension turns the
+ * pipeline counters into a per-frame cycle estimate and identifies the
+ * bottleneck stage, which is useful for the "balance between texture
+ * and ALU" discussion in Section III.D.
+ */
+
+#ifndef WC3D_GPU_PERFMODEL_HH
+#define WC3D_GPU_PERFMODEL_HH
+
+#include <string>
+
+#include "gpu/config.hh"
+#include "gpu/pipeline.hh"
+
+namespace wc3d::gpu {
+
+/** Per-stage cycle costs of one run under a configuration. */
+struct PerfEstimate
+{
+    double setupCycles = 0.0;     ///< triangles / setup rate
+    double shaderCycles = 0.0;    ///< vertex+fragment instr / shaders
+    double textureCycles = 0.0;   ///< bilinears / texture rate
+    double zStencilCycles = 0.0;  ///< z ops / z rate
+    double colorCycles = 0.0;     ///< colour ops / colour rate
+    double memoryCycles = 0.0;    ///< bytes / bytes-per-cycle
+
+    /** Lower bound for the run: the slowest stage dominates. */
+    double boundCycles() const;
+
+    /** Name of the dominating stage. */
+    const char *bottleneck() const;
+};
+
+/**
+ * Estimate the cycle cost of @p counters (a whole run) under
+ * @p config.
+ */
+PerfEstimate estimatePerf(const PipelineCounters &counters,
+                          const GpuConfig &config);
+
+/** Render the estimate as a short human-readable summary. */
+std::string describePerf(const PerfEstimate &estimate, int frames,
+                         double clock_ghz = 0.6);
+
+} // namespace wc3d::gpu
+
+#endif // WC3D_GPU_PERFMODEL_HH

@@ -1,0 +1,227 @@
+#include "gpu/pipeline.hh"
+
+#include "common/log.hh"
+
+namespace wc3d::gpu {
+
+namespace {
+
+std::uint64_t
+sub(std::uint64_t a, std::uint64_t b)
+{
+    WC3D_ASSERT(a >= b);
+    return a - b;
+}
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+} // namespace
+
+PipelineCounters
+PipelineCounters::since(const PipelineCounters &earlier) const
+{
+    PipelineCounters d;
+    d.indices = sub(indices, earlier.indices);
+    d.vertexCacheHits = sub(vertexCacheHits, earlier.vertexCacheHits);
+    d.vertexCacheMisses = sub(vertexCacheMisses, earlier.vertexCacheMisses);
+    d.trianglesAssembled =
+        sub(trianglesAssembled, earlier.trianglesAssembled);
+    d.trianglesClipped = sub(trianglesClipped, earlier.trianglesClipped);
+    d.trianglesCulled = sub(trianglesCulled, earlier.trianglesCulled);
+    d.trianglesTraversed =
+        sub(trianglesTraversed, earlier.trianglesTraversed);
+    d.rasterQuads = sub(rasterQuads, earlier.rasterQuads);
+    d.rasterFullQuads = sub(rasterFullQuads, earlier.rasterFullQuads);
+    d.rasterFragments = sub(rasterFragments, earlier.rasterFragments);
+    d.quadsRemovedHz = sub(quadsRemovedHz, earlier.quadsRemovedHz);
+    d.quadsRemovedZStencil =
+        sub(quadsRemovedZStencil, earlier.quadsRemovedZStencil);
+    d.quadsRemovedAlpha = sub(quadsRemovedAlpha, earlier.quadsRemovedAlpha);
+    d.quadsRemovedColorMask =
+        sub(quadsRemovedColorMask, earlier.quadsRemovedColorMask);
+    d.quadsBlended = sub(quadsBlended, earlier.quadsBlended);
+    d.zStencilQuads = sub(zStencilQuads, earlier.zStencilQuads);
+    d.zStencilFullQuads = sub(zStencilFullQuads, earlier.zStencilFullQuads);
+    d.zStencilFragments = sub(zStencilFragments, earlier.zStencilFragments);
+    d.shadedQuads = sub(shadedQuads, earlier.shadedQuads);
+    d.shadedFragments = sub(shadedFragments, earlier.shadedFragments);
+    d.blendedFragments = sub(blendedFragments, earlier.blendedFragments);
+    d.vertexInstructions =
+        sub(vertexInstructions, earlier.vertexInstructions);
+    d.fragmentInstructions =
+        sub(fragmentInstructions, earlier.fragmentInstructions);
+    d.fragmentTexInstructions =
+        sub(fragmentTexInstructions, earlier.fragmentTexInstructions);
+    d.textureRequests = sub(textureRequests, earlier.textureRequests);
+    d.bilinearSamples = sub(bilinearSamples, earlier.bilinearSamples);
+    d.traffic = traffic.since(earlier.traffic);
+    return d;
+}
+
+void
+PipelineCounters::add(const PipelineCounters &o)
+{
+    indices += o.indices;
+    vertexCacheHits += o.vertexCacheHits;
+    vertexCacheMisses += o.vertexCacheMisses;
+    trianglesAssembled += o.trianglesAssembled;
+    trianglesClipped += o.trianglesClipped;
+    trianglesCulled += o.trianglesCulled;
+    trianglesTraversed += o.trianglesTraversed;
+    rasterQuads += o.rasterQuads;
+    rasterFullQuads += o.rasterFullQuads;
+    rasterFragments += o.rasterFragments;
+    quadsRemovedHz += o.quadsRemovedHz;
+    quadsRemovedZStencil += o.quadsRemovedZStencil;
+    quadsRemovedAlpha += o.quadsRemovedAlpha;
+    quadsRemovedColorMask += o.quadsRemovedColorMask;
+    quadsBlended += o.quadsBlended;
+    zStencilQuads += o.zStencilQuads;
+    zStencilFullQuads += o.zStencilFullQuads;
+    zStencilFragments += o.zStencilFragments;
+    shadedQuads += o.shadedQuads;
+    shadedFragments += o.shadedFragments;
+    blendedFragments += o.blendedFragments;
+    vertexInstructions += o.vertexInstructions;
+    fragmentInstructions += o.fragmentInstructions;
+    fragmentTexInstructions += o.fragmentTexInstructions;
+    textureRequests += o.textureRequests;
+    bilinearSamples += o.bilinearSamples;
+    for (int i = 0; i < memsys::kNumClients; ++i) {
+        traffic.readBytes[i] += o.traffic.readBytes[i];
+        traffic.writeBytes[i] += o.traffic.writeBytes[i];
+    }
+}
+
+double
+PipelineCounters::vertexCacheHitRate() const
+{
+    return ratio(vertexCacheHits, vertexCacheHits + vertexCacheMisses);
+}
+
+double
+PipelineCounters::pctClipped() const
+{
+    return 100.0 * ratio(trianglesClipped, trianglesAssembled);
+}
+
+double
+PipelineCounters::pctCulled() const
+{
+    return 100.0 * ratio(trianglesCulled, trianglesAssembled);
+}
+
+double
+PipelineCounters::pctTraversed() const
+{
+    return 100.0 * ratio(trianglesTraversed, trianglesAssembled);
+}
+
+double
+PipelineCounters::avgTriangleSizeRaster() const
+{
+    return ratio(rasterFragments, trianglesTraversed);
+}
+
+double
+PipelineCounters::avgTriangleSizeZStencil() const
+{
+    return ratio(zStencilFragments, trianglesTraversed);
+}
+
+double
+PipelineCounters::avgTriangleSizeShaded() const
+{
+    return ratio(shadedFragments, trianglesTraversed);
+}
+
+double
+PipelineCounters::avgTriangleSizeBlended() const
+{
+    return ratio(blendedFragments, trianglesTraversed);
+}
+
+double
+PipelineCounters::rasterQuadEfficiency() const
+{
+    return ratio(rasterFullQuads, rasterQuads);
+}
+
+double
+PipelineCounters::zStencilQuadEfficiency() const
+{
+    return ratio(zStencilFullQuads, zStencilQuads);
+}
+
+double
+PipelineCounters::overdrawRaster(std::uint64_t pixels) const
+{
+    return ratio(rasterFragments, pixels);
+}
+
+double
+PipelineCounters::overdrawZStencil(std::uint64_t pixels) const
+{
+    return ratio(zStencilFragments, pixels);
+}
+
+double
+PipelineCounters::overdrawShaded(std::uint64_t pixels) const
+{
+    return ratio(shadedFragments, pixels);
+}
+
+double
+PipelineCounters::overdrawBlended(std::uint64_t pixels) const
+{
+    return ratio(blendedFragments, pixels);
+}
+
+double
+PipelineCounters::pctQuadsRemovedHz() const
+{
+    return 100.0 * ratio(quadsRemovedHz, rasterQuads);
+}
+
+double
+PipelineCounters::pctQuadsRemovedZStencil() const
+{
+    return 100.0 * ratio(quadsRemovedZStencil, rasterQuads);
+}
+
+double
+PipelineCounters::pctQuadsRemovedAlpha() const
+{
+    return 100.0 * ratio(quadsRemovedAlpha, rasterQuads);
+}
+
+double
+PipelineCounters::pctQuadsRemovedColorMask() const
+{
+    return 100.0 * ratio(quadsRemovedColorMask, rasterQuads);
+}
+
+double
+PipelineCounters::pctQuadsBlended() const
+{
+    return 100.0 * ratio(quadsBlended, rasterQuads);
+}
+
+double
+PipelineCounters::bilinearsPerRequest() const
+{
+    return ratio(bilinearSamples, textureRequests);
+}
+
+double
+PipelineCounters::aluPerBilinear() const
+{
+    return ratio(fragmentInstructions - fragmentTexInstructions,
+                 bilinearSamples);
+}
+
+} // namespace wc3d::gpu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Pipeline-level counters aggregated by the simulator. These are the
+ * microarchitectural quantities behind the paper's Tables VII-XI and
+ * XIII-XVII and Figures 5-7: where fragments/quads are produced,
+ * removed and consumed, per whole run and per frame.
+ */
+
+#ifndef WC3D_GPU_PIPELINE_HH
+#define WC3D_GPU_PIPELINE_HH
+
+#include <cstdint>
+
+#include "memory/controller.hh"
+
+namespace wc3d::gpu {
+
+/** Counters for one run (or one frame when used as a delta). */
+struct PipelineCounters
+{
+    /** @name Geometry */
+    /// @{
+    std::uint64_t indices = 0;
+    std::uint64_t vertexCacheHits = 0;
+    std::uint64_t vertexCacheMisses = 0; ///< == vertices shaded
+    std::uint64_t trianglesAssembled = 0;
+    std::uint64_t trianglesClipped = 0;
+    std::uint64_t trianglesCulled = 0;
+    std::uint64_t trianglesTraversed = 0;
+    /// @}
+
+    /** @name Rasterization */
+    /// @{
+    std::uint64_t rasterQuads = 0;
+    std::uint64_t rasterFullQuads = 0;
+    std::uint64_t rasterFragments = 0;
+    /// @}
+
+    /** @name Quad removal accounting (paper Table IX): every rasterized
+     *  quad is removed at exactly one stage or reaches blending. */
+    /// @{
+    std::uint64_t quadsRemovedHz = 0;
+    std::uint64_t quadsRemovedZStencil = 0;
+    std::uint64_t quadsRemovedAlpha = 0;     ///< all lanes KILled
+    std::uint64_t quadsRemovedColorMask = 0;
+    std::uint64_t quadsBlended = 0;
+    /// @}
+
+    /** @name Fragment flow per stage (Tables VIII and XI) */
+    /// @{
+    std::uint64_t zStencilQuads = 0;     ///< quads processed by z&st
+    std::uint64_t zStencilFullQuads = 0;
+    std::uint64_t zStencilFragments = 0; ///< incl. bypass when disabled
+    std::uint64_t shadedQuads = 0;
+    std::uint64_t shadedFragments = 0;
+    std::uint64_t blendedFragments = 0;
+    /// @}
+
+    /** @name Shader execution */
+    /// @{
+    std::uint64_t vertexInstructions = 0;
+    std::uint64_t fragmentInstructions = 0;
+    std::uint64_t fragmentTexInstructions = 0;
+    /// @}
+
+    /** @name Texturing (Table XIII) */
+    /// @{
+    std::uint64_t textureRequests = 0;
+    std::uint64_t bilinearSamples = 0;
+    /// @}
+
+    /** Memory traffic over the same period. */
+    memsys::TrafficSnapshot traffic;
+
+    /** Component-wise difference (this - earlier). */
+    PipelineCounters since(const PipelineCounters &earlier) const;
+
+    /** Component-wise accumulate. */
+    void add(const PipelineCounters &o);
+
+    /** @name Derived metrics */
+    /// @{
+    double vertexCacheHitRate() const;
+    double pctClipped() const;
+    double pctCulled() const;
+    double pctTraversed() const;
+    double avgTriangleSizeRaster() const;
+    double avgTriangleSizeZStencil() const;
+    double avgTriangleSizeShaded() const;
+    double avgTriangleSizeBlended() const;
+    double rasterQuadEfficiency() const;
+    double zStencilQuadEfficiency() const;
+    double overdrawRaster(std::uint64_t pixels) const;
+    double overdrawZStencil(std::uint64_t pixels) const;
+    double overdrawShaded(std::uint64_t pixels) const;
+    double overdrawBlended(std::uint64_t pixels) const;
+    double pctQuadsRemovedHz() const;
+    double pctQuadsRemovedZStencil() const;
+    double pctQuadsRemovedAlpha() const;
+    double pctQuadsRemovedColorMask() const;
+    double pctQuadsBlended() const;
+    double bilinearsPerRequest() const;
+    double aluPerBilinear() const;
+    /// @}
+};
+
+} // namespace wc3d::gpu
+
+#endif // WC3D_GPU_PIPELINE_HH

@@ -1,0 +1,519 @@
+#include "gpu/simulator.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+#include "geom/assembly.hh"
+#include "geom/viewport.hh"
+
+namespace wc3d::gpu {
+
+namespace {
+
+/** Bitmask of fragment-program input registers actually read. */
+std::uint32_t
+inputReadMask(const shader::Program &program)
+{
+    std::uint32_t mask = 0;
+    for (const auto &instr : program.code()) {
+        int nsrc = shader::opcodeInfo(instr.op).numSrcs;
+        for (int s = 0; s < nsrc; ++s) {
+            if (instr.src[s].file == shader::RegFile::Input)
+                mask |= 1u << instr.src[s].index;
+        }
+    }
+    return mask;
+}
+
+/** May HZ cull quads under this depth/stencil state? */
+bool
+hzUsable(const frag::DepthStencilState &ds)
+{
+    if (!ds.depthTest)
+        return false;
+    // A quad whose min depth exceeds the tile max fails Less/LEqual/
+    // Equal for every pixel; other functions cannot be culled by a
+    // max-depth hierarchy.
+    bool func_ok = ds.depthFunc == frag::CompareFunc::Less ||
+                   ds.depthFunc == frag::CompareFunc::LEqual ||
+                   ds.depthFunc == frag::CompareFunc::Equal;
+    if (!func_ok)
+        return false;
+    // Stencil side effects on depth-fail (shadow volumes) must still
+    // execute, so HZ has to be bypassed ("it may be disabled for some
+    // z and stencil modes").
+    if (ds.stencilTest) {
+        for (const frag::StencilFace *face : {&ds.front, &ds.back}) {
+            if (face->sfail != frag::StencilOp::Keep ||
+                face->zfail != frag::StencilOp::Keep) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+struct GpuSimulator::QuadContextInfo
+{
+    const api::DrawCall *call = nullptr;
+    const raster::TriangleSetup *setup = nullptr;
+    bool backFace = false;
+    bool earlyZ = true;
+    bool hzOk = true;
+    bool zsEnabled = true;      ///< depth or stencil test enabled
+    bool colorMaskOff = false;
+    bool usesKill = false;
+    std::uint32_t fpInputMask = 0;
+};
+
+GpuSimulator::GpuSimulator(const GpuConfig &config)
+    : _config(config),
+      _depth(frag::SurfaceKind::DepthStencil, memsys::Client::ZStencil,
+             config.width, config.height, config.zCache, &_memory),
+      _color(frag::SurfaceKind::Color, memsys::Client::Color, config.width,
+             config.height, config.colorCache, &_memory),
+      _hz(config.width, config.height),
+      _rasterizer(config.width, config.height),
+      _vertexCache(config.vertexCacheEntries),
+      _vertexCacheData(static_cast<std::size_t>(config.vertexCacheEntries)),
+      _texUnit(config.textureCache, &_memory),
+      _zUnit(&_depth),
+      _colorUnit(&_color)
+{
+    _depth.fastClear(frag::packDepthStencil(1.0f, 0));
+    _color.fastClear(0xff000000u);
+}
+
+void
+GpuSimulator::vertexBufferCreated(std::uint32_t,
+                                  const api::VertexBufferData &data)
+{
+    // Startup upload: the CP moves vertex data into GPU local memory
+    // ("the vertex geometry data is sent at startup time to the GPU and
+    // stored in its local memory").
+    _memory.write(memsys::Client::CommandProcessor, data.totalBytes());
+}
+
+void
+GpuSimulator::indexBufferCreated(std::uint32_t,
+                                 const api::IndexBufferData &data)
+{
+    _memory.write(memsys::Client::CommandProcessor, data.totalBytes());
+}
+
+void
+GpuSimulator::textureCreated(std::uint32_t, tex::Texture2D &texture)
+{
+    texture.bindMemory(_memory);
+    _memory.write(memsys::Client::CommandProcessor,
+                  texture.storageBytes());
+}
+
+void
+GpuSimulator::programCreated(std::uint32_t, const shader::Program &)
+{
+    _memory.write(memsys::Client::CommandProcessor,
+                  static_cast<std::uint64_t>(_config.commandBytes));
+}
+
+void
+GpuSimulator::clear(const api::ClearCmd &cmd)
+{
+    _memory.read(memsys::Client::CommandProcessor,
+                 static_cast<std::uint64_t>(_config.commandBytes));
+    if (cmd.color)
+        _color.fastClear(cmd.colorValue);
+    if (cmd.depth && cmd.stencil) {
+        _depth.fastClear(
+            frag::packDepthStencil(cmd.depthValue, cmd.stencilValue));
+        _hz.clear(cmd.depthValue);
+    } else if (cmd.stencil) {
+        // Stencil-only fast clear (hierarchical-stencil style): update
+        // the stencil field in place, keep depth intact, no traffic.
+        for (int y = 0; y < _depth.height(); ++y) {
+            for (int x = 0; x < _depth.width(); ++x) {
+                std::uint32_t w = _depth.word(x, y);
+                _depth.setWord(x, y, (w & ~0xffu) | cmd.stencilValue);
+            }
+        }
+    } else if (cmd.depth) {
+        for (int y = 0; y < _depth.height(); ++y) {
+            for (int x = 0; x < _depth.width(); ++x) {
+                std::uint32_t w = _depth.word(x, y);
+                _depth.setWord(
+                    x, y,
+                    (frag::packDepthStencil(cmd.depthValue, 0) & ~0xffu) |
+                        (w & 0xffu));
+            }
+        }
+        _hz.clear(cmd.depthValue);
+    }
+}
+
+void
+GpuSimulator::draw(const api::DrawCall &call)
+{
+    WC3D_ASSERT(call.vertices && call.indexData && call.vertexProgram &&
+                call.fragmentProgram);
+
+    int bytes_per_index = api::indexTypeBytes(call.indexData->type);
+
+    // Command processor: parse the draw and stream the (dynamic) index
+    // data into GPU memory; the vertex loader will read it back.
+    _memory.read(memsys::Client::CommandProcessor,
+                 static_cast<std::uint64_t>(_config.commandBytes));
+    _memory.write(memsys::Client::CommandProcessor,
+                  static_cast<std::uint64_t>(call.indexCount) *
+                      bytes_per_index);
+
+    // --- Vertex stage -----------------------------------------------
+    _vertexCache.invalidate(); // indices are batch-relative
+    _stream.resize(call.indexCount);
+
+    const auto &vertices = call.vertices->vertices;
+    int stride = call.vertices->strideBytes();
+    const shader::Program &vp = *call.vertexProgram;
+
+    for (std::uint32_t i = 0; i < call.indexCount; ++i) {
+        std::uint32_t index =
+            call.indexData->indices[call.firstIndex + i];
+        _memory.read(memsys::Client::Vertex,
+                     static_cast<std::uint64_t>(bytes_per_index));
+        int slot = _vertexCache.lookup(index);
+        if (slot >= 0) {
+            ++_counters.vertexCacheHits;
+            _stream[i] = _vertexCacheData[static_cast<std::size_t>(slot)];
+            continue;
+        }
+        ++_counters.vertexCacheMisses;
+        if (index >= vertices.size()) {
+            warn("gpu: index %u out of range, clamping", index);
+            index = static_cast<std::uint32_t>(vertices.size() - 1);
+        }
+        _memory.read(memsys::Client::Vertex,
+                     static_cast<std::uint64_t>(stride));
+        const api::VertexData &v = vertices[index];
+
+        shader::LaneState lane;
+        lane.inputs[0] = Vec4(v.position, 1.0f);
+        lane.inputs[1] = Vec4(v.normal, 0.0f);
+        lane.inputs[2] = {v.uv.x, v.uv.y, 0.0f, 1.0f};
+        lane.inputs[3] = v.color;
+        _interp.run(vp, lane);
+        _counters.vertexInstructions +=
+            static_cast<std::uint64_t>(vp.instructionCount());
+
+        geom::TransformedVertex tv;
+        tv.clip = lane.outputs[0];
+        for (int k = 0; k + 1 < shader::kMaxOutputs; ++k)
+            tv.varyings[static_cast<std::size_t>(k)] =
+                lane.outputs[k + 1];
+        slot = _vertexCache.insert(index);
+        _vertexCacheData[static_cast<std::size_t>(slot)] = tv;
+        _stream[i] = tv;
+    }
+    _counters.indices += call.indexCount;
+
+    // --- Primitive assembly + clip/cull + traversal -----------------
+    _assembled.clear();
+    geom::assembleTriangles(call.topology,
+                            static_cast<int>(call.indexCount), _assembled);
+    _counters.trianglesAssembled += _assembled.size();
+
+    QuadContextInfo info;
+    info.call = &call;
+    info.usesKill = call.fragmentProgram->usesKill();
+    info.earlyZ = !info.usesKill;
+    const auto &ds = call.state.depthStencil;
+    info.zsEnabled = ds.depthTest || ds.stencilTest;
+    info.hzOk = _config.hzEnabled && hzUsable(ds);
+    info.colorMaskOff = !call.state.blend.colorWriteMask;
+    info.fpInputMask = inputReadMask(*call.fragmentProgram);
+
+    // Bind this draw's textures into the texture unit.
+    for (int u = 0; u < shader::kMaxSamplers; ++u) {
+        if (call.textures[u]) {
+            _texUnit.bind(u, call.textures[u], call.state.samplers[u]);
+        } else {
+            _texUnit.unbind(u);
+        }
+    }
+
+    geom::Viewport vp_rect{0, 0, _config.width, _config.height};
+
+    for (const geom::AssembledTriangle &tri : _assembled) {
+        geom::TransformedVertex verts[3] = {_stream[tri.v[0]],
+                                            _stream[tri.v[1]],
+                                            _stream[tri.v[2]]};
+        _clippedTris.clear();
+        geom::TriangleFate fate =
+            _clipCull.process(verts, call.state.cullMode, _clippedTris);
+        switch (fate) {
+          case geom::TriangleFate::Clipped:
+            ++_counters.trianglesClipped;
+            continue;
+          case geom::TriangleFate::Culled:
+            ++_counters.trianglesCulled;
+            continue;
+          case geom::TriangleFate::Traversed:
+            ++_counters.trianglesTraversed;
+            break;
+        }
+
+        for (const auto &clip_tri : _clippedTris) {
+            // Facing decides the two-sided stencil face (NDC y-up,
+            // counter-clockwise = front).
+            float area = geom::projectedSignedArea(
+                clip_tri[0].clip, clip_tri[1].clip, clip_tri[2].clip);
+            info.backFace = area < 0.0f;
+
+            geom::ScreenTriangle screen =
+                geom::toScreenTriangle(clip_tri, vp_rect);
+            raster::TriangleSetup setup = raster::setupTriangle(
+                screen, _config.width, _config.height);
+            if (!setup.valid)
+                continue;
+            info.setup = &setup;
+            _rasterizer.rasterize(
+                setup, [this, &info](const raster::RasterQuad &quad) {
+                    shadeAndResolveQuad(quad, *info.setup, info);
+                });
+        }
+    }
+}
+
+void
+GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
+                                  const raster::TriangleSetup &setup,
+                                  const QuadContextInfo &info)
+{
+    const api::DrawCall &call = *info.call;
+    const auto &ds = call.state.depthStencil;
+
+    ++_counters.rasterQuads;
+    if (quad.full())
+        ++_counters.rasterFullQuads;
+    _counters.rasterFragments +=
+        static_cast<std::uint64_t>(quad.coveredCount());
+
+    std::uint8_t live = quad.coverage;
+
+    // --- Hierarchical Z ---------------------------------------------
+    bool hz_accepted = false;
+    if (info.hzOk) {
+        float zmin = 1.0f;
+        float zmax = 0.0f;
+        for (int l = 0; l < 4; ++l) {
+            if (quad.covered(l)) {
+                zmin = std::min(zmin, quad.z[l]);
+                zmax = std::max(zmax, quad.z[l]);
+            }
+        }
+        // Min/max HZ (extension): early-accept is only sound for plain
+        // Less/LEqual depth states with no stencil side effects and an
+        // early-z pipeline order.
+        bool accept_ok =
+            _config.hzMinMax && info.earlyZ && !ds.stencilTest &&
+            (ds.depthFunc == frag::CompareFunc::Less ||
+             ds.depthFunc == frag::CompareFunc::LEqual);
+        if (accept_ok) {
+            switch (_hz.testQuadRange(quad.x, quad.y, zmin, zmax)) {
+              case raster::HzResult::Culled:
+                ++_counters.quadsRemovedHz;
+                return;
+              case raster::HzResult::Accepted:
+                hz_accepted = true;
+                break;
+              case raster::HzResult::Ambiguous:
+                break;
+            }
+        } else if (!_hz.testQuad(quad.x, quad.y, zmin)) {
+            ++_counters.quadsRemovedHz;
+            return;
+        }
+    }
+
+    bool z_applied = false;
+    bool depth_writes = ds.depthTest && ds.depthWrite;
+
+    auto run_zstencil = [&](std::uint8_t &mask) -> bool {
+        ++_counters.zStencilQuads;
+        if (mask == 0xf)
+            ++_counters.zStencilFullQuads;
+        _counters.zStencilFragments +=
+            static_cast<std::uint64_t>(std::popcount(mask));
+        if (!info.zsEnabled)
+            return true; // bypass: fragments flow through untested
+        float quad_z_min = 1.0f;
+        float quad_z_max = 0.0f;
+        bool any;
+        if (hz_accepted) {
+            auto range =
+                _zUnit.acceptQuad(ds, quad.x, quad.y, quad.z, mask);
+            quad_z_min = range.first;
+            quad_z_max = range.second;
+            any = mask != 0;
+        } else {
+            any = _zUnit.testQuadEx(ds, info.backFace, quad.x, quad.y,
+                                    quad.z, mask, quad_z_min,
+                                    quad_z_max);
+        }
+        if (depth_writes && _config.hzEnabled) {
+            if (_config.hzMinMax) {
+                _hz.updateQuadRange(quad.x, quad.y, quad_z_min,
+                                    quad_z_max);
+            } else {
+                _hz.updateQuad(quad.x, quad.y, quad_z_max);
+            }
+        }
+        return any;
+    };
+
+    // --- Early z & stencil ------------------------------------------
+    if (info.earlyZ) {
+        z_applied = true;
+        if (!run_zstencil(live)) {
+            ++_counters.quadsRemovedZStencil;
+            return;
+        }
+    }
+
+    // --- Colour-mask shortcut ----------------------------------------
+    // Quads whose colour writes are masked and whose shader has no side
+    // effects skip shading entirely and are dropped at the colour stage
+    // (the Doom3/Quake4 stencil-volume flow: high z overdraw, low
+    // shading overdraw, large "Color Mask" removal share).
+    if (info.colorMaskOff && !info.usesKill) {
+        Vec4 dummy[4] = {};
+        _colorUnit.writeQuad(call.state.blend, quad.x, quad.y, dummy,
+                             live);
+        ++_counters.quadsRemovedColorMask;
+        return;
+    }
+
+    // --- Fragment shading --------------------------------------------
+    ++_counters.shadedQuads;
+    _counters.shadedFragments +=
+        static_cast<std::uint64_t>(std::popcount(live));
+
+    shader::QuadState qs;
+    for (int l = 0; l < 4; ++l) {
+        qs.covered[l] = (live >> l) & 1;
+        std::uint32_t mask = info.fpInputMask;
+        while (mask) {
+            int slot = std::countr_zero(mask);
+            mask &= mask - 1;
+            if (slot < geom::kMaxVaryings) {
+                qs.lanes[l].inputs[slot] =
+                    setup.interpolateVarying(quad.lambda[l], slot);
+            }
+        }
+    }
+
+    auto interp_before = _interp.stats();
+    auto sampler_before = _texUnit.sampler().stats();
+    _interp.runQuad(*call.fragmentProgram, qs, &_texUnit);
+    auto interp_after = _interp.stats();
+    auto sampler_after = _texUnit.sampler().stats();
+
+    _counters.fragmentInstructions +=
+        interp_after.instructionsExecuted - interp_before.instructionsExecuted;
+    _counters.fragmentTexInstructions +=
+        interp_after.textureInstructions - interp_before.textureInstructions;
+    _counters.textureRequests +=
+        sampler_after.requests - sampler_before.requests;
+    _counters.bilinearSamples +=
+        sampler_after.bilinearSamples - sampler_before.bilinearSamples;
+
+    // --- Alpha test (shader KIL, as in ATTILA) -----------------------
+    for (int l = 0; l < 4; ++l) {
+        if (qs.lanes[l].killed)
+            live &= static_cast<std::uint8_t>(~(1u << l));
+    }
+    if (live == 0) {
+        ++_counters.quadsRemovedAlpha;
+        return;
+    }
+
+    // --- Late z & stencil --------------------------------------------
+    if (!z_applied) {
+        if (!run_zstencil(live)) {
+            ++_counters.quadsRemovedZStencil;
+            return;
+        }
+    }
+
+    // --- Colour write / blend ----------------------------------------
+    Vec4 colors[4];
+    for (int l = 0; l < 4; ++l)
+        colors[l] = qs.lanes[l].outputs[0];
+    bool updated = _colorUnit.writeQuad(call.state.blend, quad.x, quad.y,
+                                        colors, live);
+    if (updated) {
+        ++_counters.quadsBlended;
+        _counters.blendedFragments +=
+            static_cast<std::uint64_t>(std::popcount(live));
+    } else {
+        ++_counters.quadsRemovedColorMask;
+    }
+}
+
+void
+GpuSimulator::endFrame()
+{
+    // Write back dirty framebuffer lines and scan the frame out.
+    _depth.flushDirty();
+    _color.flushDirty();
+    _color.chargeFullReadback(memsys::Client::Dac);
+    recordFrame();
+    ++_frames;
+}
+
+PipelineCounters
+GpuSimulator::counters() const
+{
+    PipelineCounters c = _counters;
+    c.traffic = _memory.traffic();
+    return c;
+}
+
+void
+GpuSimulator::recordFrame()
+{
+    PipelineCounters now = counters();
+    PipelineCounters f = now.since(_frameStart);
+    _frameStart = now;
+
+    _series.record("vcache_hit_rate", f.vertexCacheHitRate());
+    _series.record("indices", static_cast<double>(f.indices));
+    _series.record("assembled", static_cast<double>(f.trianglesAssembled));
+    _series.record("traversed", static_cast<double>(f.trianglesTraversed));
+    _series.record("tri_size_raster", f.avgTriangleSizeRaster());
+    _series.record("tri_size_zst", f.avgTriangleSizeZStencil());
+    _series.record("tri_size_shaded", f.avgTriangleSizeShaded());
+    _series.record("frags_raster", static_cast<double>(f.rasterFragments));
+    _series.record("frags_shaded", static_cast<double>(f.shadedFragments));
+    _series.record("mem_bytes", static_cast<double>(f.traffic.total()));
+    _series.record("mem_read_bytes",
+                   static_cast<double>(f.traffic.totalRead()));
+    _series.record("mem_write_bytes",
+                   static_cast<double>(f.traffic.totalWrite()));
+    _series.endFrame();
+}
+
+float
+GpuSimulator::depthAt(int x, int y) const
+{
+    return frag::unpackDepth(_depth.word(x, y));
+}
+
+std::uint8_t
+GpuSimulator::stencilAt(int x, int y) const
+{
+    return frag::unpackStencil(_depth.word(x, y));
+}
+
+} // namespace wc3d::gpu

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The GPU simulator: a functional, event-exact model of the ATTILA-style
+ * rendering pipeline the paper measures. It implements api::DrawSink, so
+ * a Device (driven live by a workload generator or by a trace player)
+ * renders through the full pipeline:
+ *
+ *   vertex fetch -> post-transform vertex cache -> vertex shading ->
+ *   primitive assembly -> clip/cull -> viewport -> tiled recursive
+ *   rasterization -> Hierarchical Z -> early/late z & stencil ->
+ *   fragment shading (+ texturing through the two-level cache) ->
+ *   alpha (KIL) -> colour mask -> blending -> cached/compressed
+ *   framebuffer -> DAC scanout
+ *
+ * All paper metrics are counts and byte totals, none are cycle timings,
+ * so a functional model executing the real algorithms yields the same
+ * statistics a cycle-accurate simulator would (see DESIGN.md).
+ */
+
+#ifndef WC3D_GPU_SIMULATOR_HH
+#define WC3D_GPU_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "api/device.hh"
+#include "fragment/rop.hh"
+#include "fragment/zstencil.hh"
+#include "geom/vertexcache.hh"
+#include "gpu/config.hh"
+#include "gpu/pipeline.hh"
+#include "raster/hz.hh"
+#include "raster/rasterizer.hh"
+#include "shader/interp.hh"
+#include "stats/series.hh"
+
+namespace wc3d::gpu {
+
+/** The simulated GPU. */
+class GpuSimulator : public api::DrawSink
+{
+  public:
+    explicit GpuSimulator(const GpuConfig &config = GpuConfig{});
+
+    GpuSimulator(const GpuSimulator &) = delete;
+    GpuSimulator &operator=(const GpuSimulator &) = delete;
+
+    /** @name api::DrawSink interface */
+    /// @{
+    void vertexBufferCreated(std::uint32_t id,
+                             const api::VertexBufferData &data) override;
+    void indexBufferCreated(std::uint32_t id,
+                            const api::IndexBufferData &data) override;
+    void textureCreated(std::uint32_t id, tex::Texture2D &texture) override;
+    void programCreated(std::uint32_t id,
+                        const shader::Program &program) override;
+    void clear(const api::ClearCmd &cmd) override;
+    void draw(const api::DrawCall &call) override;
+    void endFrame() override;
+    /// @}
+
+    const GpuConfig &config() const { return _config; }
+
+    /** Frames completed so far. */
+    int frames() const { return _frames; }
+
+    /** Running whole-run counters (memory traffic included). */
+    PipelineCounters counters() const;
+
+    /** Per-frame series recorded at each endFrame(). */
+    const stats::FrameSeries &frameSeries() const { return _series; }
+
+    /** @name Cache statistics (paper Table XIV) */
+    /// @{
+    const memsys::CacheStats &zCacheStats() const
+    { return _depth.cacheStats(); }
+    const memsys::CacheStats &colorCacheStats() const
+    { return _color.cacheStats(); }
+    const memsys::CacheStats &texL0Stats() const
+    { return _texUnit.cache().l0Stats(); }
+    const memsys::CacheStats &texL1Stats() const
+    { return _texUnit.cache().l1Stats(); }
+    /// @}
+
+    const memsys::MemoryController &memory() const { return _memory; }
+
+    /** Hierarchical-Z statistics (cull/early-accept rates). */
+    const raster::HzStats &hzStats() const { return _hz.stats(); }
+
+    /** Current colour buffer contents (PPM dumps, golden tests). */
+    Image framebufferImage() const { return _color.toImage(); }
+
+    /** Depth/stencil readback for tests. */
+    float depthAt(int x, int y) const;
+    std::uint8_t stencilAt(int x, int y) const;
+
+  private:
+    struct QuadContextInfo;
+
+    void shadeAndResolveQuad(const raster::RasterQuad &quad,
+                             const raster::TriangleSetup &setup,
+                             const QuadContextInfo &info);
+    void recordFrame();
+
+    GpuConfig _config;
+    memsys::MemoryController _memory;
+    frag::CachedSurface _depth;
+    frag::CachedSurface _color;
+    raster::HierarchicalZ _hz;
+    raster::Rasterizer _rasterizer;
+    geom::ClipCull _clipCull;
+    geom::VertexCache _vertexCache;
+    std::vector<geom::TransformedVertex> _vertexCacheData;
+    shader::Interpreter _interp;
+    tex::TextureUnit _texUnit;
+    frag::ZStencilUnit _zUnit;
+    frag::ColorUnit _colorUnit;
+
+    PipelineCounters _counters;
+    PipelineCounters _frameStart;
+    stats::FrameSeries _series;
+    int _frames = 0;
+
+    // Per-draw scratch, reused across draws to avoid reallocation.
+    std::vector<geom::TransformedVertex> _stream;
+    std::vector<geom::AssembledTriangle> _assembled;
+    std::vector<std::array<geom::TransformedVertex, 3>> _clippedTris;
+};
+
+} // namespace wc3d::gpu
+
+#endif // WC3D_GPU_SIMULATOR_HH

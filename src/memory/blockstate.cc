@@ -1,0 +1,31 @@
+#include "memory/blockstate.hh"
+
+#include <algorithm>
+
+namespace wc3d::memsys {
+
+BlockStateDirectory::BlockStateDirectory(std::size_t blocks)
+    : _states(blocks, BlockState::Cleared)
+{
+}
+
+void
+BlockStateDirectory::fastClear()
+{
+    std::fill(_states.begin(), _states.end(), BlockState::Cleared);
+}
+
+void
+BlockStateDirectory::resize(std::size_t blocks)
+{
+    _states.assign(blocks, BlockState::Cleared);
+}
+
+std::size_t
+BlockStateDirectory::countInState(BlockState s) const
+{
+    return static_cast<std::size_t>(
+        std::count(_states.begin(), _states.end(), s));
+}
+
+} // namespace wc3d::memsys

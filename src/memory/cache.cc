@@ -1,0 +1,111 @@
+#include "memory/cache.hh"
+
+#include "common/log.hh"
+
+namespace wc3d::memsys {
+
+namespace {
+bool
+isPow2(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+} // namespace
+
+CacheModel::CacheModel(int ways, int sets, int line_size, Replacement policy)
+    : _ways(ways), _sets(sets), _lineSize(line_size), _policy(policy),
+      _lines(static_cast<std::size_t>(ways) * sets)
+{
+    WC3D_ASSERT(ways > 0);
+    WC3D_ASSERT(isPow2(sets));
+    WC3D_ASSERT(isPow2(line_size));
+}
+
+CacheModel::Line *
+CacheModel::findLine(std::uint64_t line_number)
+{
+    std::size_t set = static_cast<std::size_t>(line_number) & (_sets - 1);
+    Line *base = &_lines[set * _ways];
+    for (int w = 0; w < _ways; ++w) {
+        if (base[w].valid && base[w].tag == line_number)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+CacheModel::Line &
+CacheModel::victimLine(std::uint64_t line_number)
+{
+    std::size_t set = static_cast<std::size_t>(line_number) & (_sets - 1);
+    Line *base = &_lines[set * _ways];
+    Line *victim = &base[0];
+    for (int w = 0; w < _ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].stamp < victim->stamp)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+CacheAccessResult
+CacheModel::access(std::uint64_t address, bool is_write)
+{
+    CacheAccessResult result;
+    std::uint64_t line_number = address / _lineSize;
+    ++_tick;
+    ++_stats.accesses;
+
+    if (Line *line = findLine(line_number)) {
+        result.hit = true;
+        ++_stats.hits;
+        if (is_write)
+            line->dirty = true;
+        if (_policy == Replacement::LRU)
+            line->stamp = _tick;
+        return result;
+    }
+
+    ++_stats.misses;
+    Line &victim = victimLine(line_number);
+    if (victim.valid && victim.dirty) {
+        result.writeback = true;
+        result.writebackAddress = victim.tag * _lineSize;
+        ++_stats.writebacks;
+    }
+    victim.valid = true;
+    victim.dirty = is_write;
+    victim.tag = line_number;
+    victim.stamp = _tick;
+    result.fillAddress = line_number * _lineSize;
+    return result;
+}
+
+bool
+CacheModel::contains(std::uint64_t address) const
+{
+    std::uint64_t line_number = address / _lineSize;
+    std::size_t set = static_cast<std::size_t>(line_number) & (_sets - 1);
+    const Line *base = &_lines[set * _ways];
+    for (int w = 0; w < _ways; ++w) {
+        if (base[w].valid && base[w].tag == line_number)
+            return true;
+    }
+    return false;
+}
+
+void
+CacheModel::invalidateAll()
+{
+    for (auto &line : _lines)
+        line = Line();
+}
+
+void
+CacheModel::invalidateLine(std::uint64_t address)
+{
+    if (Line *line = findLine(address / _lineSize))
+        *line = Line();
+}
+
+} // namespace wc3d::memsys

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tag-only set-associative cache model. Data contents live in the owning
+ * surface/texture objects; the model tracks residency so hit rates and
+ * fill/writeback traffic match a real cache's behaviour (paper Table XIV).
+ */
+
+#ifndef WC3D_MEMORY_CACHE_HH
+#define WC3D_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wc3d::memsys {
+
+/** Replacement policies supported by CacheModel. */
+enum class Replacement
+{
+    LRU,
+    FIFO,
+};
+
+/** Outcome of a cache access, including any victim writeback. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Address of the line that was filled (line-aligned); 0 on hit. */
+    std::uint64_t fillAddress = 0;
+    /** True when a dirty victim must be written back. */
+    bool writeback = false;
+    /** Line-aligned address of the dirty victim (valid when writeback). */
+    std::uint64_t writebackAddress = 0;
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    hitRate() const
+    {
+        return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * A set-associative, write-back, write-allocate cache tag model.
+ *
+ * Geometry follows the paper's Table XIV notation: "64w x 256B" is a
+ * 64-way single-set (fully associative) cache of 256-byte lines;
+ * "16w x 16s x 64B" is 16 ways x 16 sets of 64-byte lines.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param ways      associativity (> 0)
+     * @param sets      number of sets (power of two)
+     * @param line_size line size in bytes (power of two)
+     * @param policy    replacement policy
+     */
+    CacheModel(int ways, int sets, int line_size,
+               Replacement policy = Replacement::LRU);
+
+    /**
+     * Access @p address. On a miss the LRU/FIFO victim is evicted and the
+     * line containing the address is installed. @p is_write marks the line
+     * dirty on hit or after fill.
+     */
+    CacheAccessResult access(std::uint64_t address, bool is_write);
+
+    /** @return true when the line holding @p address is resident. */
+    bool contains(std::uint64_t address) const;
+
+    /**
+     * Write back every dirty line (end-of-frame flush), invoking
+     * @p writeback_cb with each dirty line address. Lines stay resident
+     * but clean.
+     */
+    template <typename Fn>
+    void
+    flushDirty(Fn &&writeback_cb)
+    {
+        for (auto &line : _lines) {
+            if (line.valid && line.dirty) {
+                writeback_cb(line.tag * _lineSize);
+                line.dirty = false;
+                ++_stats.writebacks;
+            }
+        }
+    }
+
+    /** Invalidate everything without writebacks (e.g. after fast clear). */
+    void invalidateAll();
+
+    /** Invalidate the line holding @p address if resident (no writeback). */
+    void invalidateLine(std::uint64_t address);
+
+    /**
+     * Credit @p hits accesses that were filtered before reaching the
+     * cache but are guaranteed hits (e.g. intra-quad re-references
+     * coalesced by the texture unit): counted as accesses + hits.
+     */
+    void
+    creditFilteredHits(std::uint64_t hits)
+    {
+        _stats.accesses += hits;
+        _stats.hits += hits;
+    }
+
+    const CacheStats &stats() const { return _stats; }
+    void resetStats() { _stats = CacheStats(); }
+
+    int ways() const { return _ways; }
+    int sets() const { return _sets; }
+    int lineSize() const { return _lineSize; }
+    int sizeBytes() const { return _ways * _sets * _lineSize; }
+
+    /** Line-aligned address for @p address. */
+    std::uint64_t
+    lineAddress(std::uint64_t address) const
+    {
+        return address & ~static_cast<std::uint64_t>(_lineSize - 1);
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;     // full line number (address / lineSize)
+        std::uint64_t stamp = 0;   // LRU: last touch; FIFO: install time
+    };
+
+    Line *findLine(std::uint64_t line_number);
+    Line &victimLine(std::uint64_t line_number);
+
+    int _ways;
+    int _sets;
+    int _lineSize;
+    Replacement _policy;
+    std::uint64_t _tick = 0;
+    std::vector<Line> _lines;
+    CacheStats _stats;
+};
+
+} // namespace wc3d::memsys
+
+#endif // WC3D_MEMORY_CACHE_HH

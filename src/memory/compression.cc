@@ -1,0 +1,61 @@
+#include "memory/compression.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace wc3d::memsys {
+
+bool
+zBlockCompressible(std::span<const std::uint32_t> words, int width)
+{
+    WC3D_ASSERT(width > 0 && words.size() % static_cast<std::size_t>(width)
+                == 0);
+    int height = static_cast<int>(words.size()) / width;
+    if (width < 2 || height < 2)
+        return false;
+
+    // Stencil (low byte) must be uniform for the block to compress.
+    std::uint32_t stencil = words[0] & 0xffu;
+    for (std::uint32_t w : words) {
+        if ((w & 0xffu) != stencil)
+            return false;
+    }
+
+    auto depth = [&](int x, int y) -> std::int64_t {
+        return static_cast<std::int64_t>(words[static_cast<std::size_t>(y) *
+                                               width + x] >> 8);
+    };
+
+    // Plane through the (0,0) sample with per-axis gradients taken from
+    // the immediate neighbours.
+    std::int64_t z00 = depth(0, 0);
+    std::int64_t dzdx = depth(1, 0) - z00;
+    std::int64_t dzdy = depth(0, 1) - z00;
+
+    constexpr std::int64_t kDeltaLimit = 1 << 11; // 12-bit signed residual
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            std::int64_t predicted = z00 + dzdx * x + dzdy * y;
+            std::int64_t residual = depth(x, y) - predicted;
+            if (residual < -kDeltaLimit || residual >= kDeltaLimit)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+colorBlockCompressible(std::span<const std::uint32_t> words)
+{
+    if (words.empty())
+        return false;
+    std::uint32_t first = words[0];
+    for (std::uint32_t w : words) {
+        if (w != first)
+            return false;
+    }
+    return true;
+}
+
+} // namespace wc3d::memsys

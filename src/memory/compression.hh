@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Framebuffer block compression codecs.
+ *
+ * Z blocks use plane compression: when the depth values in a block are
+ * well modelled by one or two planes (the common case when a block is
+ * covered by whole triangles), deltas from the plane fit a reduced bit
+ * budget and the block compresses 2:1. Colour blocks use the simple
+ * scheme the paper describes: "a very simple compression algorithm that
+ * only works for blocks of pixels with the same color".
+ */
+
+#ifndef WC3D_MEMORY_COMPRESSION_HH
+#define WC3D_MEMORY_COMPRESSION_HH
+
+#include <cstdint>
+#include <span>
+
+namespace wc3d::memsys {
+
+/**
+ * Decide whether a block of 32-bit depth/stencil words compresses 2:1.
+ *
+ * The model mirrors DEC/ATI-style plane compression over an 8x8 block:
+ * fit a plane through three corner samples and test whether every
+ * residual fits in a 12-bit signed delta of the 24-bit depth field and
+ * the stencil bytes are uniform.
+ *
+ * @param words  block contents, row-major; size must be width*height
+ * @param width  block width in pixels (power of two)
+ * @return true when the block is representable at half size
+ */
+bool zBlockCompressible(std::span<const std::uint32_t> words, int width);
+
+/**
+ * Decide whether a colour block compresses (all pixels identical).
+ *
+ * @param words packed RGBA8 pixels of the block
+ * @return true when every pixel has the same colour
+ */
+bool colorBlockCompressible(std::span<const std::uint32_t> words);
+
+/** Compressed size in bytes for a block of @p raw_bytes (2:1). */
+inline std::uint64_t
+compressedSize(std::uint64_t raw_bytes)
+{
+    return raw_bytes / 2;
+}
+
+} // namespace wc3d::memsys
+
+#endif // WC3D_MEMORY_COMPRESSION_HH

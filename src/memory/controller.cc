@@ -1,0 +1,88 @@
+#include "memory/controller.hh"
+
+#include "common/log.hh"
+
+namespace wc3d::memsys {
+
+const char *
+clientName(Client c)
+{
+    switch (c) {
+      case Client::CommandProcessor:
+        return "CP";
+      case Client::Vertex:
+        return "Vertex";
+      case Client::ZStencil:
+        return "Z&Stencil";
+      case Client::Texture:
+        return "Texture";
+      case Client::Color:
+        return "Color";
+      case Client::Dac:
+        return "DAC";
+      default:
+        return "?";
+    }
+}
+
+std::uint64_t
+TrafficSnapshot::totalRead() const
+{
+    std::uint64_t t = 0;
+    for (auto b : readBytes)
+        t += b;
+    return t;
+}
+
+std::uint64_t
+TrafficSnapshot::totalWrite() const
+{
+    std::uint64_t t = 0;
+    for (auto b : writeBytes)
+        t += b;
+    return t;
+}
+
+TrafficSnapshot
+TrafficSnapshot::since(const TrafficSnapshot &earlier) const
+{
+    TrafficSnapshot d;
+    for (int i = 0; i < kNumClients; ++i) {
+        WC3D_ASSERT(readBytes[i] >= earlier.readBytes[i]);
+        WC3D_ASSERT(writeBytes[i] >= earlier.writeBytes[i]);
+        d.readBytes[i] = readBytes[i] - earlier.readBytes[i];
+        d.writeBytes[i] = writeBytes[i] - earlier.writeBytes[i];
+    }
+    return d;
+}
+
+MemoryController::MemoryController() = default;
+
+void
+MemoryController::read(Client client, std::uint64_t bytes)
+{
+    _traffic.readBytes[static_cast<int>(client)] += bytes;
+}
+
+void
+MemoryController::write(Client client, std::uint64_t bytes)
+{
+    _traffic.writeBytes[static_cast<int>(client)] += bytes;
+}
+
+std::uint64_t
+MemoryController::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    WC3D_ASSERT(align != 0 && (align & (align - 1)) == 0);
+    std::uint64_t base = (_nextAddress + align - 1) & ~(align - 1);
+    _nextAddress = base + bytes;
+    return base;
+}
+
+void
+MemoryController::resetTraffic()
+{
+    _traffic = TrafficSnapshot();
+}
+
+} // namespace wc3d::memsys

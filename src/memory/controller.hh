@@ -1,0 +1,87 @@
+/**
+ * @file
+ * GPU memory (GDDR) traffic accounting. The paper's memory tables
+ * (XV, XVI, XVII) are byte totals attributed to pipeline clients
+ * (Vertex, Z&Stencil, Texture, Color, DAC, Command Processor); this
+ * controller is the single point where those bytes are charged.
+ *
+ * The controller also hands out address ranges so buffers, textures and
+ * framebuffer surfaces occupy disjoint regions of the simulated address
+ * space (cache models index by address).
+ */
+
+#ifndef WC3D_MEMORY_CONTROLLER_HH
+#define WC3D_MEMORY_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace wc3d::memsys {
+
+/** Pipeline units that consume GPU memory bandwidth (paper Table XVI). */
+enum class Client : int
+{
+    CommandProcessor = 0,
+    Vertex,
+    ZStencil,
+    Texture,
+    Color,
+    Dac,
+    NumClients,
+};
+
+/** Human-readable client name ("Vertex", "Z&Stencil", ...). */
+const char *clientName(Client c);
+
+constexpr int kNumClients = static_cast<int>(Client::NumClients);
+
+/** Per-client read/write byte totals. */
+struct TrafficSnapshot
+{
+    std::array<std::uint64_t, kNumClients> readBytes{};
+    std::array<std::uint64_t, kNumClients> writeBytes{};
+
+    std::uint64_t totalRead() const;
+    std::uint64_t totalWrite() const;
+    std::uint64_t total() const { return totalRead() + totalWrite(); }
+
+    /** Component-wise difference (this - earlier). */
+    TrafficSnapshot since(const TrafficSnapshot &earlier) const;
+};
+
+/**
+ * Byte-accurate GDDR traffic accountant and address-space allocator.
+ *
+ * Data contents live in the owning objects (buffers, textures, surfaces);
+ * the controller records who moved how many bytes, which is what the
+ * paper's memory characterization needs.
+ */
+class MemoryController
+{
+  public:
+    MemoryController();
+
+    /** Charge a read of @p bytes to @p client. */
+    void read(Client client, std::uint64_t bytes);
+
+    /** Charge a write of @p bytes to @p client. */
+    void write(Client client, std::uint64_t bytes);
+
+    /** Allocate @p bytes of simulated address space (aligned). */
+    std::uint64_t allocate(std::uint64_t bytes, std::uint64_t align = 256);
+
+    /** Running totals since construction (or last reset). */
+    const TrafficSnapshot &traffic() const { return _traffic; }
+
+    /** Zero the traffic counters (allocations are kept). */
+    void resetTraffic();
+
+  private:
+    TrafficSnapshot _traffic;
+    std::uint64_t _nextAddress = 0x1000;
+};
+
+} // namespace wc3d::memsys
+
+#endif // WC3D_MEMORY_CONTROLLER_HH

@@ -1,0 +1,27 @@
+#include "raster/edgefunc.hh"
+
+namespace wc3d::raster {
+
+EdgeFunction
+makeEdge(float x0, float y0, float x1, float y1)
+{
+    EdgeFunction e;
+    // E(x,y) = (y0 - y1) * x + (x1 - x0) * y + (x0*y1 - x1*y0)
+    // Positive on the left of the directed edge in a y-down frame when
+    // the triangle is wound clockwise on screen; setup normalises
+    // orientation so "inside" is always E >= 0.
+    e.a = static_cast<double>(y0) - static_cast<double>(y1);
+    e.b = static_cast<double>(x1) - static_cast<double>(x0);
+    e.c = static_cast<double>(x0) * static_cast<double>(y1) -
+          static_cast<double>(x1) * static_cast<double>(y0);
+
+    // Top-left rule (y-down): a top edge is horizontal with the interior
+    // below it (b < 0 after orientation normalisation happens in setup;
+    // here: edge going right). A left edge goes downward.
+    // Recomputed in setup after possible negation; initial value here
+    // assumes final orientation.
+    e.topLeft = (e.a > 0.0) || (e.a == 0.0 && e.b > 0.0);
+    return e;
+}
+
+} // namespace wc3d::raster

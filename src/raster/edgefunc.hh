@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Half-plane edge functions for triangle rasterization ([6]: McCormack &
+ * McNamara, "Tiled Polygon Traversal Using Half-Plane Edge Functions").
+ * Coefficients are computed and evaluated in double precision so the
+ * two triangles sharing an edge see exactly negated edge values, which
+ * together with the top-left fill rule makes traversal watertight.
+ */
+
+#ifndef WC3D_RASTER_EDGEFUNC_HH
+#define WC3D_RASTER_EDGEFUNC_HH
+
+namespace wc3d::raster {
+
+/** One edge function E(x, y) = a*x + b*y + c; inside when >= 0. */
+struct EdgeFunction
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    bool topLeft = false; ///< fill-rule ownership of E == 0 pixels
+
+    /** Evaluate at a sample point. */
+    double
+    eval(double x, double y) const
+    {
+        return a * x + b * y + c;
+    }
+
+    /**
+     * Fill-rule test: strictly inside, or exactly on a top-left edge.
+     */
+    bool
+    covers(double value) const
+    {
+        return value > 0.0 || (value == 0.0 && topLeft);
+    }
+
+    /**
+     * Largest value of E over an axis-aligned rectangle
+     * [x0, x1] x [y0, y1] — used for conservative tile rejection.
+     */
+    double
+    maxOverRect(double x0, double y0, double x1, double y1) const
+    {
+        double x = a >= 0.0 ? x1 : x0;
+        double y = b >= 0.0 ? y1 : y0;
+        return eval(x, y);
+    }
+};
+
+/**
+ * Build the edge function of the directed edge from (x0,y0) to (x1,y1)
+ * with the interior on the left for counter-clockwise order in a
+ * y-down coordinate system.
+ */
+EdgeFunction makeEdge(float x0, float y0, float x1, float y1);
+
+} // namespace wc3d::raster
+
+#endif // WC3D_RASTER_EDGEFUNC_HH

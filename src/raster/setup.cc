@@ -1,0 +1,56 @@
+#include "raster/setup.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wc3d::raster {
+
+TriangleSetup
+setupTriangle(const geom::ScreenTriangle &tri, int width, int height)
+{
+    TriangleSetup s;
+    s.v[0] = tri.v[0];
+    s.v[1] = tri.v[1];
+    s.v[2] = tri.v[2];
+
+    // Edge i runs from vertex i to vertex i+1; the value of edge i at
+    // the opposite vertex (i+2) equals twice the signed area.
+    s.edges[0] = makeEdge(tri.v[0].x, tri.v[0].y, tri.v[1].x, tri.v[1].y);
+    s.edges[1] = makeEdge(tri.v[1].x, tri.v[1].y, tri.v[2].x, tri.v[2].y);
+    s.edges[2] = makeEdge(tri.v[2].x, tri.v[2].y, tri.v[0].x, tri.v[0].y);
+
+    double area2 = s.edges[0].eval(tri.v[2].x, tri.v[2].y);
+    if (area2 == 0.0)
+        return s; // degenerate
+    if (area2 < 0.0) {
+        for (auto &e : s.edges) {
+            e.a = -e.a;
+            e.b = -e.b;
+            e.c = -e.c;
+        }
+        area2 = -area2;
+    }
+    // Fill-rule classification must happen after orientation is fixed.
+    for (auto &e : s.edges)
+        e.topLeft = (e.a > 0.0) || (e.a == 0.0 && e.b > 0.0);
+    s.area2 = area2;
+
+    float min_x = std::min({tri.v[0].x, tri.v[1].x, tri.v[2].x});
+    float max_x = std::max({tri.v[0].x, tri.v[1].x, tri.v[2].x});
+    float min_y = std::min({tri.v[0].y, tri.v[1].y, tri.v[2].y});
+    float max_y = std::max({tri.v[0].y, tri.v[1].y, tri.v[2].y});
+
+    // Pixel centers at (i + 0.5): the first center >= min is
+    // floor(min - 0.5) + 1 == floor(min + 0.5) for non-integral values.
+    s.minX = std::max(0, static_cast<int>(std::floor(min_x - 0.5f)));
+    s.minY = std::max(0, static_cast<int>(std::floor(min_y - 0.5f)));
+    s.maxX = std::min(width - 1, static_cast<int>(std::ceil(max_x)));
+    s.maxY = std::min(height - 1, static_cast<int>(std::ceil(max_y)));
+    if (s.minX > s.maxX || s.minY > s.maxY)
+        return s; // scissored out entirely
+
+    s.valid = true;
+    return s;
+}
+
+} // namespace wc3d::raster

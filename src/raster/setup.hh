@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Triangle setup: builds edge equations, the (scissored) bounding box
+ * and interpolation data for one screen-space triangle. The ATTILA
+ * configuration the paper uses performs setup at 2 triangles/cycle
+ * (Table II); here setup is a pure function feeding the rasterizer.
+ */
+
+#ifndef WC3D_RASTER_SETUP_HH
+#define WC3D_RASTER_SETUP_HH
+
+#include "geom/viewport.hh"
+#include "raster/edgefunc.hh"
+
+namespace wc3d::raster {
+
+/** Fully set-up triangle ready for traversal. */
+struct TriangleSetup
+{
+    EdgeFunction edges[3]; ///< inside when all cover their value
+    double area2 = 0.0;    ///< twice the (positive) screen area
+    geom::ScreenVertex v[3];
+    int minX = 0;          ///< scissored pixel bounding box (inclusive)
+    int minY = 0;
+    int maxX = -1;
+    int maxY = -1;
+    bool valid = false;    ///< false: degenerate or fully scissored out
+
+    /**
+     * Screen-space barycentric weights at a sample point.
+     * @param x,y  sample position (pixel center)
+     * @param lambda  the three weights, summing to 1
+     */
+    void
+    barycentrics(double x, double y, float lambda[3]) const
+    {
+        double e0 = edges[0].eval(x, y);
+        double e1 = edges[1].eval(x, y);
+        double e2 = edges[2].eval(x, y);
+        lambda[0] = static_cast<float>(e1 / area2);
+        lambda[1] = static_cast<float>(e2 / area2);
+        lambda[2] = static_cast<float>(e0 / area2);
+    }
+
+    /** Linearly interpolated depth at screen-space weights @p lambda. */
+    float
+    interpolateZ(const float lambda[3]) const
+    {
+        return lambda[0] * v[0].z + lambda[1] * v[1].z +
+               lambda[2] * v[2].z;
+    }
+
+    /**
+     * Perspective-correct varying interpolation at screen-space
+     * weights @p lambda.
+     */
+    Vec4
+    interpolateVarying(const float lambda[3], int slot) const
+    {
+        float w0 = lambda[0] * v[0].invW;
+        float w1 = lambda[1] * v[1].invW;
+        float w2 = lambda[2] * v[2].invW;
+        float denom = w0 + w1 + w2;
+        if (denom == 0.0f)
+            return {};
+        float inv = 1.0f / denom;
+        auto idx = static_cast<std::size_t>(slot);
+        return (v[0].varyings[idx] * w0 + v[1].varyings[idx] * w1 +
+                v[2].varyings[idx] * w2) * inv;
+    }
+};
+
+/**
+ * Build setup data for @p tri scissored to [0,width) x [0,height).
+ * Orientation is normalised so the interior is E >= 0 for all edges;
+ * degenerate (zero-area) or fully clipped-out triangles yield
+ * valid == false.
+ */
+TriangleSetup setupTriangle(const geom::ScreenTriangle &tri, int width,
+                            int height);
+
+} // namespace wc3d::raster
+
+#endif // WC3D_RASTER_SETUP_HH

@@ -1,0 +1,375 @@
+#include "shader/assemble.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strutil.hh"
+
+namespace wc3d::shader {
+
+namespace {
+
+/** Minimal recursive-descent scanner over one statement. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    std::string
+    ident()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '_'))
+            ++pos;
+        return text.substr(start, pos - start);
+    }
+
+    std::optional<int>
+    number()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos == start)
+            return std::nullopt;
+        return std::atoi(text.substr(start, pos - start).c_str());
+    }
+
+    std::optional<float>
+    floatNumber()
+    {
+        skipSpace();
+        const char *begin = text.c_str() + pos;
+        char *end = nullptr;
+        float v = std::strtof(begin, &end);
+        if (end == begin)
+            return std::nullopt;
+        pos += static_cast<std::size_t>(end - begin);
+        return v;
+    }
+};
+
+bool
+compFromChar(char c, std::uint8_t &out)
+{
+    switch (std::tolower(static_cast<unsigned char>(c))) {
+      case 'x': case 'r':
+        out = kCompX;
+        return true;
+      case 'y': case 'g':
+        out = kCompY;
+        return true;
+      case 'z': case 'b':
+        out = kCompZ;
+        return true;
+      case 'w': case 'a':
+        out = kCompW;
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+parseRegister(const std::string &name, RegFile &file, int &index,
+              std::string &error)
+{
+    if (name.size() < 2) {
+        error = "bad register '" + name + "'";
+        return false;
+    }
+    switch (std::tolower(static_cast<unsigned char>(name[0]))) {
+      case 'v':
+        file = RegFile::Input;
+        break;
+      case 'r':
+        file = RegFile::Temp;
+        break;
+      case 'c':
+        file = RegFile::Const;
+        break;
+      case 'o':
+        file = RegFile::Output;
+        break;
+      default:
+        error = "unknown register file in '" + name + "'";
+        return false;
+    }
+    index = std::atoi(name.c_str() + 1);
+    int limit = file == RegFile::Input ? kMaxInputs :
+                file == RegFile::Temp ? kMaxTemps :
+                file == RegFile::Const ? kMaxConsts : kMaxOutputs;
+    if (index < 0 || index >= limit) {
+        error = "register index out of range in '" + name + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseSwizzleText(const std::string &sw, std::uint8_t &out,
+                 std::string &error)
+{
+    if (sw.empty() || sw.size() > 4) {
+        error = "bad swizzle '." + sw + "'";
+        return false;
+    }
+    std::uint8_t comps[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        char c = sw[i < sw.size() ? i : sw.size() - 1]; // replicate last
+        if (!compFromChar(c, comps[i])) {
+            error = "bad swizzle component '" + std::string(1, c) + "'";
+            return false;
+        }
+    }
+    out = packSwizzle(comps[0], comps[1], comps[2], comps[3]);
+    return true;
+}
+
+bool
+parseMaskText(const std::string &mask, std::uint8_t &out,
+              std::string &error)
+{
+    out = 0;
+    for (char c : mask) {
+        std::uint8_t comp;
+        if (!compFromChar(c, comp)) {
+            error = "bad write mask '." + mask + "'";
+            return false;
+        }
+        out |= static_cast<std::uint8_t>(1u << comp);
+    }
+    if (out == 0) {
+        error = "empty write mask";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseSrc(Parser &p, SrcOperand &src)
+{
+    p.skipSpace();
+    src = SrcOperand();
+    if (p.eat('-'))
+        src.negate = true;
+    bool has_abs = p.eat('|');
+    std::string reg = p.ident();
+    RegFile file;
+    int index;
+    if (!parseRegister(reg, file, index, p.error))
+        return false;
+    if (file == RegFile::Output) {
+        p.error = "outputs are write-only";
+        return false;
+    }
+    src.file = file;
+    src.index = static_cast<std::uint8_t>(index);
+    src.absolute = has_abs;
+    if (has_abs && !p.eat('|')) {
+        p.error = "unterminated |reg|";
+        return false;
+    }
+    if (p.eat('.')) {
+        std::string sw = p.ident();
+        if (!parseSwizzleText(sw, src.swizzle, p.error))
+            return false;
+    }
+    return true;
+}
+
+bool
+parseDst(Parser &p, DstOperand &dst, bool saturate_flag)
+{
+    std::string reg = p.ident();
+    RegFile file;
+    int index;
+    if (!parseRegister(reg, file, index, p.error))
+        return false;
+    if (file != RegFile::Temp && file != RegFile::Output) {
+        p.error = "destination must be a temp or output register";
+        return false;
+    }
+    dst = DstOperand();
+    dst.file = file;
+    dst.index = static_cast<std::uint8_t>(index);
+    dst.saturate = saturate_flag;
+    if (p.eat('.')) {
+        std::string mask = p.ident();
+        if (!parseMaskText(mask, dst.writeMask, p.error))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+AssembleResult
+assemble(const std::string &source, ProgramKind kind,
+         const std::string &name)
+{
+    AssembleResult result;
+    Program program(kind, name);
+    bool kind_set = false;
+
+    int line_no = 0;
+    for (const std::string &raw : split(source, '\n')) {
+        ++line_no;
+        std::string line = raw;
+        // Strip comments.
+        for (const char *marker : {"#", "//"}) {
+            auto cpos = line.find(marker);
+            if (cpos != std::string::npos)
+                line = line.substr(0, cpos);
+        }
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (!line.empty() && line.back() == ';')
+            line.pop_back();
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        // Header: !!VP / !!FP ... (rest of the line is decorative).
+        if (startsWith(line, "!!")) {
+            if (!kind_set) {
+                std::string tag = toLower(line.substr(2, 2));
+                program = Program(tag == "vp" ? ProgramKind::Vertex
+                                              : ProgramKind::Fragment,
+                                  name);
+                kind_set = true;
+            }
+            continue;
+        }
+
+        Parser p(line);
+        std::string mnemonic = p.ident();
+
+        // Constant initialiser: CONST cN = a b c d
+        if (toLower(mnemonic) == "const") {
+            std::string reg = p.ident();
+            RegFile file;
+            int index;
+            if (!parseRegister(reg, file, index, p.error) ||
+                file != RegFile::Const) {
+                result.error = format("line %d: CONST needs a c# register",
+                                      line_no);
+                return result;
+            }
+            if (!p.eat('=')) {
+                result.error = format("line %d: CONST missing '='", line_no);
+                return result;
+            }
+            Vec4 v;
+            for (int i = 0; i < 4; ++i) {
+                auto f = p.floatNumber();
+                if (!f) {
+                    result.error = format(
+                        "line %d: CONST needs four floats", line_no);
+                    return result;
+                }
+                v[static_cast<std::size_t>(i)] = *f;
+            }
+            program.setConstant(index, v);
+            continue;
+        }
+
+        bool saturate_flag = false;
+        std::string up = toLower(mnemonic);
+        if (up.size() > 4 && up.substr(up.size() - 4) == "_sat") {
+            saturate_flag = true;
+            mnemonic = mnemonic.substr(0, mnemonic.size() - 4);
+        }
+
+        Opcode op;
+        if (!opcodeFromName(mnemonic, op)) {
+            result.error = format("line %d: unknown opcode '%s'", line_no,
+                                  mnemonic.c_str());
+            return result;
+        }
+        const OpcodeInfo &info = opcodeInfo(op);
+
+        Instruction instr;
+        instr.op = op;
+        if (info.hasDst) {
+            if (!parseDst(p, instr.dst, saturate_flag)) {
+                result.error = format("line %d: %s", line_no,
+                                      p.error.c_str());
+                return result;
+            }
+        }
+        for (int s = 0; s < info.numSrcs; ++s) {
+            if ((info.hasDst || s > 0) && !p.eat(',')) {
+                result.error = format("line %d: expected ','", line_no);
+                return result;
+            }
+            if (!parseSrc(p, instr.src[s])) {
+                result.error = format("line %d: %s", line_no,
+                                      p.error.c_str());
+                return result;
+            }
+        }
+        if (info.isTexture) {
+            if (!p.eat(',')) {
+                result.error = format("line %d: texture op needs ', tex[N]'",
+                                      line_no);
+                return result;
+            }
+            std::string tex_kw = toLower(p.ident());
+            auto unit = (tex_kw == "tex" && p.eat('['))
+                            ? p.number() : std::nullopt;
+            if (!unit || !p.eat(']') || *unit < 0 ||
+                *unit >= kMaxSamplers) {
+                result.error = format("line %d: bad texture unit", line_no);
+                return result;
+            }
+            instr.sampler = static_cast<std::uint8_t>(*unit);
+        }
+        if (!p.atEnd()) {
+            result.error = format("line %d: trailing characters", line_no);
+            return result;
+        }
+        program.emit(instr);
+    }
+
+    result.ok = true;
+    result.program = std::move(program);
+    return result;
+}
+
+} // namespace wc3d::shader

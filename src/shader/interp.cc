@@ -1,0 +1,283 @@
+#include "shader/interp.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace wc3d::shader {
+
+namespace {
+
+Vec4
+applySwizzle(Vec4 v, std::uint8_t swizzle)
+{
+    return {v[swizzleComp(swizzle, 0)], v[swizzleComp(swizzle, 1)],
+            v[swizzleComp(swizzle, 2)], v[swizzleComp(swizzle, 3)]};
+}
+
+Vec4
+readSrc(const LaneState &lane, const Vec4 *constants, const SrcOperand &src)
+{
+    Vec4 v;
+    switch (src.file) {
+      case RegFile::Input:
+        v = lane.inputs[src.index];
+        break;
+      case RegFile::Temp:
+        v = lane.temps[src.index];
+        break;
+      case RegFile::Const:
+        v = constants[src.index];
+        break;
+      case RegFile::Output:
+        v = lane.outputs[src.index];
+        break;
+    }
+    v = applySwizzle(v, src.swizzle);
+    if (src.absolute) {
+        v = {std::fabs(v.x), std::fabs(v.y), std::fabs(v.z),
+             std::fabs(v.w)};
+    }
+    if (src.negate)
+        v = v * -1.0f;
+    return v;
+}
+
+void
+writeDst(LaneState &lane, const DstOperand &dst, Vec4 value)
+{
+    Vec4 *reg = nullptr;
+    switch (dst.file) {
+      case RegFile::Temp:
+        reg = &lane.temps[dst.index];
+        break;
+      case RegFile::Output:
+        reg = &lane.outputs[dst.index];
+        break;
+      case RegFile::Input:
+      case RegFile::Const:
+        panic("shader: write to read-only register file");
+    }
+    if (dst.saturate) {
+        value = {clampf(value.x, 0.0f, 1.0f), clampf(value.y, 0.0f, 1.0f),
+                 clampf(value.z, 0.0f, 1.0f), clampf(value.w, 0.0f, 1.0f)};
+    }
+    if (dst.writeMask & kMaskX)
+        reg->x = value.x;
+    if (dst.writeMask & kMaskY)
+        reg->y = value.y;
+    if (dst.writeMask & kMaskZ)
+        reg->z = value.z;
+    if (dst.writeMask & kMaskW)
+        reg->w = value.w;
+}
+
+/** Execute a non-texture instruction on one lane; returns kill flag. */
+bool
+execAlu(const Instruction &in, LaneState &lane, const Vec4 *constants)
+{
+    Vec4 a, b, c, r;
+    const OpcodeInfo &info = opcodeInfo(in.op);
+    if (info.numSrcs >= 1)
+        a = readSrc(lane, constants, in.src[0]);
+    if (info.numSrcs >= 2)
+        b = readSrc(lane, constants, in.src[1]);
+    if (info.numSrcs >= 3)
+        c = readSrc(lane, constants, in.src[2]);
+
+    switch (in.op) {
+      case Opcode::MOV:
+        r = a;
+        break;
+      case Opcode::ADD:
+        r = a + b;
+        break;
+      case Opcode::SUB:
+        r = a - b;
+        break;
+      case Opcode::MUL:
+        r = {a.x * b.x, a.y * b.y, a.z * b.z, a.w * b.w};
+        break;
+      case Opcode::MAD:
+        r = {a.x * b.x + c.x, a.y * b.y + c.y, a.z * b.z + c.z,
+             a.w * b.w + c.w};
+        break;
+      case Opcode::DP3: {
+        float d = a.x * b.x + a.y * b.y + a.z * b.z;
+        r = {d, d, d, d};
+        break;
+      }
+      case Opcode::DP4: {
+        float d = a.dot(b);
+        r = {d, d, d, d};
+        break;
+      }
+      case Opcode::RCP: {
+        float d = a.x != 0.0f ? 1.0f / a.x : 0.0f;
+        r = {d, d, d, d};
+        break;
+      }
+      case Opcode::RSQ: {
+        float s = std::fabs(a.x);
+        float d = s > 0.0f ? 1.0f / std::sqrt(s) : 0.0f;
+        r = {d, d, d, d};
+        break;
+      }
+      case Opcode::MIN:
+        r = {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z),
+             std::fmin(a.w, b.w)};
+        break;
+      case Opcode::MAX:
+        r = {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z),
+             std::fmax(a.w, b.w)};
+        break;
+      case Opcode::SLT:
+        r = {a.x < b.x ? 1.0f : 0.0f, a.y < b.y ? 1.0f : 0.0f,
+             a.z < b.z ? 1.0f : 0.0f, a.w < b.w ? 1.0f : 0.0f};
+        break;
+      case Opcode::SGE:
+        r = {a.x >= b.x ? 1.0f : 0.0f, a.y >= b.y ? 1.0f : 0.0f,
+             a.z >= b.z ? 1.0f : 0.0f, a.w >= b.w ? 1.0f : 0.0f};
+        break;
+      case Opcode::FRC:
+        r = {a.x - std::floor(a.x), a.y - std::floor(a.y),
+             a.z - std::floor(a.z), a.w - std::floor(a.w)};
+        break;
+      case Opcode::FLR:
+        r = {std::floor(a.x), std::floor(a.y), std::floor(a.z),
+             std::floor(a.w)};
+        break;
+      case Opcode::ABS:
+        r = {std::fabs(a.x), std::fabs(a.y), std::fabs(a.z),
+             std::fabs(a.w)};
+        break;
+      case Opcode::EX2: {
+        float d = std::exp2(a.x);
+        r = {d, d, d, d};
+        break;
+      }
+      case Opcode::LG2: {
+        float d = a.x > 0.0f ? std::log2(a.x) : -126.0f;
+        r = {d, d, d, d};
+        break;
+      }
+      case Opcode::POW: {
+        float d = std::pow(std::fabs(a.x), b.x);
+        r = {d, d, d, d};
+        break;
+      }
+      case Opcode::LRP:
+        r = {a.x * b.x + (1.0f - a.x) * c.x,
+             a.y * b.y + (1.0f - a.y) * c.y,
+             a.z * b.z + (1.0f - a.z) * c.z,
+             a.w * b.w + (1.0f - a.w) * c.w};
+        break;
+      case Opcode::CMP:
+        r = {a.x < 0.0f ? b.x : c.x, a.y < 0.0f ? b.y : c.y,
+             a.z < 0.0f ? b.z : c.z, a.w < 0.0f ? b.w : c.w};
+        break;
+      case Opcode::NRM: {
+        Vec3 n = a.xyz().normalized();
+        r = {n.x, n.y, n.z, a.w};
+        break;
+      }
+      case Opcode::XPD: {
+        Vec3 x = a.xyz().cross(b.xyz());
+        r = {x.x, x.y, x.z, 1.0f};
+        break;
+      }
+      case Opcode::DST: {
+        r = {1.0f, a.y * b.y, a.z, b.w};
+        break;
+      }
+      case Opcode::LIT: {
+        float diffuse = std::fmax(a.x, 0.0f);
+        float specular = 0.0f;
+        if (a.x > 0.0f) {
+            float e = clampf(a.w, -128.0f, 128.0f);
+            specular = std::pow(std::fmax(a.y, 0.0f), e);
+        }
+        r = {1.0f, diffuse, specular, 1.0f};
+        break;
+      }
+      case Opcode::KIL: {
+        if (a.x < 0.0f || a.y < 0.0f || a.z < 0.0f || a.w < 0.0f)
+            return true;
+        return false;
+      }
+      default:
+        panic("shader: ALU executor got texture opcode %s",
+              opcodeName(in.op));
+    }
+    writeDst(lane, in.dst, r);
+    return false;
+}
+
+} // namespace
+
+void
+Interpreter::run(const Program &program, LaneState &lane)
+{
+    const Vec4 *constants = program.constants().data();
+    for (const Instruction &in : program.code()) {
+        WC3D_ASSERT(!opcodeInfo(in.op).isTexture &&
+                    "texture sampling requires quad execution");
+        ++_stats.instructionsExecuted;
+        if (execAlu(in, lane, constants)) {
+            lane.killed = true;
+            ++_stats.killsTaken;
+        }
+    }
+    ++_stats.programsRun;
+}
+
+void
+Interpreter::runQuad(const Program &program, QuadState &quad,
+                     TextureSampleHandler *tex_handler)
+{
+    const Vec4 *constants = program.constants().data();
+    int covered = 0;
+    for (int l = 0; l < 4; ++l)
+        covered += quad.covered[l] ? 1 : 0;
+
+    for (const Instruction &in : program.code()) {
+        const OpcodeInfo &info = opcodeInfo(in.op);
+        _stats.instructionsExecuted +=
+            static_cast<std::uint64_t>(covered);
+        if (info.isTexture) {
+            _stats.textureInstructions +=
+                static_cast<std::uint64_t>(covered);
+            WC3D_ASSERT(tex_handler &&
+                        "texture instruction without a sampler handler");
+            Vec4 coords[4];
+            float lod_bias = 0.0f;
+            for (int l = 0; l < 4; ++l) {
+                Vec4 c =
+                    readSrc(quad.lanes[l], constants, in.src[0]);
+                if (in.op == Opcode::TXP && c.w != 0.0f) {
+                    c = {c.x / c.w, c.y / c.w, c.z / c.w, 1.0f};
+                } else if (in.op == Opcode::TXB) {
+                    // Per-quad bias comes from the first lane's w.
+                    if (l == 0)
+                        lod_bias = c.w;
+                }
+                coords[l] = c;
+            }
+            Vec4 out[4];
+            tex_handler->sampleQuad(in.sampler, coords, lod_bias, out);
+            for (int l = 0; l < 4; ++l)
+                writeDst(quad.lanes[l], in.dst, out[l]);
+        } else {
+            for (int l = 0; l < 4; ++l) {
+                if (execAlu(in, quad.lanes[l], constants)) {
+                    if (!quad.lanes[l].killed && quad.covered[l])
+                        ++_stats.killsTaken;
+                    quad.lanes[l].killed = true;
+                }
+            }
+        }
+    }
+    _stats.programsRun += static_cast<std::uint64_t>(covered);
+}
+
+} // namespace wc3d::shader

@@ -1,0 +1,79 @@
+#include "shader/isa.hh"
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace wc3d::shader {
+
+namespace {
+
+const OpcodeInfo kOpcodeTable[] = {
+    // name  srcs  tex    dst
+    {"MOV", 1, false, true},
+    {"ADD", 2, false, true},
+    {"SUB", 2, false, true},
+    {"MUL", 2, false, true},
+    {"MAD", 3, false, true},
+    {"DP3", 2, false, true},
+    {"DP4", 2, false, true},
+    {"RCP", 1, false, true},
+    {"RSQ", 1, false, true},
+    {"MIN", 2, false, true},
+    {"MAX", 2, false, true},
+    {"SLT", 2, false, true},
+    {"SGE", 2, false, true},
+    {"FRC", 1, false, true},
+    {"FLR", 1, false, true},
+    {"ABS", 1, false, true},
+    {"EX2", 1, false, true},
+    {"LG2", 1, false, true},
+    {"POW", 2, false, true},
+    {"LRP", 3, false, true},
+    {"CMP", 3, false, true},
+    {"NRM", 1, false, true},
+    {"XPD", 2, false, true},
+    {"DST", 2, false, true},
+    {"LIT", 1, false, true},
+    {"TEX", 1, true, true},
+    {"TXP", 1, true, true},
+    {"TXB", 1, true, true},
+    {"KIL", 1, false, false},
+};
+
+static_assert(sizeof(kOpcodeTable) / sizeof(kOpcodeTable[0]) ==
+              static_cast<std::size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync with enum");
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    WC3D_ASSERT(idx < static_cast<std::size_t>(Opcode::NumOpcodes));
+    return kOpcodeTable[idx];
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).name;
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode &out)
+{
+    std::string upper = name;
+    for (char &c : upper)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        if (upper == kOpcodeTable[i].name) {
+            out = static_cast<Opcode>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace wc3d::shader

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The shader instruction set. Modelled on the ARB vertex/fragment program
+ * ISA that ATTILA's driver targets: SIMD4 float registers, source
+ * swizzle/negate/abs modifiers, destination write mask and saturate, and
+ * texture-sampling instructions (TEX/TXP/TXB) plus fragment KIL.
+ *
+ * The ALU-vs-texture split of this ISA is the quantity the paper's
+ * Table XII/XIII characterization is built around.
+ */
+
+#ifndef WC3D_SHADER_ISA_HH
+#define WC3D_SHADER_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wc3d::shader {
+
+/** Shader opcodes. */
+enum class Opcode : std::uint8_t
+{
+    MOV,  ///< d = s0
+    ADD,  ///< d = s0 + s1
+    SUB,  ///< d = s0 - s1
+    MUL,  ///< d = s0 * s1
+    MAD,  ///< d = s0 * s1 + s2
+    DP3,  ///< d = dot3(s0, s1) broadcast
+    DP4,  ///< d = dot4(s0, s1) broadcast
+    RCP,  ///< d = 1 / s0.x broadcast
+    RSQ,  ///< d = 1 / sqrt(|s0.x|) broadcast
+    MIN,  ///< d = min(s0, s1)
+    MAX,  ///< d = max(s0, s1)
+    SLT,  ///< d = (s0 < s1) ? 1 : 0
+    SGE,  ///< d = (s0 >= s1) ? 1 : 0
+    FRC,  ///< d = s0 - floor(s0)
+    FLR,  ///< d = floor(s0)
+    ABS,  ///< d = |s0|
+    EX2,  ///< d = 2^s0.x broadcast
+    LG2,  ///< d = log2(s0.x) broadcast
+    POW,  ///< d = s0.x ^ s1.x broadcast
+    LRP,  ///< d = s0 * s1 + (1 - s0) * s2
+    CMP,  ///< d = (s0 < 0) ? s1 : s2
+    NRM,  ///< d.xyz = normalize(s0.xyz), d.w = s0.w
+    XPD,  ///< d.xyz = cross(s0.xyz, s1.xyz), d.w = 1
+    DST,  ///< distance vector (1, s0.y*s1.y, s0.z, s1.w)
+    LIT,  ///< lighting coefficients
+    TEX,  ///< d = sample(sampler, s0.xy)
+    TXP,  ///< d = sample(sampler, s0.xy / s0.w)
+    TXB,  ///< d = sample(sampler, s0.xy, bias = s0.w)
+    KIL,  ///< kill fragment when any enabled component of s0 < 0
+    NumOpcodes,
+};
+
+/** Register files addressable by operands. */
+enum class RegFile : std::uint8_t
+{
+    Input,    ///< vertex attributes / fragment varyings (v#)
+    Temp,     ///< temporaries (r#)
+    Const,    ///< program constants (c#)
+    Output,   ///< shader outputs (o#)
+};
+
+/** Limits of the register architecture. */
+constexpr int kMaxInputs = 16;
+constexpr int kMaxTemps = 16;
+constexpr int kMaxConsts = 64;
+constexpr int kMaxOutputs = 8;
+constexpr int kMaxSamplers = 8;
+
+/** Component selectors for swizzles. */
+enum : std::uint8_t { kCompX = 0, kCompY = 1, kCompZ = 2, kCompW = 3 };
+
+/** Pack a 4-component swizzle into a byte (x=bits 0-1 ... w=bits 6-7). */
+constexpr std::uint8_t
+packSwizzle(std::uint8_t x, std::uint8_t y, std::uint8_t z, std::uint8_t w)
+{
+    return static_cast<std::uint8_t>(x | (y << 2) | (z << 4) | (w << 6));
+}
+
+/** The identity swizzle .xyzw. */
+constexpr std::uint8_t kSwizzleXYZW = packSwizzle(0, 1, 2, 3);
+
+/** Extract component @p i (0..3) of a packed swizzle. */
+constexpr std::uint8_t
+swizzleComp(std::uint8_t swizzle, int i)
+{
+    return (swizzle >> (2 * i)) & 0x3;
+}
+
+/** Source operand: register + swizzle + negate/abs modifiers. */
+struct SrcOperand
+{
+    RegFile file = RegFile::Temp;
+    std::uint8_t index = 0;
+    std::uint8_t swizzle = kSwizzleXYZW;
+    bool negate = false;
+    bool absolute = false;
+};
+
+/** Write-mask bits. */
+enum : std::uint8_t
+{
+    kMaskX = 1,
+    kMaskY = 2,
+    kMaskZ = 4,
+    kMaskW = 8,
+    kMaskXYZW = 0xf,
+};
+
+/** Destination operand: register + write mask + saturate modifier. */
+struct DstOperand
+{
+    RegFile file = RegFile::Temp;
+    std::uint8_t index = 0;
+    std::uint8_t writeMask = kMaskXYZW;
+    bool saturate = false;
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::MOV;
+    DstOperand dst;
+    SrcOperand src[3];
+    std::uint8_t sampler = 0; ///< texture unit for TEX/TXP/TXB
+};
+
+/** Static opcode properties. */
+struct OpcodeInfo
+{
+    const char *name;  ///< mnemonic
+    int numSrcs;       ///< source operand count
+    bool isTexture;    ///< TEX/TXP/TXB
+    bool hasDst;       ///< false only for KIL
+};
+
+/** @return the static properties of @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** @return the mnemonic of @p op ("MAD", "TEX", ...). */
+const char *opcodeName(Opcode op);
+
+/**
+ * Look up an opcode by mnemonic (case-insensitive).
+ * @return true and sets @p out when found.
+ */
+bool opcodeFromName(const std::string &name, Opcode &out);
+
+} // namespace wc3d::shader
+
+#endif // WC3D_SHADER_ISA_HH

@@ -1,0 +1,124 @@
+#include "stats/distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace wc3d::stats {
+
+void
+Distribution::sample(double v)
+{
+    sampleN(v, 1);
+}
+
+void
+Distribution::sampleN(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    _count += n;
+    _sum += v * static_cast<double>(n);
+    _sumSq += v * v * static_cast<double>(n);
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+}
+
+void
+Distribution::merge(const Distribution &o)
+{
+    _count += o._count;
+    _sum += o._sum;
+    _sumSq += o._sumSq;
+    _min = std::min(_min, o._min);
+    _max = std::max(_max, o._max);
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+double
+Distribution::min() const
+{
+    return _count ? _min : 0.0;
+}
+
+double
+Distribution::max() const
+{
+    return _count ? _max : 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return _count ? _sum / static_cast<double>(_count) : 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    double n = static_cast<double>(_count);
+    double m = _sum / n;
+    double var = _sumSq / n - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : _lo(lo), _hi(hi), _bins(static_cast<std::size_t>(buckets), 0)
+{
+    WC3D_ASSERT(hi > lo && buckets > 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_total;
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>(
+            (v - _lo) / (_hi - _lo) * static_cast<double>(_bins.size()));
+        if (idx >= _bins.size())
+            idx = _bins.size() - 1;
+        ++_bins[idx];
+    }
+}
+
+double
+Histogram::binLow(int i) const
+{
+    return _lo + (_hi - _lo) * static_cast<double>(i) /
+           static_cast<double>(_bins.size());
+}
+
+std::string
+Histogram::toString() const
+{
+    std::string out;
+    for (int i = 0; i < buckets(); ++i) {
+        out += format("[%10.2f, %10.2f): %llu\n", binLow(i), binLow(i + 1),
+                      static_cast<unsigned long long>(_bins[i]));
+    }
+    out += format("underflow: %llu overflow: %llu\n",
+                  static_cast<unsigned long long>(_underflow),
+                  static_cast<unsigned long long>(_overflow));
+    return out;
+}
+
+} // namespace wc3d::stats

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Streaming distribution statistics (count/sum/min/max/mean/variance)
+ * plus a simple linear histogram. Used for per-frame and per-event
+ * quantities such as triangle sizes and batch sizes.
+ */
+
+#ifndef WC3D_STATS_DISTRIBUTION_HH
+#define WC3D_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wc3d::stats {
+
+/** Welford-style streaming distribution. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Record @p n identical samples (weighted sample). */
+    void sampleN(double v, std::uint64_t n);
+
+    /** Merge another distribution into this one. */
+    void merge(const Distribution &o);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const;
+    double max() const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-range linear histogram with underflow/overflow buckets. */
+class Histogram
+{
+  public:
+    /** Build a histogram over [lo, hi) with @p buckets equal bins. */
+    Histogram(double lo, double hi, int buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    int buckets() const { return static_cast<int>(_bins.size()); }
+    std::uint64_t binCount(int i) const { return _bins.at(i); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t total() const { return _total; }
+
+    /** Lower edge of bin @p i. */
+    double binLow(int i) const;
+
+    /** Render a one-line-per-bucket ASCII view. */
+    std::string toString() const;
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<std::uint64_t> _bins;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _total = 0;
+};
+
+} // namespace wc3d::stats
+
+#endif // WC3D_STATS_DISTRIBUTION_HH

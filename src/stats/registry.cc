@@ -1,0 +1,86 @@
+#include "stats/registry.hh"
+
+#include "common/strutil.hh"
+
+namespace wc3d::stats {
+
+namespace {
+const Distribution kEmptyDistribution;
+} // namespace
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    auto it = _counters.find(name);
+    if (it == _counters.end()) {
+        it = _counters.emplace(name, Counter()).first;
+        _counterOrder.push_back(name);
+    }
+    return it->second;
+}
+
+Distribution &
+Registry::distribution(const std::string &name)
+{
+    auto it = _dists.find(name);
+    if (it == _dists.end()) {
+        it = _dists.emplace(name, Distribution()).first;
+        _distOrder.push_back(name);
+    }
+    return it->second;
+}
+
+bool
+Registry::hasCounter(const std::string &name) const
+{
+    return _counters.count(name) != 0;
+}
+
+bool
+Registry::hasDistribution(const std::string &name) const
+{
+    return _dists.count(name) != 0;
+}
+
+std::uint64_t
+Registry::counterValue(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it != _counters.end() ? it->second.value() : 0;
+}
+
+const Distribution &
+Registry::distributionValue(const std::string &name) const
+{
+    auto it = _dists.find(name);
+    return it != _dists.end() ? it->second : kEmptyDistribution;
+}
+
+void
+Registry::resetAll()
+{
+    for (auto &kv : _counters)
+        kv.second.reset();
+    for (auto &kv : _dists)
+        kv.second.reset();
+}
+
+std::string
+Registry::dump() const
+{
+    std::string out;
+    for (const auto &name : _counterOrder) {
+        out += format("%-40s %llu\n", name.c_str(),
+            static_cast<unsigned long long>(counterValue(name)));
+    }
+    for (const auto &name : _distOrder) {
+        const Distribution &d = distributionValue(name);
+        out += format("%-40s mean=%.3f n=%llu min=%.3f max=%.3f\n",
+                      name.c_str(), d.mean(),
+                      static_cast<unsigned long long>(d.count()),
+                      d.min(), d.max());
+    }
+    return out;
+}
+
+} // namespace wc3d::stats

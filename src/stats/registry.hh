@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Named statistic registry. Pipeline stages register counters and
+ * distributions here; analyzers and benches read them back by name.
+ * Insertion order is preserved for stable report output.
+ */
+
+#ifndef WC3D_STATS_REGISTRY_HH
+#define WC3D_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/distribution.hh"
+
+namespace wc3d::stats {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * Registry of named counters and distributions.
+ *
+ * Names are hierarchical by convention ("raster.quads", "cache.z.hits").
+ * Lookups create the statistic on first use so stages can stay decoupled
+ * from report code.
+ */
+class Registry
+{
+  public:
+    /** Get (creating if needed) the counter called @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Get (creating if needed) the distribution called @p name. */
+    Distribution &distribution(const std::string &name);
+
+    /** @return true when a counter of that name exists. */
+    bool hasCounter(const std::string &name) const;
+
+    /** @return true when a distribution of that name exists. */
+    bool hasDistribution(const std::string &name) const;
+
+    /** Read a counter value; 0 when absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Read a distribution; empty Distribution when absent. */
+    const Distribution &distributionValue(const std::string &name) const;
+
+    /** All counter names in registration order. */
+    const std::vector<std::string> &counterNames() const
+    { return _counterOrder; }
+
+    /** All distribution names in registration order. */
+    const std::vector<std::string> &distributionNames() const
+    { return _distOrder; }
+
+    /** Zero every counter and distribution (keeps registrations). */
+    void resetAll();
+
+    /** Dump "name value" lines, counters then distribution means. */
+    std::string dump() const;
+
+  private:
+    std::unordered_map<std::string, Counter> _counters;
+    std::vector<std::string> _counterOrder;
+    std::unordered_map<std::string, Distribution> _dists;
+    std::vector<std::string> _distOrder;
+};
+
+} // namespace wc3d::stats
+
+#endif // WC3D_STATS_REGISTRY_HH

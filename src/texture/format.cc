@@ -1,0 +1,50 @@
+#include "texture/format.hh"
+
+#include "common/log.hh"
+
+namespace wc3d::tex {
+
+const char *
+formatName(TexFormat f)
+{
+    switch (f) {
+      case TexFormat::RGBA8:
+        return "RGBA8";
+      case TexFormat::DXT1:
+        return "DXT1";
+      case TexFormat::DXT3:
+        return "DXT3";
+      case TexFormat::DXT5:
+        return "DXT5";
+    }
+    return "?";
+}
+
+std::uint32_t
+blockBytes(TexFormat f)
+{
+    switch (f) {
+      case TexFormat::RGBA8:
+        return kDecodedBlockBytes;
+      case TexFormat::DXT1:
+        return 8;
+      case TexFormat::DXT3:
+      case TexFormat::DXT5:
+        return 16;
+    }
+    panic("unknown texture format");
+}
+
+bool
+isCompressed(TexFormat f)
+{
+    return f != TexFormat::RGBA8;
+}
+
+double
+compressionRatio(TexFormat f)
+{
+    return static_cast<double>(kDecodedBlockBytes) / blockBytes(f);
+}
+
+} // namespace wc3d::tex

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Texture storage formats. The paper's workloads use compressed textures
+ * (DXT1/DXT3/DXT5) for most texture data, which together with the texture
+ * cache "reduces almost to a tenth the required BW for texture data"
+ * (Section III.E) — so the formats and their block geometry are modelled
+ * exactly.
+ */
+
+#ifndef WC3D_TEXTURE_FORMAT_HH
+#define WC3D_TEXTURE_FORMAT_HH
+
+#include <cstdint>
+
+namespace wc3d::tex {
+
+/** Supported texture storage formats. */
+enum class TexFormat : std::uint8_t
+{
+    RGBA8, ///< 4 bytes per texel, uncompressed
+    DXT1,  ///< 4x4 block, 8 bytes (opaque / 1-bit alpha)
+    DXT3,  ///< 4x4 block, 16 bytes (explicit 4-bit alpha)
+    DXT5,  ///< 4x4 block, 16 bytes (interpolated alpha)
+};
+
+/** Human-readable format name. */
+const char *formatName(TexFormat f);
+
+/** Block width/height in texels (4 for DXT, 1 for RGBA8 conceptually;
+ *  for cache accounting RGBA8 also uses 4x4 tiles = 64B lines). */
+constexpr int kBlockDim = 4;
+
+/** Bytes of one 4x4-texel block in format @p f. */
+std::uint32_t blockBytes(TexFormat f);
+
+/** Bytes of one 4x4-texel block decoded to RGBA8 (always 64). */
+constexpr std::uint32_t kDecodedBlockBytes = kBlockDim * kBlockDim * 4;
+
+/** @return true when @p f is a DXT block-compressed format. */
+bool isCompressed(TexFormat f);
+
+/** Compression ratio (decoded bytes / stored bytes). */
+double compressionRatio(TexFormat f);
+
+} // namespace wc3d::tex
+
+#endif // WC3D_TEXTURE_FORMAT_HH

@@ -1,0 +1,232 @@
+#include "texture/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace wc3d::tex {
+
+namespace {
+
+int
+wrapCoord(int c, int size, TexWrap wrap)
+{
+    if (wrap == TexWrap::Repeat) {
+        c %= size;
+        if (c < 0)
+            c += size;
+        return c;
+    }
+    return std::clamp(c, 0, size - 1);
+}
+
+Vec4
+toVec4(Rgba8 c)
+{
+    return {unorm8ToFloat(c.r), unorm8ToFloat(c.g), unorm8ToFloat(c.b),
+            unorm8ToFloat(c.a)};
+}
+
+} // namespace
+
+void
+Sampler::noteBlock(const Texture2D &texture, int level, int x, int y)
+{
+    int bx = x / kBlockDim;
+    int by = y / kBlockDim;
+    std::uint64_t key = (static_cast<std::uint64_t>(level) << 48) |
+                        (static_cast<std::uint64_t>(by) << 24) |
+                        static_cast<std::uint64_t>(bx);
+    for (int i = 0; i < _blockCount; ++i) {
+        if (_blockSet[i] == key) {
+            ++_blockRefs[i];
+            return;
+        }
+    }
+    if (_blockCount < kMaxQuadBlocks) {
+        _blockSet[_blockCount] = key;
+        _blockRefs[_blockCount] = 1;
+        ++_blockCount;
+    } else if (_listener) {
+        // Overflow: forward immediately rather than losing the access.
+        _listener->blockAccess(texture, level, bx, by, 1);
+    }
+}
+
+void
+Sampler::flushBlockSet(const Texture2D &texture)
+{
+    if (_listener) {
+        for (int i = 0; i < _blockCount; ++i) {
+            std::uint64_t key = _blockSet[i];
+            int level = static_cast<int>(key >> 48);
+            int by = static_cast<int>((key >> 24) & 0xffffff);
+            int bx = static_cast<int>(key & 0xffffff);
+            _listener->blockAccess(texture, level, bx, by,
+                                   static_cast<int>(_blockRefs[i]));
+        }
+    }
+    _blockCount = 0;
+}
+
+Vec4
+Sampler::nearestFetch(const Texture2D &texture, TexWrap wrap, int level,
+                      Vec2 uv)
+{
+    int w = texture.levelWidth(level);
+    int h = texture.levelHeight(level);
+    int x = wrapCoord(static_cast<int>(std::floor(uv.x * w)), w, wrap);
+    int y = wrapCoord(static_cast<int>(std::floor(uv.y * h)), h, wrap);
+    ++_stats.texelReads;
+    noteBlock(texture, level, x, y);
+    return toVec4(texture.texel(level, x, y));
+}
+
+Vec4
+Sampler::bilinearFetch(const Texture2D &texture, TexWrap wrap, int level,
+                       Vec2 uv)
+{
+    int w = texture.levelWidth(level);
+    int h = texture.levelHeight(level);
+    float fx = uv.x * w - 0.5f;
+    float fy = uv.y * h - 0.5f;
+    int x0 = static_cast<int>(std::floor(fx));
+    int y0 = static_cast<int>(std::floor(fy));
+    float tx = fx - x0;
+    float ty = fy - y0;
+    int xa = wrapCoord(x0, w, wrap);
+    int xb = wrapCoord(x0 + 1, w, wrap);
+    int ya = wrapCoord(y0, h, wrap);
+    int yb = wrapCoord(y0 + 1, h, wrap);
+
+    ++_stats.bilinearSamples;
+    _stats.texelReads += 4;
+    noteBlock(texture, level, xa, ya);
+    noteBlock(texture, level, xb, ya);
+    noteBlock(texture, level, xa, yb);
+    noteBlock(texture, level, xb, yb);
+
+    Vec4 c00 = toVec4(texture.texel(level, xa, ya));
+    Vec4 c10 = toVec4(texture.texel(level, xb, ya));
+    Vec4 c01 = toVec4(texture.texel(level, xa, yb));
+    Vec4 c11 = toVec4(texture.texel(level, xb, yb));
+    return lerp(lerp(c00, c10, tx), lerp(c01, c11, tx), ty);
+}
+
+Vec4
+Sampler::filteredFetch(const Texture2D &texture, const SamplerState &state,
+                       Vec2 uv, float lod)
+{
+    int max_level = texture.levels() - 1;
+    switch (state.filter) {
+      case TexFilter::Nearest: {
+        int level = std::clamp(static_cast<int>(std::lround(lod)), 0,
+                               max_level);
+        return nearestFetch(texture, state.wrap, level, uv);
+      }
+      case TexFilter::Bilinear: {
+        int level = std::clamp(static_cast<int>(std::lround(lod)), 0,
+                               max_level);
+        return bilinearFetch(texture, state.wrap, level, uv);
+      }
+      case TexFilter::Trilinear:
+      case TexFilter::Anisotropic: {
+        if (lod <= 0.0f)
+            return bilinearFetch(texture, state.wrap, 0, uv);
+        if (lod >= static_cast<float>(max_level))
+            return bilinearFetch(texture, state.wrap, max_level, uv);
+        int l0 = static_cast<int>(std::floor(lod));
+        float frac = lod - static_cast<float>(l0);
+        Vec4 a = bilinearFetch(texture, state.wrap, l0, uv);
+        if (frac < 1e-4f)
+            return a;
+        Vec4 b = bilinearFetch(texture, state.wrap, l0 + 1, uv);
+        return lerp(a, b, frac);
+      }
+    }
+    panic("unreachable filter mode");
+}
+
+Vec4
+Sampler::sampleLod(const Texture2D &texture, const SamplerState &state,
+                   Vec2 uv, float lod)
+{
+    ++_stats.requests;
+    Vec4 r = filteredFetch(texture, state, uv, lod);
+    flushBlockSet(texture);
+    return r;
+}
+
+void
+Sampler::sampleQuad(const Texture2D &texture, const SamplerState &state,
+                    const Vec4 coords[4], float lod_bias, Vec4 out[4])
+{
+    // Texture-space derivatives from quad lane differences, in texels of
+    // the base level.
+    float w = static_cast<float>(texture.width());
+    float h = static_cast<float>(texture.height());
+    Vec2 ddx{(coords[1].x - coords[0].x) * w,
+             (coords[1].y - coords[0].y) * h};
+    Vec2 ddy{(coords[2].x - coords[0].x) * w,
+             (coords[2].y - coords[0].y) * h};
+    float lx = ddx.length();
+    float ly = ddy.length();
+
+    float bias = state.lodBias + lod_bias;
+
+    int probes = 1;
+    Vec2 probe_step{0.0f, 0.0f};
+    float lod;
+    if (state.filter == TexFilter::Anisotropic && state.maxAniso > 1) {
+        float major = std::max(lx, ly);
+        float minor = std::min(lx, ly);
+        if (minor < 1e-6f)
+            minor = std::min(major, 1e-6f) > 0.0f ? 1e-6f : major;
+        float ratio = 1.0f;
+        if (minor > 0.0f)
+            ratio = std::min(major / minor,
+                             static_cast<float>(state.maxAniso));
+        probes = std::max(1, static_cast<int>(std::ceil(ratio - 1e-4f)));
+        _stats.anisoRatioSum += probes;
+        ++_stats.anisoRequests;
+        // Probe footprint: the major axis is split across the probes.
+        float effective = probes > 1 ? major / static_cast<float>(probes)
+                                     : major;
+        float footprint = std::max(minor, effective);
+        lod = footprint > 0.0f ? std::log2(footprint) : 0.0f;
+        if (probes > 1) {
+            // Step along the major axis in uv units.
+            Vec2 major_uv = lx >= ly
+                ? Vec2{coords[1].x - coords[0].x,
+                       coords[1].y - coords[0].y}
+                : Vec2{coords[2].x - coords[0].x,
+                       coords[2].y - coords[0].y};
+            probe_step = major_uv;
+        }
+    } else {
+        float footprint = std::max(lx, ly);
+        lod = footprint > 0.0f ? std::log2(footprint) : 0.0f;
+    }
+    lod += bias;
+
+    for (int lane = 0; lane < 4; ++lane) {
+        ++_stats.requests;
+        Vec2 uv{coords[lane].x, coords[lane].y};
+        if (probes == 1) {
+            out[lane] = filteredFetch(texture, state, uv, lod);
+        } else {
+            Vec4 acc{0, 0, 0, 0};
+            for (int p = 0; p < probes; ++p) {
+                float t = (static_cast<float>(p) + 0.5f) /
+                          static_cast<float>(probes) - 0.5f;
+                Vec2 puv{uv.x + probe_step.x * t, uv.y + probe_step.y * t};
+                acc = acc + filteredFetch(texture, state, puv, lod);
+            }
+            out[lane] = acc / static_cast<float>(probes);
+        }
+    }
+    flushBlockSet(texture);
+}
+
+} // namespace wc3d::tex

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Two-level texture cache, as in the ATTILA architecture the paper
+ * simulates: "The texture cache implements two levels: level 0 stores
+ * uncompressed data and level 1 stores compressed data." L0 is tagged
+ * in the decompressed (virtual) address space; an L0 miss accesses L1
+ * in the compressed address space; an L1 miss reads one line from GDDR,
+ * charged to the Texture client.
+ *
+ * Also provides TextureUnit, the bridge from shader TEX instructions to
+ * the sampler + cache.
+ */
+
+#ifndef WC3D_TEXTURE_TEXCACHE_HH
+#define WC3D_TEXTURE_TEXCACHE_HH
+
+#include <array>
+
+#include "memory/cache.hh"
+#include "memory/controller.hh"
+#include "shader/interp.hh"
+#include "texture/sampler.hh"
+
+namespace wc3d::tex {
+
+/** Geometry of the two texture cache levels (paper Table XIV). */
+struct TexCacheConfig
+{
+    int l0Ways = 64;  ///< "4 KB, 64w x 64B" fully associative
+    int l0Sets = 1;
+    int l0Line = 64;
+    int l1Ways = 16;  ///< "16 KB, 16w x 16s x 64B"
+    int l1Sets = 16;
+    int l1Line = 64;
+};
+
+/**
+ * The texture cache hierarchy. Receives distinct-block accesses from
+ * the Sampler and models residency and memory traffic.
+ */
+class TextureCache : public TexelAccessListener
+{
+  public:
+    TextureCache(const TexCacheConfig &config,
+                 memsys::MemoryController *memory);
+
+    void blockAccess(const Texture2D &texture, int level, int bx,
+                     int by, int refs) override;
+
+    const memsys::CacheStats &l0Stats() const { return _l0.stats(); }
+    const memsys::CacheStats &l1Stats() const { return _l1.stats(); }
+    const memsys::CacheModel &l0() const { return _l0; }
+    const memsys::CacheModel &l1() const { return _l1; }
+
+    void resetStats();
+
+    /** Drop all residency (e.g. between independent runs). */
+    void invalidate();
+
+  private:
+    memsys::CacheModel _l0;
+    memsys::CacheModel _l1;
+    memsys::MemoryController *_memory;
+};
+
+/**
+ * Texture unit: holds per-unit (texture, sampler-state) bindings and
+ * services shader texture instructions through a Sampler and the cache.
+ */
+class TextureUnit : public shader::TextureSampleHandler
+{
+  public:
+    TextureUnit(const TexCacheConfig &config,
+                memsys::MemoryController *memory);
+
+    /** Bind @p texture with @p state to sampler slot @p unit. */
+    void bind(int unit, const Texture2D *texture, SamplerState state);
+
+    /** Remove the binding of slot @p unit. */
+    void unbind(int unit);
+
+    const Texture2D *boundTexture(int unit) const;
+
+    void sampleQuad(int sampler, const Vec4 coords[4], float lod_bias,
+                    Vec4 out[4]) override;
+
+    Sampler &sampler() { return _sampler; }
+    TextureCache &cache() { return _cache; }
+    const Sampler &sampler() const { return _sampler; }
+    const TextureCache &cache() const { return _cache; }
+
+  private:
+    struct Binding
+    {
+        const Texture2D *texture = nullptr;
+        SamplerState state;
+    };
+
+    std::array<Binding, shader::kMaxSamplers> _bindings;
+    TextureCache _cache;
+    Sampler _sampler;
+};
+
+} // namespace wc3d::tex
+
+#endif // WC3D_TEXTURE_TEXCACHE_HH

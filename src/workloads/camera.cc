@@ -1,0 +1,46 @@
+#include "workloads/camera.hh"
+
+#include <cmath>
+
+namespace wc3d::workloads {
+
+CameraPath::CameraPath(float ring_radius, float speed, float eye_height)
+    : _radius(ring_radius), _speed(speed), _height(eye_height)
+{
+}
+
+Vec3
+CameraPath::position(int frame) const
+{
+    float a = _speed * static_cast<float>(frame);
+    // Slight radial wander + head bob.
+    float r = _radius * (1.0f + 0.08f * std::sin(a * 2.7f));
+    float h = _height + 0.4f * std::sin(a * 5.1f);
+    return {r * std::cos(a), h, r * std::sin(a)};
+}
+
+Vec3
+CameraPath::target(int frame) const
+{
+    float a = _speed * static_cast<float>(frame);
+    // Look ahead along the path with periodic glances sideways/up.
+    float ahead = a + 0.25f + 0.15f * std::sin(a * 1.3f);
+    float r = _radius * (1.0f + 0.08f * std::sin(ahead * 2.7f));
+    float h = _height + 1.2f * std::sin(a * 0.9f);
+    return {r * std::cos(ahead), h, r * std::sin(ahead)};
+}
+
+Mat4
+CameraPath::view(int frame) const
+{
+    return Mat4::lookAt(position(frame), target(frame), {0, 1, 0});
+}
+
+Mat4
+CameraPath::projection(float aspect, float fovy_deg, float znear,
+                       float zfar)
+{
+    return Mat4::perspective(radians(fovy_deg), aspect, znear, zfar);
+}
+
+} // namespace wc3d::workloads

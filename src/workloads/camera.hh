@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Camera paths for the synthetic timedemos: a deterministic flythrough
+ * on a ring through the scene with gentle bobbing and heading changes,
+ * giving the frame-to-frame variability the paper observes ("the
+ * interactive nature of games ... makes the number of batches per frame
+ * highly variable over time", Fig. 1).
+ */
+
+#ifndef WC3D_WORKLOADS_CAMERA_HH
+#define WC3D_WORKLOADS_CAMERA_HH
+
+#include "common/vecmath.hh"
+
+namespace wc3d::workloads {
+
+/** Deterministic flythrough camera. */
+class CameraPath
+{
+  public:
+    /**
+     * @param ring_radius radius of the path through the world
+     * @param speed       radians of ring angle per frame
+     * @param eye_height  base camera height
+     */
+    CameraPath(float ring_radius, float speed, float eye_height);
+
+    /** Camera position at @p frame. */
+    Vec3 position(int frame) const;
+
+    /** Look-at target at @p frame (ahead on the path, with wander). */
+    Vec3 target(int frame) const;
+
+    /** View matrix at @p frame. */
+    Mat4 view(int frame) const;
+
+    /** Projection for the paper's 1024x768-style 4:3 frustum. */
+    static Mat4 projection(float aspect = 4.0f / 3.0f,
+                           float fovy_deg = 70.0f, float znear = 0.5f,
+                           float zfar = 400.0f);
+
+  private:
+    float _radius;
+    float _speed;
+    float _height;
+};
+
+} // namespace wc3d::workloads
+
+#endif // WC3D_WORKLOADS_CAMERA_HH

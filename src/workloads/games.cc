@@ -1,0 +1,346 @@
+#include "workloads/games.hh"
+
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace wc3d::workloads {
+
+namespace {
+
+/** Per-game calibration targets from the paper's Tables I, III, IV, V
+ *  and XII (batches/frame = indices-per-frame / indices-per-batch). */
+std::vector<GameProfile>
+buildProfiles()
+{
+    std::vector<GameProfile> v;
+
+    {
+        GameProfile p;
+        p.id = "ut2004/primeval";
+        p.game = "UT2004";
+        p.engine = "Unreal 2.5";
+        p.releaseDate = "March 2004";
+        p.apiKind = api::GraphicsApi::OpenGL;
+        p.paperFrames = 1992;
+        p.usesShaders = false; // fixed function, translated by the driver
+        p.indexType = api::IndexType::U16;
+        p.indicesPerBatch = 1110;
+        p.batchesPerFrame = 225;
+        p.vsInstructions = 23;
+        p.fsInstructions = 4.63;
+        p.fsTexInstructions = 1.54;
+        p.alphaTestShare = 0.20;
+        p.fanPrimShare = 0.001;
+        p.filter = tex::TexFilter::Anisotropic;
+        p.maxAniso = 16;
+        p.translucentShare = 0.55;
+        p.batchJitter = 0.45;
+        p.objectCount = 1500;
+        p.worldRadius = 90.0f;
+        p.wallScale = 7.5f;
+        p.coneCullDot = 0.5f;
+        p.wallFacingBias = 0.65f;
+        p.horizontalShare = 0.3;
+        p.textureSize = 512;
+        p.materialCount = 16;
+        p.meshVariants = 24;
+        p.extraStateCallsPerBatch = 2;
+        p.seed = 101;
+        v.push_back(p);
+    }
+
+    auto doom3_like = [](const char *id, const char *game,
+                         const char *engine, const char *date, int frames,
+                         int idx_batch, int batches, int vs, double fs,
+                         double fstex, std::uint64_t seed) {
+        GameProfile p;
+        p.id = id;
+        p.game = game;
+        p.engine = engine;
+        p.releaseDate = date;
+        p.apiKind = api::GraphicsApi::OpenGL;
+        p.paperFrames = frames;
+        p.indexType = api::IndexType::U32;
+        p.indicesPerBatch = idx_batch;
+        p.batchesPerFrame = batches;
+        p.vsInstructions = vs;
+        p.fsInstructions = fs;
+        p.fsTexInstructions = fstex;
+        p.alphaTestShare = 0.02;
+        p.filter = tex::TexFilter::Anisotropic;
+        p.maxAniso = 16;
+        p.zPrepass = true;
+        p.stencilShadows = true;
+        p.lightPasses = 4;
+        p.volumesPerLight = 6;
+        p.samplerLodBias = -0.25f;
+        p.corridorWidth = 4.0f;
+        p.translucentShare = 0.05;
+        p.batchJitter = 0.40;
+        p.objectCount = 1700;
+        p.worldRadius = 80.0f;
+        p.wallScale = 6.5f;
+        p.coneCullDot = 0.45f;
+        p.wallFacingBias = 0.15f;
+        p.horizontalShare = 0.3;
+        p.textureSize = 512;
+        p.materialCount = 16;
+        p.meshVariants = 24;
+        p.extraStateCallsPerBatch = 3;
+        p.seed = seed;
+        return p;
+    };
+
+    v.push_back(doom3_like("doom3/trdemo1", "Doom3", "Doom3",
+                           "August 2004", 3464, 275, 714, 20, 12.85,
+                           3.98, 202));
+    v.push_back(doom3_like("doom3/trdemo2", "Doom3", "Doom3",
+                           "August 2004", 3990, 304, 449, 19, 12.95,
+                           3.98, 203));
+    {
+        GameProfile p = doom3_like("quake4/demo4", "Quake4", "Doom3",
+                                   "October 2005", 2976, 405, 426, 28,
+                                   16.29, 4.33, 204);
+        p.coneCullDot = 0.3f; // Quake4/demo4: 51% clipped (Table VII)
+        v.push_back(p);
+    }
+    v.push_back(doom3_like("quake4/guru5", "Quake4", "Doom3",
+                           "October 2005", 3081, 166, 814, 24, 17.16,
+                           4.54, 205));
+
+    auto riddick_like = [](const char *id, int frames, int idx_batch,
+                           int batches, int vs, double fs, double fstex,
+                           std::uint64_t seed) {
+        GameProfile p;
+        p.id = id;
+        p.game = "Riddick";
+        p.engine = "Starbreeze";
+        p.releaseDate = "December 2004";
+        p.apiKind = api::GraphicsApi::OpenGL;
+        p.paperFrames = frames;
+        p.indexType = api::IndexType::U16;
+        p.indicesPerBatch = idx_batch;
+        p.batchesPerFrame = batches;
+        p.vsInstructions = vs;
+        p.fsInstructions = fs;
+        p.fsTexInstructions = fstex;
+        p.alphaTestShare = 0.05;
+        p.filter = tex::TexFilter::Trilinear; // "High/Trilinear"
+        p.maxAniso = 1;
+        p.zPrepass = true;
+        p.lightPasses = 2;
+        p.corridorWidth = 3.0f;
+        p.translucentShare = 0.12;
+        p.batchJitter = 0.35;
+        p.objectCount = 1600;
+        p.worldRadius = 85.0f;
+        p.wallScale = 8.0f;
+        p.coneCullDot = 0.5f;
+        p.textureSize = 512;
+        p.materialCount = 16;
+        p.extraStateCallsPerBatch = 3;
+        p.seed = seed;
+        return p;
+    };
+    v.push_back(riddick_like("riddick/mainframe", 1629, 356, 604, 17,
+                             14.64, 1.94, 301));
+    v.push_back(riddick_like("riddick/prisonarea", 2310, 658, 364, 21,
+                             13.63, 1.83, 302));
+
+    auto fear_like = [](const char *id, int frames, int idx_batch,
+                        int batches, int vs, double fs, double fstex,
+                        double fan_share, std::uint64_t seed) {
+        GameProfile p;
+        p.id = id;
+        p.game = "FEAR";
+        p.engine = "Monolith";
+        p.releaseDate = "October 2005";
+        p.apiKind = api::GraphicsApi::Direct3D;
+        p.paperFrames = frames;
+        p.indexType = api::IndexType::U16;
+        p.indicesPerBatch = idx_batch;
+        p.batchesPerFrame = batches;
+        p.vsInstructions = vs;
+        p.fsInstructions = fs;
+        p.fsTexInstructions = fstex;
+        p.fanPrimShare = fan_share;
+        p.alphaTestShare = 0.06;
+        p.filter = tex::TexFilter::Anisotropic;
+        p.maxAniso = 16;
+        p.zPrepass = true;
+        p.stencilShadows = true;
+        p.lightPasses = 2;
+        p.volumesPerLight = 10;
+        p.corridorWidth = 4.0f;
+        p.translucentShare = 0.15;
+        p.batchJitter = 0.5;
+        p.objectCount = 1700;
+        p.worldRadius = 85.0f;
+        p.wallScale = 8.0f;
+        p.coneCullDot = 0.5f;
+        p.textureSize = 512;
+        p.materialCount = 16;
+        p.extraStateCallsPerBatch = 4;
+        p.sceneTransitionPeriod = 320;
+        p.seed = seed;
+        return p;
+    };
+    v.push_back(fear_like("fear/builtin", 576, 641, 517, 18, 21.30, 2.79,
+                          0.0, 401));
+    v.push_back(fear_like("fear/interval2", 2102, 1085, 283, 21, 19.31,
+                          2.72, 0.033, 402));
+
+    {
+        GameProfile p;
+        p.id = "hl2lc/builtin";
+        p.game = "Half Life 2 LC";
+        p.engine = "Valve Source";
+        p.releaseDate = "October 2005";
+        p.apiKind = api::GraphicsApi::Direct3D;
+        p.paperFrames = 1805;
+        p.indexType = api::IndexType::U16;
+        p.indicesPerBatch = 736;
+        p.batchesPerFrame = 447;
+        p.vsInstructions = 27;
+        p.fsInstructions = 19.94;
+        p.fsTexInstructions = 3.88;
+        p.alphaTestShare = 0.08;
+        p.filter = tex::TexFilter::Anisotropic;
+        p.maxAniso = 16;
+        p.translucentShare = 0.25;
+        p.batchJitter = 0.4;
+        p.objectCount = 1600;
+        p.worldRadius = 95.0f;
+        p.wallScale = 9.0f;
+        p.coneCullDot = 0.5f;
+        p.textureSize = 512;
+        p.materialCount = 16;
+        p.extraStateCallsPerBatch = 3;
+        p.seed = 501;
+        v.push_back(p);
+    }
+
+    {
+        GameProfile p;
+        p.id = "oblivion/anvilcastle";
+        p.game = "Oblivion";
+        p.engine = "Gamebryo";
+        p.releaseDate = "March 2006";
+        p.apiKind = api::GraphicsApi::Direct3D;
+        p.paperFrames = 2620;
+        p.indexType = api::IndexType::U16;
+        p.indicesPerBatch = 998;
+        p.batchesPerFrame = 713;
+        p.vsInstructions = 19;          // region 1
+        p.vsInstructionsRegion2 = 38;   // region 2 (Table IV)
+        p.fsInstructions = 15.48;
+        p.fsTexInstructions = 1.36;
+        p.alphaTestShare = 0.10;
+        p.stripPrimShare = 0.537;       // open terrain as strips
+        p.filter = tex::TexFilter::Trilinear;
+        p.maxAniso = 1;
+        p.translucentShare = 0.15;
+        p.batchJitter = 0.5;
+        p.objectCount = 2000;
+        p.worldRadius = 120.0f;         // open countryside
+        p.wallScale = 18.0f;
+        p.wallFacingBias = 0.25f;
+        p.meshVariants = 30;
+        p.extraStateCallsPerBatch = 3;
+        p.sceneTransitionPeriod = 400;
+        p.seed = 601;
+        v.push_back(p);
+    }
+
+    {
+        GameProfile p;
+        p.id = "splintercell3/firstlevel";
+        p.game = "Splinter Cell 3";
+        p.engine = "Unreal 2.5++";
+        p.releaseDate = "March 2005";
+        p.apiKind = api::GraphicsApi::Direct3D;
+        p.paperFrames = 2970;
+        p.indexType = api::IndexType::U16;
+        p.indicesPerBatch = 308;
+        p.batchesPerFrame = 576;
+        p.vsInstructions = 28;
+        p.fsInstructions = 4.62;
+        p.fsTexInstructions = 2.13;
+        p.alphaTestShare = 0.05;
+        p.stripPrimShare = 0.267;
+        p.fanPrimShare = 0.042;
+        p.filter = tex::TexFilter::Anisotropic;
+        p.maxAniso = 16;
+        p.translucentShare = 0.12;
+        p.batchJitter = 0.35;
+        p.objectCount = 1600;
+        p.worldRadius = 85.0f;
+        p.wallScale = 10.0f;
+        p.extraStateCallsPerBatch = 2;
+        p.seed = 701;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+const std::vector<GameProfile> &
+profiles()
+{
+    static const std::vector<GameProfile> kProfiles = buildProfiles();
+    return kProfiles;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allTimedemoIds()
+{
+    static const std::vector<std::string> kIds = [] {
+        std::vector<std::string> ids;
+        for (const auto &p : profiles())
+            ids.push_back(p.id);
+        return ids;
+    }();
+    return kIds;
+}
+
+const std::vector<std::string> &
+simulatedTimedemoIds()
+{
+    static const std::vector<std::string> kIds = {
+        "ut2004/primeval",
+        "doom3/trdemo2",
+        "quake4/demo4",
+    };
+    return kIds;
+}
+
+bool
+isTimedemoId(const std::string &id)
+{
+    for (const auto &p : profiles()) {
+        if (p.id == id)
+            return true;
+    }
+    return false;
+}
+
+const GameProfile &
+gameProfile(const std::string &id)
+{
+    for (const auto &p : profiles()) {
+        if (p.id == id)
+            return p;
+    }
+    fatal("unknown timedemo id '%s'", id.c_str());
+}
+
+std::unique_ptr<Timedemo>
+makeTimedemo(const std::string &id)
+{
+    return std::make_unique<Timedemo>(gameProfile(id));
+}
+
+} // namespace wc3d::workloads

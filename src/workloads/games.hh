@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The twelve synthetic timedemos standing in for the paper's Table I
+ * workloads, plus the registry used by examples, tests and benches.
+ */
+
+#ifndef WC3D_WORKLOADS_GAMES_HH
+#define WC3D_WORKLOADS_GAMES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/timedemo.hh"
+
+namespace wc3d::workloads {
+
+/** All twelve timedemo ids, in the paper's Table I order. */
+const std::vector<std::string> &allTimedemoIds();
+
+/** The three OpenGL workloads used for microarchitectural tables
+ *  (UT2004/Primeval, Doom3/trdemo2, Quake4/demo4). */
+const std::vector<std::string> &simulatedTimedemoIds();
+
+/** @return true when @p id names a known timedemo. */
+bool isTimedemoId(const std::string &id);
+
+/** Profile for @p id; fatal() on unknown ids. */
+const GameProfile &gameProfile(const std::string &id);
+
+/** Instantiate the timedemo for @p id; fatal() on unknown ids. */
+std::unique_ptr<Timedemo> makeTimedemo(const std::string &id);
+
+} // namespace wc3d::workloads
+
+#endif // WC3D_WORKLOADS_GAMES_HH

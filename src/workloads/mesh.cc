@@ -1,0 +1,270 @@
+#include "workloads/mesh.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "geom/assembly.hh"
+
+namespace wc3d::workloads {
+
+namespace {
+
+/** Add the vertices of a (quads_x+1) x (quads_y+1) grid. */
+void
+addGridVertices(Mesh &mesh, int quads_x, int quads_y, float uv_scale)
+{
+    for (int y = 0; y <= quads_y; ++y) {
+        for (int x = 0; x <= quads_x; ++x) {
+            api::VertexData v;
+            float fx = static_cast<float>(x) / quads_x;
+            float fy = static_cast<float>(y) / quads_y;
+            v.position = {fx - 0.5f, fy - 0.5f, 0.0f};
+            v.normal = {0.0f, 0.0f, 1.0f};
+            v.uv = {fx * uv_scale, fy * uv_scale};
+            mesh.vertices.vertices.push_back(v);
+        }
+    }
+}
+
+std::uint32_t
+gridIndex(int quads_x, int x, int y)
+{
+    return static_cast<std::uint32_t>(y * (quads_x + 1) + x);
+}
+
+} // namespace
+
+Mesh
+makeGridPatch(int quads_x, int quads_y, float uv_scale)
+{
+    WC3D_ASSERT(quads_x > 0 && quads_y > 0);
+    Mesh mesh;
+    addGridVertices(mesh, quads_x, quads_y, uv_scale);
+    auto &idx = mesh.indices.indices;
+    // Strip order within each row: adjacent triangles share two
+    // vertices, giving post-transform-cache behaviour close to strips.
+    for (int y = 0; y < quads_y; ++y) {
+        for (int x = 0; x < quads_x; ++x) {
+            std::uint32_t i00 = gridIndex(quads_x, x, y);
+            std::uint32_t i10 = gridIndex(quads_x, x + 1, y);
+            std::uint32_t i01 = gridIndex(quads_x, x, y + 1);
+            std::uint32_t i11 = gridIndex(quads_x, x + 1, y + 1);
+            idx.insert(idx.end(), {i00, i10, i01, i10, i11, i01});
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeGridStrip(int quads_x, int quads_y, float uv_scale)
+{
+    WC3D_ASSERT(quads_x > 0 && quads_y > 0);
+    Mesh mesh;
+    mesh.topology = geom::PrimitiveType::TriangleStrip;
+    addGridVertices(mesh, quads_x, quads_y, uv_scale);
+    auto &idx = mesh.indices.indices;
+    for (int y = 0; y < quads_y; ++y) {
+        if (y > 0) {
+            // Degenerate stitch between rows.
+            idx.push_back(gridIndex(quads_x, quads_x, y));
+            idx.push_back(gridIndex(quads_x, 0, y));
+        }
+        for (int x = 0; x <= quads_x; ++x) {
+            idx.push_back(gridIndex(quads_x, x, y));
+            idx.push_back(gridIndex(quads_x, x, y + 1));
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeDiscFan(int segments, float uv_scale)
+{
+    WC3D_ASSERT(segments >= 3);
+    Mesh mesh;
+    mesh.topology = geom::PrimitiveType::TriangleFan;
+    api::VertexData center;
+    center.position = {0.0f, 0.0f, 0.0f};
+    center.normal = {0.0f, 0.0f, 1.0f};
+    center.uv = {0.5f * uv_scale, 0.5f * uv_scale};
+    mesh.vertices.vertices.push_back(center);
+    for (int s = 0; s <= segments; ++s) {
+        float a = 2.0f * kPi * static_cast<float>(s) / segments;
+        api::VertexData v;
+        v.position = {0.5f * std::cos(a), 0.5f * std::sin(a), 0.0f};
+        v.normal = {0.0f, 0.0f, 1.0f};
+        v.uv = {(0.5f + 0.5f * std::cos(a)) * uv_scale,
+                (0.5f + 0.5f * std::sin(a)) * uv_scale};
+        mesh.vertices.vertices.push_back(v);
+    }
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(segments) + 2; ++i) {
+        mesh.indices.indices.push_back(i);
+    }
+    return mesh;
+}
+
+Mesh
+makeTerrain(int quads, float height, std::uint64_t seed, bool strip)
+{
+    Mesh mesh = strip ? makeGridStrip(quads, quads, 8.0f)
+                      : makeGridPatch(quads, quads, 8.0f);
+    Rng rng(seed);
+    // Low-frequency lattice noise displacing z.
+    int lattice = 8;
+    std::vector<float> values(
+        static_cast<std::size_t>(lattice + 1) * (lattice + 1));
+    for (auto &v : values)
+        v = rng.nextFloat();
+    auto lattice_at = [&](int x, int y) {
+        x = std::clamp(x, 0, lattice);
+        y = std::clamp(y, 0, lattice);
+        return values[static_cast<std::size_t>(y) * (lattice + 1) + x];
+    };
+    for (auto &v : mesh.vertices.vertices) {
+        float fx = (v.position.x + 0.5f) * lattice;
+        float fy = (v.position.y + 0.5f) * lattice;
+        int ix = static_cast<int>(fx);
+        int iy = static_cast<int>(fy);
+        float tx = fx - ix, ty = fy - iy;
+        float h = std::lerp(
+            std::lerp(lattice_at(ix, iy), lattice_at(ix + 1, iy), tx),
+            std::lerp(lattice_at(ix, iy + 1), lattice_at(ix + 1, iy + 1),
+                      tx),
+            ty);
+        v.position.z = h * height;
+    }
+    return mesh;
+}
+
+Mesh
+makeBox(int tess, Vec3 half)
+{
+    WC3D_ASSERT(tess > 0);
+    Mesh mesh;
+    auto &idx = mesh.indices.indices;
+    // Six faces, each a tess x tess grid.
+    struct Face
+    {
+        Vec3 origin, du, dv, normal;
+    };
+    const Face faces[6] = {
+        {{-half.x, -half.y, half.z}, {2 * half.x, 0, 0}, {0, 2 * half.y, 0},
+         {0, 0, 1}},
+        {{half.x, -half.y, -half.z}, {-2 * half.x, 0, 0},
+         {0, 2 * half.y, 0}, {0, 0, -1}},
+        {{half.x, -half.y, half.z}, {0, 0, -2 * half.z}, {0, 2 * half.y, 0},
+         {1, 0, 0}},
+        {{-half.x, -half.y, -half.z}, {0, 0, 2 * half.z},
+         {0, 2 * half.y, 0}, {-1, 0, 0}},
+        {{-half.x, half.y, half.z}, {2 * half.x, 0, 0}, {0, 0, -2 * half.z},
+         {0, 1, 0}},
+        {{-half.x, -half.y, -half.z}, {2 * half.x, 0, 0},
+         {0, 0, 2 * half.z}, {0, -1, 0}},
+    };
+    for (const Face &f : faces) {
+        std::uint32_t base =
+            static_cast<std::uint32_t>(mesh.vertices.vertices.size());
+        for (int y = 0; y <= tess; ++y) {
+            for (int x = 0; x <= tess; ++x) {
+                float fx = static_cast<float>(x) / tess;
+                float fy = static_cast<float>(y) / tess;
+                api::VertexData v;
+                v.position = f.origin + f.du * fx + f.dv * fy;
+                v.normal = f.normal;
+                v.uv = {fx, fy};
+                mesh.vertices.vertices.push_back(v);
+            }
+        }
+        for (int y = 0; y < tess; ++y) {
+            for (int x = 0; x < tess; ++x) {
+                std::uint32_t i00 =
+                    base + static_cast<std::uint32_t>(y * (tess + 1) + x);
+                std::uint32_t i10 = i00 + 1;
+                std::uint32_t i01 =
+                    i00 + static_cast<std::uint32_t>(tess + 1);
+                std::uint32_t i11 = i01 + 1;
+                idx.insert(idx.end(), {i00, i10, i01, i10, i11, i01});
+            }
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeShadowVolumeSlab(Vec3 base_center, Vec3 extrude_dir, float width,
+                     float length)
+{
+    Mesh mesh;
+    Vec3 dir = extrude_dir.normalized();
+    // Perpendicular frame.
+    Vec3 up = std::fabs(dir.y) < 0.9f ? Vec3{0, 1, 0} : Vec3{1, 0, 0};
+    Vec3 side = dir.cross(up).normalized() * (width * 0.5f);
+    Vec3 top = side.cross(dir).normalized() * (width * 0.5f);
+    Vec3 far_center = base_center + dir * length;
+
+    auto add = [&](Vec3 p, float u, float v) {
+        api::VertexData vert;
+        vert.position = p;
+        vert.normal = dir;
+        vert.uv = {u, v};
+        mesh.vertices.vertices.push_back(vert);
+        return static_cast<std::uint32_t>(mesh.vertices.vertices.size() -
+                                          1);
+    };
+
+    // Near cap corners (0-3) and far cap corners (4-7).
+    std::uint32_t n0 = add(base_center - side - top, 0, 0);
+    std::uint32_t n1 = add(base_center + side - top, 1, 0);
+    std::uint32_t n2 = add(base_center + side + top, 1, 1);
+    std::uint32_t n3 = add(base_center - side + top, 0, 1);
+    std::uint32_t f0 = add(far_center - side - top, 0, 0);
+    std::uint32_t f1 = add(far_center + side - top, 1, 0);
+    std::uint32_t f2 = add(far_center + side + top, 1, 1);
+    std::uint32_t f3 = add(far_center - side + top, 0, 1);
+
+    auto quad = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    std::uint32_t d) {
+        mesh.indices.indices.insert(mesh.indices.indices.end(),
+                                    {a, b, c, a, c, d});
+    };
+    quad(n0, n1, n2, n3); // near cap
+    quad(f1, f0, f3, f2); // far cap (reversed)
+    quad(n1, f1, f2, n2); // sides
+    quad(f0, n0, n3, f3);
+    quad(n3, n2, f2, f3);
+    quad(n0, f0, f1, n1);
+    return mesh;
+}
+
+void
+padIndices(Mesh &mesh, int target_indices)
+{
+    auto &idx = mesh.indices.indices;
+    if (static_cast<int>(idx.size()) >= target_indices) {
+        idx.resize(static_cast<std::size_t>(target_indices));
+        if (mesh.topology == geom::PrimitiveType::TriangleList)
+            idx.resize(idx.size() - idx.size() % 3);
+        return;
+    }
+    if (mesh.topology != geom::PrimitiveType::TriangleList)
+        return; // only lists are padded (re-referencing triangles)
+    std::size_t original = idx.size();
+    WC3D_ASSERT(original >= 3);
+    std::size_t cursor = 0;
+    while (static_cast<int>(idx.size()) + 3 <= target_indices) {
+        idx.push_back(idx[cursor]);
+        idx.push_back(idx[cursor + 1]);
+        idx.push_back(idx[cursor + 2]);
+        cursor = (cursor + 3) % original;
+    }
+}
+
+int
+meshTriangles(const Mesh &mesh)
+{
+    return geom::trianglesForIndices(
+        mesh.topology, static_cast<int>(mesh.indices.indices.size()));
+}
+
+} // namespace wc3d::workloads

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Procedural mesh construction for the synthetic timedemos. All meshes
+ * are grid patches (walls, floors, terrain, props, shadow-volume slabs)
+ * with strip-ordered triangle-list indices so the post-transform vertex
+ * cache sees the locality real game meshes have ("the face ordering
+ * resulting from algorithms explained in [15]", i.e. Hoppe's
+ * transparent vertex caching).
+ */
+
+#ifndef WC3D_WORKLOADS_MESH_HH
+#define WC3D_WORKLOADS_MESH_HH
+
+#include "api/state.hh"
+#include "common/rng.hh"
+
+namespace wc3d::workloads {
+
+/** A mesh: vertex + index data ready for device upload. */
+struct Mesh
+{
+    api::VertexBufferData vertices;
+    api::IndexBufferData indices;
+    geom::PrimitiveType topology = geom::PrimitiveType::TriangleList;
+};
+
+/**
+ * Build a planar grid patch of @p quads_x x @p quads_y quads spanning
+ * [-0.5, 0.5]^2 in the XY plane (facing +Z), with uv over [0, uv_scale].
+ * Triangle-list indices in strip order.
+ */
+Mesh makeGridPatch(int quads_x, int quads_y, float uv_scale = 1.0f);
+
+/**
+ * Same grid as a triangle strip (one strip per row stitched with
+ * degenerate triangles), used by the Oblivion-style terrain profile.
+ */
+Mesh makeGridStrip(int quads_x, int quads_y, float uv_scale = 1.0f);
+
+/**
+ * Same grid as a set of triangle fans is impractical; fans model small
+ * radial details: an n-segment disc fan facing +Z.
+ */
+Mesh makeDiscFan(int segments, float uv_scale = 1.0f);
+
+/**
+ * Heightfield terrain patch: a grid displaced by seeded value noise.
+ * @param strip emit as triangle strip (terrain profiles) or list.
+ */
+Mesh makeTerrain(int quads, float height, std::uint64_t seed, bool strip);
+
+/**
+ * A closed box (12 triangles x tessellation) used for props and
+ * occluders; normals point outward.
+ */
+Mesh makeBox(int tess, Vec3 half_extents);
+
+/**
+ * A shadow-volume slab: an extruded quad (the silhouette of an occluder
+ * stretched away from a light) made of very large triangles, mirroring
+ * the huge stencil-volume triangles that dominate Doom3/Quake4's
+ * rasterization statistics.
+ */
+Mesh makeShadowVolumeSlab(Vec3 base_center, Vec3 extrude_dir, float width,
+                          float length);
+
+/**
+ * Re-index @p mesh so its index count is exactly @p target_indices by
+ * repeating trailing triangles (games re-reference geometry; this keeps
+ * per-batch index targets exact without degenerate triangles).
+ */
+void padIndices(Mesh &mesh, int target_indices);
+
+/** Number of triangles the mesh will assemble to. */
+int meshTriangles(const Mesh &mesh);
+
+} // namespace wc3d::workloads
+
+#endif // WC3D_WORKLOADS_MESH_HH

@@ -1,0 +1,171 @@
+#include "workloads/shadersynth.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace wc3d::workloads {
+
+std::string
+synthVertexProgram(int total_instructions)
+{
+    WC3D_ASSERT(total_instructions >= 9);
+    std::string out = "!!VP synthesized\n";
+    // c4 light dir, c5 ambient, c6/c7 filler params.
+    out += "CONST c4 = 0.577 0.577 0.577 0\n";
+    out += "CONST c5 = 0.25 0.25 0.25 1\n";
+    out += "CONST c6 = 0.5 0.25 0.125 1\n";
+    out += "CONST c7 = 1.01 0.99 1.02 1\n";
+
+    // Core: 4 transform + uv + 3-op diffuse lighting = 8 instructions.
+    out += "DP4 o0.x, v0, c0;\n";
+    out += "DP4 o0.y, v0, c1;\n";
+    out += "DP4 o0.z, v0, c2;\n";
+    out += "DP4 o0.w, v0, c3;\n";
+    out += "MOV o1, v2;\n";
+    out += "DP3 r0, v1, c4;\n";
+    out += "MAX r0, r0, c5;\n";
+
+    // Filler: chained ops on r1 feeding the final colour so nothing is
+    // dead code; counts are exact.
+    int filler = total_instructions - 9;
+    out += "MOV r1, v3;\n";
+    for (int i = 0; i < filler; ++i) {
+        switch (i % 4) {
+          case 0:
+            out += "MUL r1, r1, c7;\n";
+            break;
+          case 1:
+            out += "MAD r1, r1, c6, c5;\n";
+            break;
+          case 2:
+            out += "MIN r1, r1, c7;\n";
+            break;
+          case 3:
+            out += "ADD r1, r1, c6;\n";
+            break;
+        }
+    }
+    out += "MUL o2, r1, r0;\n";
+    return out;
+}
+
+std::string
+synthFragmentProgram(const FragmentSpec &spec)
+{
+    // Minimum: the TEX (or one MOV when untextured) instructions, the
+    // final combine, and the SUB+KIL pair when alpha testing.
+    int min_len = std::max(1, spec.texInstructions) + 1 +
+                  (spec.alphaKill ? 2 : 0);
+    WC3D_ASSERT(spec.totalInstructions >= min_len);
+    WC3D_ASSERT(spec.texInstructions <= 8);
+
+    std::string out = "!!FP synthesized\n";
+    out += "CONST c0 = 0.6 0.6 0.6 1\n";
+    out += "CONST c1 = 0.3 0.3 0.3 0.45\n"; // alpha-test threshold in w
+    out += format("CONST c2 = %.3f %.3f 1 1\n", spec.uvScale,
+                  spec.uvScale);
+
+    int budget = spec.totalInstructions - min_len; // filler slots
+    int emitted = 0;
+
+    if (spec.texInstructions == 0) {
+        out += "MOV r0, v1;\n";
+        ++emitted;
+    } else {
+        for (int t = 0; t < spec.texInstructions; ++t) {
+            if (t == 1 && budget > 0) {
+                // Detail layer at a scaled coordinate when there is
+                // instruction budget for the extra MUL.
+                out += "MUL r7, v0, c2;\n";
+                ++emitted;
+                --budget;
+                out += "TEX r1, r7, tex[1];\n";
+            } else {
+                out += format("TEX r%d, v0, tex[%d];\n",
+                              t == 0 ? 0 : (t % 6) + 1, t);
+            }
+            ++emitted;
+        }
+    }
+
+    if (spec.alphaKill) {
+        out += "SUB r6, r0, c1;\n";
+        out += "KIL r6.w;\n";
+        emitted += 2;
+    }
+
+    for (int i = 0; i < budget; ++i) {
+        switch (i % 4) {
+          case 0:
+            out += "MAD r0, r0, c0, c1;\n";
+            break;
+          case 1:
+            out += "MUL r2, r0, v1;\n";
+            break;
+          case 2:
+            out += "ADD r0, r0, r2;\n";
+            break;
+          case 3:
+            out += "MUL r0, r0, c0;\n";
+            break;
+        }
+        ++emitted;
+    }
+
+    // Final combine writes the colour output.
+    if (spec.texInstructions >= 2) {
+        out += "MUL o0, r0, r1;\n";
+    } else {
+        out += "MUL o0, r0, v1;\n";
+    }
+    ++emitted;
+    WC3D_ASSERT(emitted == spec.totalInstructions);
+    return out;
+}
+
+std::vector<FragmentSpec>
+planMaterialMix(int count, double fs_target, double tex_target,
+                double alpha_share, Rng &rng)
+{
+    WC3D_ASSERT(count > 0);
+    std::vector<FragmentSpec> specs(static_cast<std::size_t>(count));
+
+    // Dithered rounding: the first ceil-count materials take the upper
+    // value so the equal-weight mean lands on the target.
+    auto dithered = [count](double target) {
+        std::vector<int> values(static_cast<std::size_t>(count));
+        int lo = static_cast<int>(std::floor(target));
+        int ceil_count = static_cast<int>(
+            std::lround((target - lo) * count));
+        for (int i = 0; i < count; ++i)
+            values[static_cast<std::size_t>(i)] =
+                i < ceil_count ? lo + 1 : lo;
+        return values;
+    };
+
+    std::vector<int> totals = dithered(fs_target);
+    std::vector<int> texes = dithered(tex_target);
+    // Decorrelate totals and tex counts a little.
+    for (int i = count - 1; i > 0; --i) {
+        std::uint32_t j = rng.nextBounded(static_cast<std::uint32_t>(i + 1));
+        std::swap(texes[static_cast<std::size_t>(i)],
+                  texes[static_cast<std::size_t>(j)]);
+    }
+
+    int alpha_count = static_cast<int>(std::lround(alpha_share * count));
+    for (int i = 0; i < count; ++i) {
+        FragmentSpec &s = specs[static_cast<std::size_t>(i)];
+        s.texInstructions = std::min(texes[static_cast<std::size_t>(i)], 8);
+        s.alphaKill = i < alpha_count;
+        int min_len = std::max(1, s.texInstructions) + 1 +
+                      (s.alphaKill ? 2 : 0);
+        s.totalInstructions =
+            std::max(totals[static_cast<std::size_t>(i)], min_len);
+        s.uvScale = 1.0f + 0.5f * rng.nextFloat();
+    }
+    return specs;
+}
+
+} // namespace wc3d::workloads

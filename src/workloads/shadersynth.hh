@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shader synthesis: builds vertex and fragment programs (as assembly
+ * text for the device) with exact target instruction counts and
+ * ALU:TEX mixes, so the synthetic workloads reproduce the paper's
+ * per-game shader statistics (Tables IV and XII).
+ */
+
+#ifndef WC3D_WORKLOADS_SHADERSYNTH_HH
+#define WC3D_WORKLOADS_SHADERSYNTH_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace wc3d::workloads {
+
+/**
+ * Build a vertex program of exactly @p total_instructions.
+ *
+ * Register contract: inputs v0=position, v1=normal, v2=uv, v3=color;
+ * constants c0..c3 = model-view-projection rows, c4 = light direction,
+ * c5 = ambient, c6/c7 = filler parameters; outputs o0 = clip position,
+ * o1 = uv (varying 0), o2 = lit color (varying 1).
+ *
+ * @pre total_instructions >= 9 (transform + uv + minimal lighting).
+ */
+std::string synthVertexProgram(int total_instructions);
+
+/** Parameters of a synthesized fragment program. */
+struct FragmentSpec
+{
+    int totalInstructions = 8; ///< including TEX and KIL
+    int texInstructions = 2;   ///< TEX count (samplers 0..n-1)
+    bool alphaKill = false;    ///< append a texture-alpha KIL pair
+    float uvScale = 1.0f;      ///< secondary-coordinate scale factor
+};
+
+/**
+ * Build a fragment program matching @p spec.
+ *
+ * Register contract: inputs v0 = uv, v1 = color; output o0 = color.
+ * The program samples tex[0..texInstructions-1] and combines the
+ * results with ALU filler so the static counts are exact.
+ *
+ * @pre totalInstructions >= texInstructions + 1 (+2 when alphaKill),
+ *      and >= 1.
+ */
+std::string synthFragmentProgram(const FragmentSpec &spec);
+
+/**
+ * Distribute a fractional target over @p count materials: returns
+ * per-material (total, tex) specs whose equal-weight average matches
+ * (fs_target, tex_target) to within rounding of the material count.
+ */
+std::vector<FragmentSpec> planMaterialMix(int count, double fs_target,
+                                          double tex_target,
+                                          double alpha_share, Rng &rng);
+
+} // namespace wc3d::workloads
+
+#endif // WC3D_WORKLOADS_SHADERSYNTH_HH

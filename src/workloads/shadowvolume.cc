@@ -1,0 +1,38 @@
+#include "workloads/shadowvolume.hh"
+
+namespace wc3d::workloads {
+
+std::vector<VolumePlacement>
+planShadowVolumes(int count, int light, Vec3 eye, Vec3 forward, Rng &rng)
+{
+    std::vector<VolumePlacement> out;
+    out.reserve(static_cast<std::size_t>(count));
+    Vec3 fwd = forward.normalized();
+    Vec3 side = fwd.cross({0, 1, 0}).normalized();
+    // Each light comes from a different overhead direction.
+    Vec3 light_dir =
+        Vec3{0.4f * static_cast<float>(light % 3 - 1), -1.0f,
+             0.3f * static_cast<float>((light + 1) % 3 - 1)}
+            .normalized();
+
+    for (int i = 0; i < count; ++i) {
+        VolumePlacement v;
+        // Silhouettes hang in front of the camera at varying depths and
+        // lateral offsets so the extruded slabs cross the frustum.
+        float depth = 1.5f + rng.nextRange(0.0f, 4.0f);
+        float lateral = rng.nextRange(-6.0f, 6.0f);
+        float height = rng.nextRange(0.0f, 4.0f);
+        v.base = eye + fwd * depth + side * lateral +
+                 Vec3{0, height, 0};
+        v.extrude = (light_dir * -1.0f +
+                     Vec3{rng.nextRange(-0.2f, 0.2f), 0,
+                          rng.nextRange(-0.2f, 0.2f)})
+                        .normalized() * -1.0f;
+        v.width = rng.nextRange(1.5f, 3.5f);
+        v.length = rng.nextRange(6.0f, 16.0f);
+        out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace wc3d::workloads

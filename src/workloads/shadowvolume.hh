@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stencil shadow-volume planning for the Doom3/Quake4-style profiles.
+ * Produces the per-light slab placements whose enormous z-fail-tested
+ * triangles are responsible for those games' outsized rasterization and
+ * z/stencil overdraw in the paper (Tables VIII, IX, XI, XVI).
+ */
+
+#ifndef WC3D_WORKLOADS_SHADOWVOLUME_HH
+#define WC3D_WORKLOADS_SHADOWVOLUME_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/vecmath.hh"
+
+namespace wc3d::workloads {
+
+/** One volume instance: where to place a shadow slab this frame. */
+struct VolumePlacement
+{
+    Vec3 base;     ///< silhouette center (near the lit occluder)
+    Vec3 extrude;  ///< direction away from the light
+    float width;   ///< silhouette size
+    float length;  ///< extrusion distance
+};
+
+/**
+ * Plan @p count volumes for the light of index @p light around the
+ * camera at @p eye looking towards @p forward. Volumes straddle the
+ * view so they rasterize to large screen areas, like real shadow
+ * volumes through the camera frustum.
+ */
+std::vector<VolumePlacement>
+planShadowVolumes(int count, int light, Vec3 eye, Vec3 forward,
+                  Rng &rng);
+
+} // namespace wc3d::workloads
+
+#endif // WC3D_WORKLOADS_SHADOWVOLUME_HH

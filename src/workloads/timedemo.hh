@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The synthetic timedemo engine. A GameProfile parameterizes scene
+ * structure, shader mixes, primitive topology shares, filtering modes
+ * and multipass rendering (z-prepass + stencil shadows) to stand in for
+ * the paper's proprietary game traces; the Timedemo drives a Device
+ * with a deterministic flythrough that reproduces the per-game API and
+ * microarchitectural characteristics (see DESIGN.md substitution table).
+ */
+
+#ifndef WC3D_WORKLOADS_TIMEDEMO_HH
+#define WC3D_WORKLOADS_TIMEDEMO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/device.hh"
+#include "workloads/camera.hh"
+#include "workloads/mesh.hh"
+#include "workloads/shadersynth.hh"
+
+namespace wc3d::workloads {
+
+/** Everything that makes one game/timedemo behave like itself. */
+struct GameProfile
+{
+    /** @name Identity (paper Table I) */
+    /// @{
+    std::string id;          ///< e.g. "doom3/trdemo2"
+    std::string game;        ///< e.g. "Doom3"
+    std::string engine;      ///< e.g. "Doom3"
+    std::string releaseDate; ///< e.g. "August 2004"
+    api::GraphicsApi apiKind = api::GraphicsApi::OpenGL;
+    int paperFrames = 2000;  ///< frames in the paper's trace
+    bool usesShaders = true; ///< Table I "Shaders" column
+    /// @}
+
+    /** @name Texturing */
+    /// @{
+    tex::TexFilter filter = tex::TexFilter::Anisotropic;
+    int maxAniso = 16;
+    tex::TexFormat texFormat = tex::TexFormat::DXT1;
+    int textureSize = 256;
+    int materialCount = 12;
+    float uvScale = 10.0f;    ///< texel density on world surfaces
+    /** Sharpening LOD bias: our procedural textures repeat uniformly,
+     *  so a negative bias stands in for the higher effective texel
+     *  density of real game art (see DESIGN.md). */
+    float samplerLodBias = -0.75f;
+    /// @}
+
+    /** @name Shader targets (Tables IV and XII) */
+    /// @{
+    int vsInstructions = 20;
+    int vsInstructionsRegion2 = 0; ///< Oblivion's second region (0=off)
+    double fsInstructions = 12.0;
+    double fsTexInstructions = 3.0;
+    double alphaTestShare = 0.0;   ///< share of materials with KIL
+    /// @}
+
+    /** @name Batch structure (Tables III and V, Fig. 1) */
+    /// @{
+    api::IndexType indexType = api::IndexType::U32;
+    int indicesPerBatch = 300;
+    int batchesPerFrame = 450;
+    double batchJitter = 0.35;     ///< relative batch-count variability
+    double stripPrimShare = 0.0;   ///< share of primitives from strips
+    double fanPrimShare = 0.0;
+    /// @}
+
+    /** @name Scene structure (Tables VII-XI) */
+    /// @{
+    int objectCount = 1400;        ///< world objects in total
+    float worldRadius = 90.0f;     ///< object field radius
+    float viewScale = 1.0f;        ///< scales the derived draw distance
+    float wallScale = 10.0f;       ///< world size of a wall object
+    float wallFacingBias = 0.45f;  ///< 0=random facing, 1=always facing
+    float coneCullDot = -0.2f;     ///< CPU view-cone cull threshold
+    float corridorWidth = 0.0f;    ///< opaque-free band along the path
+    double horizontalShare = 0.2;  ///< floors/terrain share (aniso)
+    double translucentShare = 0.15;///< share of depth-write-off batches
+    int meshVariants = 24;         ///< distinct meshes to rotate through
+    /// @}
+
+    /** @name Multipass rendering */
+    /// @{
+    bool zPrepass = false;
+    bool stencilShadows = false;
+    int lightPasses = 1;           ///< additive lighting passes
+    int volumesPerLight = 14;
+    /// @}
+
+    /** @name API behaviour */
+    /// @{
+    int extraStateCallsPerBatch = 2; ///< beyond matrix + texture binds
+    int sceneTransitionPeriod = 0;   ///< frames between loads (0=never)
+    /// @}
+
+    std::uint64_t seed = 1;
+};
+
+/** An instantiated, replayable synthetic timedemo. */
+class Timedemo
+{
+  public:
+    explicit Timedemo(GameProfile profile);
+
+    const GameProfile &profile() const { return _profile; }
+
+    /**
+     * Create every resource on @p device (the paper's "set up geometry
+     * and texture data" burst in early frames). Must be called once
+     * before renderFrame().
+     */
+    void setup(api::Device &device);
+
+    /** Render frame @p frame (deterministic for a given profile). */
+    void renderFrame(api::Device &device, int frame);
+
+    /** setup() + renderFrame() for frames [0, frames). */
+    void run(api::Device &device, int frames);
+
+  private:
+    struct ObjectInstance
+    {
+        int mesh = 0;            ///< index into _meshIds
+        int material = 0;        ///< index into _materials
+        Vec3 position;
+        float yaw = 0.0f;
+        float scale = 1.0f;
+        bool horizontal = false; ///< floor/terrain vs wall orientation
+        bool backdrop = false;   ///< always-submitted far wall
+    };
+
+    struct MaterialIds
+    {
+        std::uint32_t program = 0;
+        std::vector<std::uint32_t> textures;
+        FragmentSpec spec;
+        bool translucent = false;
+    };
+
+    Mat4 modelMatrix(const ObjectInstance &obj) const;
+    void setMvp(api::Device &device, const Mat4 &mvp);
+    void bindMaterial(api::Device &device, const MaterialIds &mat);
+    void drawObject(api::Device &device, const ObjectInstance &obj,
+                    const Mat4 &viewproj);
+    void drawVolumes(api::Device &device, int frame, int light,
+                     const Mat4 &viewproj, Vec3 eye, Vec3 forward);
+
+    GameProfile _profile;
+    CameraPath _camera;
+    bool _isSetup = false;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> _meshIds;
+    std::vector<geom::PrimitiveType> _meshTopology;
+    std::vector<std::uint32_t> _meshIndexCounts;
+    std::vector<MaterialIds> _materials;
+    std::vector<ObjectInstance> _objects;
+    std::uint32_t _vsMain = 0;
+    std::uint32_t _vsRegion2 = 0;
+    std::uint32_t _fsDepthOnly = 0;
+    std::pair<std::uint32_t, std::uint32_t> _volumeMesh{0, 0};
+    std::uint32_t _volumeIndexCount = 0;
+    float _viewRadius = 0.0f;    ///< derived from density and targets
+    int _transitionSeq = 0;
+
+    // Per-frame scratch.
+    std::vector<int> _visible;
+};
+
+} // namespace wc3d::workloads
+
+#endif // WC3D_WORKLOADS_TIMEDEMO_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "memory/cache.hh"
+
+using namespace wc3d;
+using namespace wc3d::memsys;
+
+TEST(Cache, FirstAccessMisses)
+{
+    CacheModel c(4, 1, 64);
+    auto r = c.access(0x100, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.fillAddress, 0x100u);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, SecondAccessSameLineHits)
+{
+    CacheModel c(4, 1, 64);
+    c.access(0x100, false);
+    auto r = c.access(0x13f, false); // same 64B line
+    EXPECT_TRUE(r.hit);
+    auto r2 = c.access(0x140, false); // next line
+    EXPECT_FALSE(r2.hit);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    CacheModel c(2, 1, 64); // 2 lines total
+    c.access(0x000, false);
+    c.access(0x040, false);
+    c.access(0x000, false);          // touch line 0 again
+    c.access(0x080, false);          // evicts 0x040
+    EXPECT_TRUE(c.contains(0x000));
+    EXPECT_FALSE(c.contains(0x040));
+    EXPECT_TRUE(c.contains(0x080));
+}
+
+TEST(Cache, FifoEvictsOldestInstall)
+{
+    CacheModel c(2, 1, 64, Replacement::FIFO);
+    c.access(0x000, false);
+    c.access(0x040, false);
+    c.access(0x000, false);          // touch does not refresh FIFO stamp
+    c.access(0x080, false);          // evicts 0x000 (oldest install)
+    EXPECT_FALSE(c.contains(0x000));
+    EXPECT_TRUE(c.contains(0x040));
+}
+
+TEST(Cache, DirtyVictimTriggersWriteback)
+{
+    CacheModel c(1, 1, 64);
+    c.access(0x000, true);           // dirty
+    auto r = c.access(0x040, false); // evicts dirty line
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.writebackAddress, 0x000u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    CacheModel c(1, 1, 64);
+    c.access(0x000, false);
+    auto r = c.access(0x040, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    CacheModel c(1, 1, 64);
+    c.access(0x000, false);          // clean fill
+    c.access(0x000, true);           // dirty via write hit
+    auto r = c.access(0x040, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, SetsIsolateAddresses)
+{
+    // 2 sets: even lines -> set 0, odd lines -> set 1.
+    CacheModel c(1, 2, 64);
+    c.access(0x000, false); // line 0, set 0
+    c.access(0x040, false); // line 1, set 1
+    EXPECT_TRUE(c.contains(0x000));
+    EXPECT_TRUE(c.contains(0x040));
+    c.access(0x080, false); // line 2, set 0: evicts line 0 only
+    EXPECT_FALSE(c.contains(0x000));
+    EXPECT_TRUE(c.contains(0x040));
+}
+
+TEST(Cache, FlushDirtyWritesBackAllDirtyLines)
+{
+    CacheModel c(4, 1, 64);
+    c.access(0x000, true);
+    c.access(0x040, false);
+    c.access(0x080, true);
+    int count = 0;
+    c.flushDirty([&](std::uint64_t) { ++count; });
+    EXPECT_EQ(count, 2);
+    // Second flush: nothing dirty.
+    count = 0;
+    c.flushDirty([&](std::uint64_t) { ++count; });
+    EXPECT_EQ(count, 0);
+    // Lines stay resident.
+    EXPECT_TRUE(c.contains(0x000));
+}
+
+TEST(Cache, InvalidateAllDropsResidency)
+{
+    CacheModel c(4, 1, 64);
+    c.access(0x000, true);
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0x000));
+    // No writeback on next eviction since the dirty line was dropped.
+    auto r = c.access(0x000, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, InvalidateLine)
+{
+    CacheModel c(4, 1, 64);
+    c.access(0x000, false);
+    c.access(0x040, false);
+    c.invalidateLine(0x000);
+    EXPECT_FALSE(c.contains(0x000));
+    EXPECT_TRUE(c.contains(0x040));
+}
+
+TEST(Cache, StatsAddUp)
+{
+    CacheModel c(2, 2, 64);
+    Rng rng(123);
+    for (int i = 0; i < 10000; ++i)
+        c.access(rng.nextBounded(64) * 64, rng.nextBounded(2) == 0);
+    const auto &s = c.stats();
+    EXPECT_EQ(s.accesses, 10000u);
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_GT(s.hitRate(), 0.0);
+    EXPECT_LT(s.hitRate(), 1.0);
+}
+
+TEST(Cache, GeometryAccessors)
+{
+    CacheModel c(16, 16, 64);
+    EXPECT_EQ(c.ways(), 16);
+    EXPECT_EQ(c.sets(), 16);
+    EXPECT_EQ(c.lineSize(), 64);
+    EXPECT_EQ(c.sizeBytes(), 16 * 1024);
+    EXPECT_EQ(c.lineAddress(0x1234), 0x1200u);
+}
+
+TEST(Cache, SequentialStreamHitRateMatchesLineReuse)
+{
+    // Touch every 4 bytes of a large region: with 64B lines, 1 miss
+    // followed by 15 hits per line => hit rate 15/16.
+    CacheModel c(8, 8, 64);
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 4)
+        c.access(a, false);
+    EXPECT_NEAR(c.stats().hitRate(), 15.0 / 16.0, 1e-9);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup)
+{
+    CacheModel c(4, 4, 64); // 1 KB
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 1024; a += 64)
+            c.access(a, false);
+    // First pass: 16 misses. Second pass: all hits.
+    EXPECT_EQ(c.stats().misses, 16u);
+    EXPECT_EQ(c.stats().hits, 16u);
+}
+
+/** Property sweep: for many geometries, hits+misses==accesses and a
+ * cyclic working set larger than the cache always misses under LRU. */
+class CacheGeometry : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheGeometry, InvariantsHold)
+{
+    auto [ways, sets, line] = GetParam();
+    CacheModel c(ways, sets, line);
+    Rng rng(static_cast<std::uint64_t>(ways * 1000 + sets * 10 + line));
+    for (int i = 0; i < 5000; ++i)
+        c.access(rng.nextBounded(4096) * 16, rng.nextBounded(2) == 0);
+    const auto &s = c.stats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_LE(s.writebacks, s.accesses);
+}
+
+TEST_P(CacheGeometry, CyclicThrashAlwaysMissesWithLru)
+{
+    auto [ways, sets, line] = GetParam();
+    CacheModel c(ways, sets, line);
+    // Cycle through (ways+1) lines of one set repeatedly: LRU guarantees
+    // a miss every time once warm.
+    std::uint64_t stride = static_cast<std::uint64_t>(line) * sets;
+    for (int pass = 0; pass < 4; ++pass)
+        for (int i = 0; i <= ways; ++i)
+            c.access(i * stride, false);
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1, 1, 64),
+                      std::make_tuple(2, 4, 64),
+                      std::make_tuple(4, 16, 32),
+                      std::make_tuple(16, 16, 64),
+                      std::make_tuple(64, 1, 256)));

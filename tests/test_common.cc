@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for RNG, image, string and env utilities.
+ */
+
+#include <cstdlib>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/env.hh"
+#include "common/image.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+
+using namespace wc3d;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.nextU32() == b.nextU32());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, FloatInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        float v = r.nextFloat();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Rng, BoundedStaysInBound)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, IntRangeInclusive)
+{
+    Rng r(11);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int v = r.nextInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all values hit
+}
+
+TEST(Rng, IntRangeDegenerate)
+{
+    Rng r(1);
+    EXPECT_EQ(r.nextInt(5, 5), 5);
+    EXPECT_EQ(r.nextInt(7, 3), 7); // hi <= lo returns lo
+}
+
+TEST(Rng, GaussianMeanApproximatelyCorrect)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextGaussian(10.0f, 2.0f);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Image, FillAndAccess)
+{
+    Image img(4, 3, {10, 20, 30, 255});
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.at(2, 1).g, 20);
+    img.set(2, 1, {1, 2, 3, 4});
+    EXPECT_EQ(img.at(2, 1).b, 3);
+    EXPECT_EQ(img.at(0, 0).r, 10);
+}
+
+TEST(Image, ContentHashChangesWithContent)
+{
+    Image a(8, 8);
+    Image b(8, 8);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    b.set(3, 3, {255, 0, 0, 255});
+    EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(Image, PpmWriteProducesFile)
+{
+    Image img(2, 2, {255, 0, 0, 255});
+    std::string path = ::testing::TempDir() + "wc3d_test.ppm";
+    ASSERT_TRUE(img.writePpm(path));
+    FILE *f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[2] = {};
+    ASSERT_EQ(fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '6');
+    fclose(f);
+    remove(path.c_str());
+}
+
+TEST(Rgba8, PackRoundTrip)
+{
+    Rgba8 c{12, 34, 56, 78};
+    EXPECT_EQ(Rgba8::fromPacked(c.packed()), c);
+}
+
+TEST(UnormConversion, RoundTripExactAtEnds)
+{
+    EXPECT_EQ(floatToUnorm8(0.0f), 0);
+    EXPECT_EQ(floatToUnorm8(1.0f), 255);
+    EXPECT_EQ(floatToUnorm8(-1.0f), 0);
+    EXPECT_EQ(floatToUnorm8(2.0f), 255);
+    for (int i = 0; i < 256; ++i) {
+        auto v = static_cast<std::uint8_t>(i);
+        EXPECT_EQ(floatToUnorm8(unorm8ToFloat(v)), v);
+    }
+}
+
+TEST(StrUtil, Format)
+{
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(format("%.2f", 1.2345), "1.23");
+}
+
+TEST(StrUtil, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrUtil, TrimAndLower)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(toLower("QuAkE4"), "quake4");
+}
+
+TEST(StrUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("doom3/trdemo2", "doom3"));
+    EXPECT_FALSE(startsWith("do", "doom"));
+}
+
+TEST(StrUtil, HumanBytes)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(1536), "1.50 KB");
+    EXPECT_EQ(humanBytes(3.0 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(Env, IntFallbackAndParse)
+{
+    unsetenv("WC3D_TEST_ENV");
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 7);
+    setenv("WC3D_TEST_ENV", "123", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 123);
+    setenv("WC3D_TEST_ENV", "junk", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 7);
+    unsetenv("WC3D_TEST_ENV");
+}
+
+TEST(Env, StringFallback)
+{
+    unsetenv("WC3D_TEST_ENV2");
+    EXPECT_EQ(envString("WC3D_TEST_ENV2", "dflt"), "dflt");
+    setenv("WC3D_TEST_ENV2", "abc", 1);
+    EXPECT_EQ(envString("WC3D_TEST_ENV2", "dflt"), "abc");
+    unsetenv("WC3D_TEST_ENV2");
+}

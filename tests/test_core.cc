@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the characterization framework: runners, the disk cache
+ * round trip, table builders and the bus catalogue.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/apilevel.hh"
+#include "core/buses.hh"
+#include "core/microarch.hh"
+#include "core/runner.hh"
+
+using namespace wc3d;
+using namespace wc3d::core;
+
+namespace {
+
+/** Small, fast microarch run shared by the table tests. */
+const MicroRun &
+tinyRun()
+{
+    static const MicroRun kRun = [] {
+        setenv("WC3D_CACHE_DIR",
+               (::testing::TempDir() + "wc3d-test-cache").c_str(), 1);
+        return runMicroarch("ut2004/primeval", 1, 256, 192);
+    }();
+    return kRun;
+}
+
+} // namespace
+
+TEST(Runner, ApiLevelRunProducesStats)
+{
+    ApiRun run = runApiLevel("quake4/demo4", 5);
+    EXPECT_EQ(run.id, "quake4/demo4");
+    EXPECT_EQ(run.frames, 5);
+    EXPECT_EQ(run.stats.frames(), 5u);
+    EXPECT_GT(run.stats.batches(), 0u);
+}
+
+TEST(Runner, MicroRunHasPipelineActivity)
+{
+    const MicroRun &run = tinyRun();
+    EXPECT_EQ(run.frames, 1);
+    EXPECT_EQ(run.width, 256);
+    EXPECT_GT(run.counters.rasterFragments, 0u);
+    EXPECT_GT(run.counters.traffic.total(), 0u);
+    EXPECT_GT(run.zCache.accesses, 0u);
+    EXPECT_GT(run.texL0.accesses, 0u);
+    EXPECT_EQ(run.series.frames(), 1);
+    EXPECT_GT(run.bytesPerFrame(), 0.0);
+    EXPECT_EQ(run.pixels(), 256u * 192u);
+}
+
+TEST(Runner, CacheRoundTripIsExact)
+{
+    const MicroRun &run = tinyRun();
+    std::string path = ::testing::TempDir() + "wc3d_run_cache.txt";
+    ASSERT_TRUE(saveMicroRun(run, path));
+    MicroRun loaded;
+    ASSERT_TRUE(loadMicroRun(loaded, path));
+    EXPECT_EQ(loaded.id, run.id);
+    EXPECT_EQ(loaded.frames, run.frames);
+    EXPECT_EQ(loaded.counters.rasterFragments,
+              run.counters.rasterFragments);
+    EXPECT_EQ(loaded.counters.quadsBlended, run.counters.quadsBlended);
+    EXPECT_EQ(loaded.counters.traffic.total(),
+              run.counters.traffic.total());
+    EXPECT_EQ(loaded.zCache.hits, run.zCache.hits);
+    EXPECT_EQ(loaded.texL1.misses, run.texL1.misses);
+    EXPECT_EQ(loaded.series.frames(), run.series.frames());
+    EXPECT_DOUBLE_EQ(
+        loaded.series.summary("vcache_hit_rate").mean(),
+        run.series.summary("vcache_hit_rate").mean());
+    std::remove(path.c_str());
+}
+
+TEST(Runner, CachedRerunsAreServedFromDisk)
+{
+    tinyRun(); // populate
+    // A second call with the same key must load from the cache and
+    // return identical counters.
+    MicroRun again = runMicroarch("ut2004/primeval", 1, 256, 192);
+    EXPECT_EQ(again.counters.rasterFragments,
+              tinyRun().counters.rasterFragments);
+}
+
+TEST(Runner, LoadRejectsGarbage)
+{
+    std::string path = ::testing::TempDir() + "wc3d_bad_cache.txt";
+    FILE *f = fopen(path.c_str(), "wb");
+    fputs("not a cache file\n", f);
+    fclose(f);
+    MicroRun run;
+    EXPECT_FALSE(loadMicroRun(run, path));
+    std::remove(path.c_str());
+    EXPECT_FALSE(loadMicroRun(run, "/nonexistent/file"));
+}
+
+TEST(Runner, CachePathEncodesKey)
+{
+    std::string p = cachePath("doom3/trdemo2", 7, 640, 480);
+    EXPECT_NE(p.find("doom3_trdemo2"), std::string::npos);
+    EXPECT_NE(p.find("f7"), std::string::npos);
+    EXPECT_NE(p.find("640x480"), std::string::npos);
+}
+
+TEST(Tables, WorkloadsListsAllTwelve)
+{
+    stats::Table t = tableWorkloads();
+    EXPECT_EQ(t.rows(), 12);
+    std::string s = t.toString();
+    EXPECT_NE(s.find("doom3/trdemo2"), std::string::npos);
+    EXPECT_NE(s.find("OpenGL"), std::string::npos);
+    EXPECT_NE(s.find("Direct3D"), std::string::npos);
+    EXPECT_NE(s.find("16X"), std::string::npos);
+}
+
+TEST(Tables, ApiTablesHaveRowPerRun)
+{
+    std::vector<ApiRun> runs = {runApiLevel("ut2004/primeval", 3),
+                                runApiLevel("hl2lc/builtin", 3)};
+    EXPECT_EQ(tableIndexTraffic(runs).rows(), 2);
+    EXPECT_EQ(tableVertexShader(runs).rows(), 2);
+    EXPECT_EQ(tablePrimitives(runs).rows(), 2);
+    EXPECT_EQ(tableFragmentShader(runs).rows(), 2);
+    // UT's index size is 2 bytes (U16).
+    EXPECT_EQ(tableIndexTraffic(runs).cell(0, 3), "2");
+}
+
+TEST(Tables, MicroTablesHaveRowPerRun)
+{
+    std::vector<MicroRun> runs = {tinyRun()};
+    gpu::GpuConfig config;
+    EXPECT_EQ(tableClipCull(runs).rows(), 1);
+    EXPECT_EQ(tableTriangleSize(runs).rows(), 1);
+    EXPECT_EQ(tableQuadRemoval(runs).rows(), 1);
+    EXPECT_EQ(tableQuadEfficiency(runs).rows(), 1);
+    EXPECT_EQ(tableOverdraw(runs).rows(), 1);
+    EXPECT_EQ(tableBilinears(runs).rows(), 1);
+    EXPECT_EQ(tableCaches(runs, config).rows(), 4); // one per cache
+    EXPECT_EQ(tableMemoryBw(runs).rows(), 1);
+    EXPECT_EQ(tableTrafficDistribution(runs).rows(), 1);
+    EXPECT_EQ(tableBytesPerItem(runs).rows(), 1);
+}
+
+TEST(Tables, QuadRemovalRowsSumTo100)
+{
+    std::vector<MicroRun> runs = {tinyRun()};
+    const auto &c = runs[0].counters;
+    double sum = c.pctQuadsRemovedHz() + c.pctQuadsRemovedZStencil() +
+                 c.pctQuadsRemovedAlpha() +
+                 c.pctQuadsRemovedColorMask() + c.pctQuadsBlended();
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Tables, ConfigMentionsR520Numbers)
+{
+    std::string s = tableConfig(gpu::GpuConfig{}).toString();
+    EXPECT_NE(s.find("16 bilinears/cycle"), std::string::npos);
+    EXPECT_NE(s.find("2 triangles/cycle"), std::string::npos);
+}
+
+TEST(Buses, CatalogMatchesTableVI)
+{
+    const auto &buses = busCatalog();
+    ASSERT_EQ(buses.size(), 5u);
+    EXPECT_EQ(buses[0].name, "AGP 4X");
+    EXPECT_DOUBLE_EQ(buses[0].bandwidthGBs, 1.056);
+    EXPECT_DOUBLE_EQ(buses[4].bandwidthGBs, 4.0);
+    EXPECT_EQ(tableBuses().rows(), 5);
+    // All games' index traffic fits with large headroom on every bus.
+    ApiRun run = runApiLevel("oblivion/anvilcastle", 5);
+    for (const auto &b : buses) {
+        EXPECT_GT(busHeadroom(b, run.stats.indexBwAtFps(100.0)), 2.0);
+    }
+}
+
+TEST(Figures, CsvContainsSeries)
+{
+    ApiRun run = runApiLevel("fear/interval2", 4);
+    std::string csv = figureCsv(run);
+    EXPECT_NE(csv.find("batches"), std::string::npos);
+    EXPECT_NE(csv.find("state_calls"), std::string::npos);
+    std::string micro = microFigureCsv(tinyRun());
+    EXPECT_NE(micro.find("vcache_hit_rate"), std::string::npos);
+    EXPECT_NE(micro.find("tri_size_raster"), std::string::npos);
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the memory controller, block-state directory and the
+ * framebuffer compression codecs.
+ */
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "memory/blockstate.hh"
+#include "memory/compression.hh"
+#include "memory/controller.hh"
+
+using namespace wc3d::memsys;
+
+TEST(MemoryController, ChargesClients)
+{
+    MemoryController mc;
+    mc.read(Client::Texture, 64);
+    mc.read(Client::Texture, 64);
+    mc.write(Client::Color, 256);
+    const auto &t = mc.traffic();
+    EXPECT_EQ(t.readBytes[static_cast<int>(Client::Texture)], 128u);
+    EXPECT_EQ(t.writeBytes[static_cast<int>(Client::Color)], 256u);
+    EXPECT_EQ(t.totalRead(), 128u);
+    EXPECT_EQ(t.totalWrite(), 256u);
+    EXPECT_EQ(t.total(), 384u);
+}
+
+TEST(MemoryController, SnapshotDelta)
+{
+    MemoryController mc;
+    mc.read(Client::Vertex, 100);
+    TrafficSnapshot t0 = mc.traffic();
+    mc.read(Client::Vertex, 50);
+    mc.write(Client::ZStencil, 30);
+    TrafficSnapshot d = mc.traffic().since(t0);
+    EXPECT_EQ(d.readBytes[static_cast<int>(Client::Vertex)], 50u);
+    EXPECT_EQ(d.writeBytes[static_cast<int>(Client::ZStencil)], 30u);
+    EXPECT_EQ(d.total(), 80u);
+}
+
+TEST(MemoryController, AllocateDisjointAligned)
+{
+    MemoryController mc;
+    std::uint64_t a = mc.allocate(100, 256);
+    std::uint64_t b = mc.allocate(100, 256);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(MemoryController, ResetTrafficKeepsAllocations)
+{
+    MemoryController mc;
+    std::uint64_t a = mc.allocate(64);
+    mc.read(Client::Dac, 10);
+    mc.resetTraffic();
+    EXPECT_EQ(mc.traffic().total(), 0u);
+    std::uint64_t b = mc.allocate(64);
+    EXPECT_NE(a, b);
+}
+
+TEST(MemoryController, ClientNames)
+{
+    EXPECT_STREQ(clientName(Client::ZStencil), "Z&Stencil");
+    EXPECT_STREQ(clientName(Client::Dac), "DAC");
+    EXPECT_STREQ(clientName(Client::CommandProcessor), "CP");
+}
+
+TEST(BlockState, StartsCleared)
+{
+    BlockStateDirectory d(10);
+    EXPECT_EQ(d.blocks(), 10u);
+    EXPECT_EQ(d.countInState(BlockState::Cleared), 10u);
+}
+
+TEST(BlockState, TransitionsAndFastClear)
+{
+    BlockStateDirectory d(4);
+    d.setState(1, BlockState::Uncompressed);
+    d.setState(2, BlockState::Compressed);
+    EXPECT_EQ(d.state(1), BlockState::Uncompressed);
+    EXPECT_EQ(d.countInState(BlockState::Cleared), 2u);
+    d.fastClear();
+    EXPECT_EQ(d.countInState(BlockState::Cleared), 4u);
+}
+
+namespace {
+
+/** Build an 8x8 block of depth values from a plane, stencil uniform. */
+std::vector<std::uint32_t>
+planeBlock(std::int64_t z0, std::int64_t dzdx, std::int64_t dzdy,
+           std::uint8_t stencil = 0)
+{
+    std::vector<std::uint32_t> words(64);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            std::int64_t z = z0 + dzdx * x + dzdy * y;
+            if (z < 0)
+                z = 0;
+            if (z > 0xffffff)
+                z = 0xffffff;
+            words[y * 8 + x] =
+                (static_cast<std::uint32_t>(z) << 8) | stencil;
+        }
+    }
+    return words;
+}
+
+} // namespace
+
+TEST(ZCompression, UniformBlockCompresses)
+{
+    auto block = planeBlock(0x400000, 0, 0);
+    EXPECT_TRUE(zBlockCompressible(block, 8));
+}
+
+TEST(ZCompression, PlanarBlockCompresses)
+{
+    auto block = planeBlock(0x400000, 100, -50);
+    EXPECT_TRUE(zBlockCompressible(block, 8));
+}
+
+TEST(ZCompression, MixedStencilBlocksCompression)
+{
+    auto block = planeBlock(0x400000, 0, 0);
+    block[10] |= 0x01; // one pixel with different stencil
+    EXPECT_FALSE(zBlockCompressible(block, 8));
+}
+
+TEST(ZCompression, TwoTriangleEdgeBlocksCompressionWhenStep)
+{
+    // Half the block from one plane, half offset by a big step.
+    auto block = planeBlock(0x100000, 0, 0);
+    for (int y = 4; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            block[y * 8 + x] = (0x900000u << 8) | 0;
+    EXPECT_FALSE(zBlockCompressible(block, 8));
+}
+
+TEST(ZCompression, SmallResidualsStillCompress)
+{
+    auto block = planeBlock(0x200000, 64, 64);
+    // Perturb inside the 12-bit residual budget.
+    block[20] += (100u << 8);
+    EXPECT_TRUE(zBlockCompressible(block, 8));
+}
+
+TEST(ZCompression, TinyBlockNotCompressible)
+{
+    std::vector<std::uint32_t> one(1, 42);
+    EXPECT_FALSE(zBlockCompressible(one, 1));
+}
+
+TEST(ColorCompression, UniformCompressesMixedDoesNot)
+{
+    std::vector<std::uint32_t> uniform(64, 0xff336699u);
+    EXPECT_TRUE(colorBlockCompressible(uniform));
+    uniform[63] = 0xff336698u;
+    EXPECT_FALSE(colorBlockCompressible(uniform));
+    EXPECT_FALSE(colorBlockCompressible({}));
+}
+
+TEST(Compression, HalfSize)
+{
+    EXPECT_EQ(compressedSize(256), 128u);
+    EXPECT_EQ(compressedSize(64), 32u);
+}

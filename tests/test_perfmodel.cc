@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the throughput-bound performance estimate (extension of
+ * the paper's Table II parameters into a cycle model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/perfmodel.hh"
+
+using namespace wc3d::gpu;
+
+namespace {
+
+PipelineCounters
+counters(std::uint64_t tris, std::uint64_t instr, std::uint64_t bilin,
+         std::uint64_t zops, std::uint64_t colops, std::uint64_t bytes)
+{
+    PipelineCounters c;
+    c.trianglesAssembled = tris;
+    c.fragmentInstructions = instr;
+    c.bilinearSamples = bilin;
+    c.zStencilFragments = zops;
+    c.blendedFragments = colops;
+    c.traffic.readBytes[0] = bytes;
+    return c;
+}
+
+} // namespace
+
+TEST(PerfModel, StageCyclesFollowRates)
+{
+    GpuConfig cfg; // 2 tri/c, 16 shaders, 16 bilinear/c, 16/16, 64 B/c
+    PerfEstimate e =
+        estimatePerf(counters(200, 1600, 320, 160, 80, 6400), cfg);
+    EXPECT_DOUBLE_EQ(e.setupCycles, 100.0);
+    EXPECT_DOUBLE_EQ(e.shaderCycles, 100.0);
+    EXPECT_DOUBLE_EQ(e.textureCycles, 20.0);
+    EXPECT_DOUBLE_EQ(e.zStencilCycles, 10.0);
+    EXPECT_DOUBLE_EQ(e.colorCycles, 5.0);
+    EXPECT_DOUBLE_EQ(e.memoryCycles, 100.0);
+}
+
+TEST(PerfModel, BottleneckIdentification)
+{
+    GpuConfig cfg;
+    PerfEstimate mem =
+        estimatePerf(counters(1, 1, 1, 1, 1, 1 << 20), cfg);
+    EXPECT_STREQ(mem.bottleneck(), "memory");
+    EXPECT_DOUBLE_EQ(mem.boundCycles(), mem.memoryCycles);
+
+    PerfEstimate tex =
+        estimatePerf(counters(1, 1, 1 << 20, 1, 1, 1), cfg);
+    EXPECT_STREQ(tex.bottleneck(), "texture");
+
+    PerfEstimate shader =
+        estimatePerf(counters(1, 1 << 20, 1, 1, 1, 1), cfg);
+    EXPECT_STREQ(shader.bottleneck(), "shader");
+}
+
+TEST(PerfModel, DisbalancedArchitectureShowsTextureBound)
+{
+    // The paper's Section III.D point: with ALU:bilinear < 1, tripling
+    // ALU throughput (R580-style) leaves the workload texture-bound.
+    GpuConfig r520;
+    GpuConfig r580 = r520;
+    r580.unifiedShaders = r520.unifiedShaders * 3;
+
+    // A workload with 0.5 ALU per bilinear (Table XIII regime).
+    PipelineCounters c = counters(1000, 500000, 1000000, 0, 0, 0);
+    PerfEstimate on520 = estimatePerf(c, r520);
+    PerfEstimate on580 = estimatePerf(c, r580);
+    EXPECT_STREQ(on580.bottleneck(), "texture");
+    // The extra shader power buys almost nothing.
+    EXPECT_NEAR(on580.boundCycles() / on520.boundCycles(), 1.0, 0.01);
+}
+
+TEST(PerfModel, DescribeMentionsBottleneckAndFps)
+{
+    GpuConfig cfg;
+    PerfEstimate e =
+        estimatePerf(counters(100, 100, 1 << 20, 100, 100, 100), cfg);
+    std::string s = describePerf(e, 4);
+    EXPECT_NE(s.find("bottleneck: texture"), std::string::npos);
+    EXPECT_NE(s.find("fps"), std::string::npos);
+}
+
+TEST(PerfModel, EmptyCountersAreZero)
+{
+    PerfEstimate e = estimatePerf(PipelineCounters{}, GpuConfig{});
+    EXPECT_DOUBLE_EQ(e.boundCycles(), 0.0);
+}

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit and property tests for triangle setup and the tiled rasterizer:
+ * coverage correctness, fill-rule watertightness, interpolation, quad
+ * statistics.
+ */
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "raster/rasterizer.hh"
+
+using namespace wc3d;
+using namespace wc3d::geom;
+using namespace wc3d::raster;
+
+namespace {
+
+ScreenVertex
+sv(float x, float y, float z = 0.5f, float inv_w = 1.0f)
+{
+    ScreenVertex v;
+    v.x = x;
+    v.y = y;
+    v.z = z;
+    v.invW = inv_w;
+    return v;
+}
+
+ScreenTriangle
+tri(ScreenVertex a, ScreenVertex b, ScreenVertex c)
+{
+    return {{a, b, c}};
+}
+
+/** Collect covered pixels of one triangle. */
+std::set<std::pair<int, int>>
+coverage(const ScreenTriangle &t, int w, int h, Rasterizer *rast = nullptr)
+{
+    Rasterizer local(w, h);
+    Rasterizer &r = rast ? *rast : local;
+    std::set<std::pair<int, int>> pixels;
+    TriangleSetup setup = setupTriangle(t, w, h);
+    r.rasterize(setup, [&](const RasterQuad &q) {
+        static const int offs[4][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+        for (int l = 0; l < 4; ++l) {
+            if (q.covered(l)) {
+                auto inserted = pixels.emplace(q.x + offs[l][0],
+                                               q.y + offs[l][1]);
+                EXPECT_TRUE(inserted.second) << "pixel emitted twice";
+            }
+        }
+    });
+    return pixels;
+}
+
+} // namespace
+
+TEST(Setup, DegenerateInvalid)
+{
+    TriangleSetup s = setupTriangle(
+        tri(sv(0, 0), sv(10, 10), sv(20, 20)), 64, 64);
+    EXPECT_FALSE(s.valid);
+}
+
+TEST(Setup, OffscreenInvalid)
+{
+    TriangleSetup s = setupTriangle(
+        tri(sv(-30, -30), sv(-10, -30), sv(-20, -10)), 64, 64);
+    EXPECT_FALSE(s.valid);
+}
+
+TEST(Setup, OrientationNormalized)
+{
+    // Both windings produce valid setups with positive area.
+    TriangleSetup a = setupTriangle(
+        tri(sv(10, 10), sv(30, 10), sv(10, 30)), 64, 64);
+    TriangleSetup b = setupTriangle(
+        tri(sv(10, 10), sv(10, 30), sv(30, 10)), 64, 64);
+    EXPECT_TRUE(a.valid);
+    EXPECT_TRUE(b.valid);
+    EXPECT_GT(a.area2, 0.0);
+    EXPECT_GT(b.area2, 0.0);
+}
+
+TEST(Setup, BarycentricsSumToOne)
+{
+    TriangleSetup s = setupTriangle(
+        tri(sv(0, 0), sv(40, 0), sv(0, 40)), 64, 64);
+    float l[3];
+    s.barycentrics(10.5, 7.5, l);
+    EXPECT_NEAR(l[0] + l[1] + l[2], 1.0f, 1e-5f);
+    // At vertex 0 the first weight is ~1.
+    s.barycentrics(0.0, 0.0, l);
+    EXPECT_NEAR(l[0], 1.0f, 1e-5f);
+}
+
+TEST(Setup, DepthInterpolation)
+{
+    ScreenTriangle t = tri(sv(0, 0, 0.0f), sv(40, 0, 1.0f),
+                           sv(0, 40, 0.5f));
+    TriangleSetup s = setupTriangle(t, 64, 64);
+    float l[3];
+    s.barycentrics(20.0, 0.0, l); // halfway along the first edge
+    EXPECT_NEAR(s.interpolateZ(l), 0.5f, 1e-5f);
+}
+
+TEST(Setup, PerspectiveCorrectVarying)
+{
+    // Varying u = 0 at v0 (w=1), u = 1 at v1 (w=4): at the screen-space
+    // midpoint, perspective-correct u = (0*1 + 1*0.25) / (1 + 0.25) = 0.2.
+    ScreenVertex a = sv(0, 0, 0.5f, 1.0f);
+    ScreenVertex b = sv(40, 0, 0.5f, 0.25f);
+    ScreenVertex c = sv(0, 40, 0.5f, 1.0f);
+    a.varyings[0] = {0, 0, 0, 0};
+    b.varyings[0] = {1, 0, 0, 0};
+    c.varyings[0] = {0, 0, 0, 0};
+    TriangleSetup s = setupTriangle(tri(a, b, c), 64, 64);
+    float l[3];
+    s.barycentrics(20.0, 1e-6, l);
+    Vec4 u = s.interpolateVarying(l, 0);
+    EXPECT_NEAR(u.x, 0.2f, 1e-3f);
+}
+
+TEST(Raster, FullScreenQuadCoversEveryPixel)
+{
+    // Two triangles covering a 16x16 target exactly once each pixel.
+    Rasterizer r(16, 16);
+    auto c1 = coverage(tri(sv(0, 0), sv(16, 0), sv(0, 16)), 16, 16, &r);
+    auto c2 = coverage(tri(sv(16, 0), sv(16, 16), sv(0, 16)), 16, 16, &r);
+    EXPECT_EQ(c1.size() + c2.size(), 256u);
+    for (const auto &p : c1)
+        EXPECT_EQ(c2.count(p), 0u) << "shared-edge pixel double-covered";
+}
+
+TEST(Raster, PixelCenterRule)
+{
+    // Triangle covering x in [0,4), y in [0,4) left of the diagonal.
+    auto c = coverage(tri(sv(0, 0), sv(4, 0), sv(0, 4)), 8, 8);
+    // (0,0) center (0.5,0.5): inside. (3,0) center (3.5,0.5): on the
+    // hypotenuse side? 3.5 + 0.5 = 4 -> on edge, not top-left -> out.
+    EXPECT_EQ(c.count({0, 0}), 1u);
+    EXPECT_EQ(c.count({3, 0}), 0u);
+    EXPECT_EQ(c.count({2, 0}), 1u);
+    EXPECT_EQ(c.count({0, 3}), 0u);
+}
+
+TEST(Raster, ThinSliverStillHitsSamples)
+{
+    // A 1-pixel-tall triangle along a row.
+    auto c = coverage(tri(sv(1, 10.2f), sv(14, 10.2f), sv(1, 11.4f)),
+                      16, 16);
+    EXPECT_GT(c.size(), 4u);
+    for (const auto &p : c)
+        EXPECT_EQ(p.second, 10);
+}
+
+TEST(Raster, TriangleAreaMatchesAnalytic)
+{
+    // Large triangle: covered pixel count approximates its area.
+    auto c = coverage(tri(sv(5, 5), sv(105, 5), sv(5, 85)), 128, 128);
+    double area = 0.5 * 100 * 80;
+    EXPECT_NEAR(static_cast<double>(c.size()), area, area * 0.02);
+}
+
+TEST(Raster, ScissorClampsToTarget)
+{
+    auto c = coverage(tri(sv(-50, -50), sv(100, -50), sv(-50, 100)),
+                      32, 32);
+    for (const auto &p : c) {
+        EXPECT_GE(p.first, 0);
+        EXPECT_LT(p.first, 32);
+        EXPECT_GE(p.second, 0);
+        EXPECT_LT(p.second, 32);
+    }
+    EXPECT_GT(c.size(), 0u);
+}
+
+TEST(Raster, StatsCountQuadsAndFragments)
+{
+    Rasterizer r(64, 64);
+    TriangleSetup s = setupTriangle(
+        tri(sv(0, 0), sv(32, 0), sv(0, 32)), 64, 64);
+    std::uint64_t quads = 0, frags = 0, full = 0;
+    r.rasterize(s, [&](const RasterQuad &q) {
+        ++quads;
+        frags += static_cast<std::uint64_t>(q.coveredCount());
+        full += q.full();
+    });
+    EXPECT_EQ(r.stats().quads, quads);
+    EXPECT_EQ(r.stats().fragments, frags);
+    EXPECT_EQ(r.stats().fullQuads, full);
+    EXPECT_EQ(r.stats().triangles, 1u);
+    EXPECT_GT(r.stats().upperTiles, 0u);
+    EXPECT_GE(r.stats().lowerTiles, r.stats().upperTiles);
+    EXPECT_LT(full, quads); // diagonal edge has partial quads
+    EXPECT_NEAR(r.stats().quadEfficiency(),
+                static_cast<double>(full) / quads, 1e-12);
+}
+
+TEST(Raster, LargeTriangleQuadEfficiencyHigh)
+{
+    // Paper Table X: big triangles have >90% complete quads.
+    Rasterizer r(512, 512);
+    TriangleSetup s = setupTriangle(
+        tri(sv(3, 2), sv(500, 10), sv(40, 480)), 512, 512);
+    r.rasterize(s, [](const RasterQuad &) {});
+    EXPECT_GT(r.stats().quadEfficiency(), 0.9);
+}
+
+TEST(Raster, TinyTrianglesQuadEfficiencyLow)
+{
+    // Sub-pixel triangles produce mostly partial quads ([1]'s regime).
+    Rasterizer r(128, 128);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        float x = rng.nextRange(2, 120);
+        float y = rng.nextRange(2, 120);
+        TriangleSetup s = setupTriangle(
+            tri(sv(x, y), sv(x + 1.2f, y + 0.3f), sv(x + 0.4f, y + 1.1f)),
+            128, 128);
+        r.rasterize(s, [](const RasterQuad &) {});
+    }
+    EXPECT_LT(r.stats().quadEfficiency(), 0.5);
+}
+
+TEST(Raster, HelperLanesCarryDepthAndBarycentrics)
+{
+    Rasterizer r(16, 16);
+    TriangleSetup s = setupTriangle(
+        tri(sv(0, 0, 0.25f), sv(9, 0, 0.25f), sv(0, 9, 0.25f)), 16, 16);
+    bool saw_partial = false;
+    r.rasterize(s, [&](const RasterQuad &q) {
+        if (!q.full()) {
+            saw_partial = true;
+            for (int l = 0; l < 4; ++l) {
+                float sum = q.lambda[l][0] + q.lambda[l][1] + q.lambda[l][2];
+                EXPECT_NEAR(sum, 1.0f, 1e-4f);
+                EXPECT_NEAR(q.z[l], 0.25f, 1e-4f);
+            }
+        }
+    });
+    EXPECT_TRUE(saw_partial);
+}
+
+/** Watertight property: random meshes of adjacent triangle pairs never
+ * double-cover or leave gaps along the shared edge. */
+class RasterWatertight : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RasterWatertight, SharedEdgesExactlyOnce)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int iter = 0; iter < 50; ++iter) {
+        // Random shared edge a-c; b and d are placed on strictly
+        // opposite sides so the triangles tile without overlap.
+        float ax = rng.nextRange(5, 55), ay = rng.nextRange(5, 55);
+        float cx = rng.nextRange(5, 55), cy = rng.nextRange(5, 55);
+        if (std::abs(ax - cx) + std::abs(ay - cy) < 2.0f)
+            continue; // degenerate edge
+        float mx = (ax + cx) * 0.5f, my = (ay + cy) * 0.5f;
+        // Unit-ish perpendicular to the edge.
+        float ex = cx - ax, ey = cy - ay;
+        float len = std::sqrt(ex * ex + ey * ey);
+        float px = -ey / len, py = ex / len;
+        float s1 = rng.nextRange(3, 20);
+        float s2 = rng.nextRange(3, 20);
+        float t1 = rng.nextRange(-0.4f, 0.4f);
+        float t2 = rng.nextRange(-0.4f, 0.4f);
+        ScreenVertex a = sv(ax, ay);
+        ScreenVertex c = sv(cx, cy);
+        ScreenVertex b = sv(mx + ex * t1 + px * s1, my + ey * t1 + py * s1);
+        ScreenVertex d = sv(mx + ex * t2 - px * s2, my + ey * t2 - py * s2);
+        auto c1 = coverage(tri(a, b, c), 64, 64);
+        auto c2 = coverage(tri(a, c, d), 64, 64);
+        for (const auto &p : c1)
+            EXPECT_EQ(c2.count(p), 0u)
+                << "double-covered pixel (" << p.first << "," << p.second
+                << ") in iteration " << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RasterWatertight,
+                         ::testing::Values(1, 2, 3, 4));
+
+/** Property: the union of the two triangles of an axis-aligned
+ *  rectangle covers exactly the rectangle's pixel centers. */
+TEST(RasterProperty, RectangleDecompositionExact)
+{
+    Rng rng(77);
+    for (int iter = 0; iter < 30; ++iter) {
+        int x0 = rng.nextInt(0, 20);
+        int y0 = rng.nextInt(0, 20);
+        int w = rng.nextInt(1, 30);
+        int h = rng.nextInt(1, 30);
+        auto fx0 = static_cast<float>(x0), fy0 = static_cast<float>(y0);
+        auto fx1 = static_cast<float>(x0 + w);
+        auto fy1 = static_cast<float>(y0 + h);
+        auto c1 = coverage(tri(sv(fx0, fy0), sv(fx1, fy0), sv(fx0, fy1)),
+                           64, 64);
+        auto c2 = coverage(tri(sv(fx1, fy0), sv(fx1, fy1), sv(fx0, fy1)),
+                           64, 64);
+        EXPECT_EQ(c1.size() + c2.size(),
+                  static_cast<std::size_t>(w) * h);
+    }
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests for the report module (API-level paths; the microarch paths
+ * are exercised by the bench binaries and test_core's tinyRun).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "workloads/games.hh"
+
+using namespace wc3d;
+using namespace wc3d::core;
+
+TEST(Report, GameReportApiOnlyGame)
+{
+    ReportOptions opt;
+    opt.apiFrames = 3;
+    opt.includeMicroarch = true; // D3D game: no microarch section
+    std::string r = gameReport("hl2lc/builtin", opt);
+    EXPECT_NE(r.find("Characterization of hl2lc/builtin"),
+              std::string::npos);
+    EXPECT_NE(r.find("Direct3D"), std::string::npos);
+    EXPECT_NE(r.find("API: index traffic"), std::string::npos);
+    EXPECT_NE(r.find("API: fragment shader"), std::string::npos);
+    // No simulator sections for a non-simulated game.
+    EXPECT_EQ(r.find("uArch:"), std::string::npos);
+}
+
+TEST(Report, FullReportApiTables)
+{
+    ReportOptions opt;
+    opt.apiFrames = 2;
+    opt.includeMicroarch = false;
+    std::string r = fullReport(opt);
+    EXPECT_NE(r.find("Table I: workload description"),
+              std::string::npos);
+    EXPECT_NE(r.find("Table III: index traffic"), std::string::npos);
+    EXPECT_NE(r.find("Table VI: system bus bandwidths"),
+              std::string::npos);
+    EXPECT_NE(r.find("Table XII: fragment shader composition"),
+              std::string::npos);
+    // Microarch tables excluded.
+    EXPECT_EQ(r.find("Table XIV"), std::string::npos);
+    // Every game appears.
+    for (const auto &id : workloads::allTimedemoIds())
+        EXPECT_NE(r.find(id), std::string::npos) << id;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the shader ISA: opcode metadata, operand helpers,
+ * program statistics and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "shader/program.hh"
+
+using namespace wc3d::shader;
+
+TEST(Isa, OpcodeMetadata)
+{
+    EXPECT_STREQ(opcodeName(Opcode::MAD), "MAD");
+    EXPECT_EQ(opcodeInfo(Opcode::MAD).numSrcs, 3);
+    EXPECT_FALSE(opcodeInfo(Opcode::MAD).isTexture);
+    EXPECT_TRUE(opcodeInfo(Opcode::TEX).isTexture);
+    EXPECT_TRUE(opcodeInfo(Opcode::TXP).isTexture);
+    EXPECT_TRUE(opcodeInfo(Opcode::TXB).isTexture);
+    EXPECT_FALSE(opcodeInfo(Opcode::KIL).hasDst);
+    EXPECT_TRUE(opcodeInfo(Opcode::MOV).hasDst);
+}
+
+TEST(Isa, OpcodeFromName)
+{
+    Opcode op;
+    EXPECT_TRUE(opcodeFromName("mad", op));
+    EXPECT_EQ(op, Opcode::MAD);
+    EXPECT_TRUE(opcodeFromName("TeX", op));
+    EXPECT_EQ(op, Opcode::TEX);
+    EXPECT_FALSE(opcodeFromName("BOGUS", op));
+}
+
+TEST(Isa, SwizzlePackUnpack)
+{
+    std::uint8_t sw = packSwizzle(kCompW, kCompZ, kCompY, kCompX);
+    EXPECT_EQ(swizzleComp(sw, 0), kCompW);
+    EXPECT_EQ(swizzleComp(sw, 1), kCompZ);
+    EXPECT_EQ(swizzleComp(sw, 2), kCompY);
+    EXPECT_EQ(swizzleComp(sw, 3), kCompX);
+    EXPECT_EQ(kSwizzleXYZW, packSwizzle(0, 1, 2, 3));
+}
+
+TEST(Program, StaticCounts)
+{
+    Program p(ProgramKind::Fragment, "test");
+    p.tex(dstTemp(0), srcInput(1), 0)
+     .mul(dstTemp(1), srcTemp(0), srcInput(2))
+     .tex(dstTemp(2), srcInput(3), 1)
+     .mad(dstOutput(0), srcTemp(1), srcTemp(2), srcConst(0));
+    EXPECT_EQ(p.instructionCount(), 4);
+    EXPECT_EQ(p.textureInstructionCount(), 2);
+    EXPECT_EQ(p.aluInstructionCount(), 2);
+    EXPECT_DOUBLE_EQ(p.aluToTexRatio(), 1.0);
+}
+
+TEST(Program, RatioWithoutTex)
+{
+    Program p(ProgramKind::Vertex, "vs");
+    p.dp4(dstOutput(0), srcInput(0), srcConst(0));
+    EXPECT_DOUBLE_EQ(p.aluToTexRatio(), 1.0);
+    EXPECT_EQ(p.textureInstructionCount(), 0);
+}
+
+TEST(Program, UsesKillDetection)
+{
+    Program p(ProgramKind::Fragment, "fp");
+    p.mov(dstOutput(0), srcInput(0));
+    EXPECT_FALSE(p.usesKill());
+    p.kil(srcTemp(0));
+    EXPECT_TRUE(p.usesKill());
+}
+
+TEST(Program, WritesOutputDetection)
+{
+    Program p(ProgramKind::Fragment, "fp");
+    p.mov(dstOutput(1), srcInput(0));
+    EXPECT_FALSE(p.writesOutput(0));
+    EXPECT_TRUE(p.writesOutput(1));
+}
+
+TEST(Program, ConstantsStored)
+{
+    Program p(ProgramKind::Vertex, "vs");
+    p.setConstant(3, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(p.constant(3).y, 2.0f);
+    EXPECT_FLOAT_EQ(p.constant(0).x, 0.0f);
+}
+
+TEST(Program, DisassembleMentionsOperands)
+{
+    Program p(ProgramKind::Fragment, "fp");
+    p.mad(dstTemp(0, kMaskX | kMaskY), srcInput(1),
+          negate(srcConst(2)), srcTemp(3));
+    std::string text = disassembleInstruction(p.code()[0]);
+    EXPECT_NE(text.find("MAD"), std::string::npos);
+    EXPECT_NE(text.find("r0.xy"), std::string::npos);
+    EXPECT_NE(text.find("v1"), std::string::npos);
+    EXPECT_NE(text.find("-c2"), std::string::npos);
+    EXPECT_NE(text.find("r3"), std::string::npos);
+}
+
+TEST(Program, DisassembleTextureUnit)
+{
+    Program p(ProgramKind::Fragment, "fp");
+    p.tex(dstTemp(0), srcInput(2), 5);
+    std::string text = disassembleInstruction(p.code()[0]);
+    EXPECT_NE(text.find("tex[5]"), std::string::npos);
+}
+
+TEST(Program, DisassembleHeaderHasKindAndName)
+{
+    Program p(ProgramKind::Vertex, "transform");
+    p.dp4(dstOutput(0), srcInput(0), srcConst(0));
+    std::string text = p.disassemble();
+    EXPECT_NE(text.find("!!VP"), std::string::npos);
+    EXPECT_NE(text.find("transform"), std::string::npos);
+}
+
+TEST(Operands, Negate)
+{
+    SrcOperand s = srcTemp(0);
+    EXPECT_FALSE(s.negate);
+    s = negate(s);
+    EXPECT_TRUE(s.negate);
+    s = negate(s);
+    EXPECT_FALSE(s.negate);
+}
+
+TEST(Operands, Saturate)
+{
+    DstOperand d = dstTemp(0);
+    EXPECT_FALSE(d.saturate);
+    EXPECT_TRUE(saturate(d).saturate);
+}

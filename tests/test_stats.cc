@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the statistics framework (counters, distributions,
+ * frame series, tables).
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hh"
+#include "stats/registry.hh"
+#include "stats/series.hh"
+#include "stats/table.hh"
+
+using namespace wc3d::stats;
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, MeanMinMax)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+}
+
+TEST(Distribution, WeightedSamples)
+{
+    Distribution d;
+    d.sampleN(10.0, 3);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 8.0);
+}
+
+TEST(Distribution, SampleNZeroIsNoop)
+{
+    Distribution d;
+    d.sampleN(99.0, 0);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Distribution, VarianceOfConstantIsZero)
+{
+    Distribution d;
+    for (int i = 0; i < 10; ++i)
+        d.sample(5.0);
+    EXPECT_NEAR(d.variance(), 0.0, 1e-9);
+}
+
+TEST(Distribution, KnownVariance)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(3.0);
+    // population variance of {1,3} = 1
+    EXPECT_NEAR(d.variance(), 1.0, 1e-9);
+    EXPECT_NEAR(d.stddev(), 1.0, 1e-9);
+}
+
+TEST(Distribution, Merge)
+{
+    Distribution a, b;
+    a.sample(1.0);
+    b.sample(3.0);
+    b.sample(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Histogram, BucketsAndOutOfRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(0.0);
+    h.sample(1.9);
+    h.sample(9.99);
+    h.sample(10.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+}
+
+TEST(Registry, CountersCreateOnDemand)
+{
+    Registry r;
+    EXPECT_FALSE(r.hasCounter("a.b"));
+    r.counter("a.b").inc(5);
+    r.counter("a.b").inc();
+    EXPECT_TRUE(r.hasCounter("a.b"));
+    EXPECT_EQ(r.counterValue("a.b"), 6u);
+    EXPECT_EQ(r.counterValue("missing"), 0u);
+}
+
+TEST(Registry, OrderPreserved)
+{
+    Registry r;
+    r.counter("z");
+    r.counter("a");
+    r.counter("m");
+    ASSERT_EQ(r.counterNames().size(), 3u);
+    EXPECT_EQ(r.counterNames()[0], "z");
+    EXPECT_EQ(r.counterNames()[1], "a");
+    EXPECT_EQ(r.counterNames()[2], "m");
+}
+
+TEST(Registry, ResetAllZeroesValues)
+{
+    Registry r;
+    r.counter("c").inc(10);
+    r.distribution("d").sample(4.0);
+    r.resetAll();
+    EXPECT_EQ(r.counterValue("c"), 0u);
+    EXPECT_EQ(r.distributionValue("d").count(), 0u);
+    EXPECT_TRUE(r.hasCounter("c"));
+}
+
+TEST(Registry, DumpMentionsNames)
+{
+    Registry r;
+    r.counter("raster.quads").inc(3);
+    r.distribution("tri.size").sample(100.0);
+    std::string dump = r.dump();
+    EXPECT_NE(dump.find("raster.quads"), std::string::npos);
+    EXPECT_NE(dump.find("tri.size"), std::string::npos);
+}
+
+TEST(FrameSeries, RecordsPerFrame)
+{
+    FrameSeries fs;
+    fs.record("batches", 10.0);
+    fs.record("batches", 5.0); // accumulates within the frame
+    fs.endFrame();
+    fs.record("batches", 7.0);
+    fs.endFrame();
+    ASSERT_EQ(fs.frames(), 2);
+    const auto &s = fs.series("batches");
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 15.0);
+    EXPECT_DOUBLE_EQ(s[1], 7.0);
+}
+
+TEST(FrameSeries, MissingFramePadsZero)
+{
+    FrameSeries fs;
+    fs.record("a", 1.0);
+    fs.endFrame();
+    fs.endFrame(); // nothing recorded
+    const auto &s = fs.series("a");
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+TEST(FrameSeries, LateSeriesBackfilled)
+{
+    FrameSeries fs;
+    fs.record("a", 1.0);
+    fs.endFrame();
+    fs.record("b", 2.0); // first appears in frame 1
+    fs.endFrame();
+    const auto &s = fs.series("b");
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 0.0);
+    EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+TEST(FrameSeries, SummaryStats)
+{
+    FrameSeries fs;
+    for (int f = 0; f < 4; ++f) {
+        fs.record("x", f + 1.0);
+        fs.endFrame();
+    }
+    Distribution d = fs.summary("x");
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+}
+
+TEST(FrameSeries, CsvShape)
+{
+    FrameSeries fs;
+    fs.record("a", 1.0);
+    fs.record("b", 2.0);
+    fs.endFrame();
+    std::string csv = fs.toCsv();
+    EXPECT_NE(csv.find("frame,a,b"), std::string::npos);
+    EXPECT_NE(csv.find("0,1,2"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedText)
+{
+    Table t({"Game", "Value"});
+    t.addRow({"doom3", "42"});
+    t.addRow({"quake4", "7"});
+    EXPECT_EQ(t.rows(), 2);
+    EXPECT_EQ(t.cell(0, 1), "42");
+    std::string s = t.toString();
+    EXPECT_NE(s.find("Game"), std::string::npos);
+    EXPECT_NE(s.find("doom3"), std::string::npos);
+}
+
+TEST(Table, MarkdownAndCsv)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_NE(t.toMarkdown().find("|---|---|"), std::string::npos);
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for mip-mapped textures: level geometry, procedural
+ * constructors, memory layout and address disjointness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/controller.hh"
+#include "texture/texture.hh"
+
+using namespace wc3d;
+using namespace wc3d::tex;
+
+TEST(Texture, MipChainGeometry)
+{
+    Texture2D t = Texture2D::checkerboard("chk", 64, 8, {255, 0, 0, 255},
+                                          {0, 0, 255, 255},
+                                          TexFormat::RGBA8);
+    EXPECT_EQ(t.width(), 64);
+    EXPECT_EQ(t.height(), 64);
+    EXPECT_EQ(t.levels(), 7); // 64..1
+    EXPECT_EQ(t.levelWidth(0), 64);
+    EXPECT_EQ(t.levelWidth(1), 32);
+    EXPECT_EQ(t.levelWidth(6), 1);
+    EXPECT_EQ(t.levelBlocksX(0), 16);
+    EXPECT_EQ(t.levelBlocksX(6), 1); // padded to one block
+}
+
+TEST(Texture, CheckerboardContent)
+{
+    Texture2D t = Texture2D::checkerboard("chk", 16, 4, {255, 0, 0, 255},
+                                          {0, 0, 255, 255},
+                                          TexFormat::RGBA8);
+    EXPECT_EQ(t.texel(0, 0, 0).r, 255);
+    EXPECT_EQ(t.texel(0, 4, 0).b, 255);
+    EXPECT_EQ(t.texel(0, 4, 4).r, 255);
+}
+
+TEST(Texture, TexelClampsOutOfRange)
+{
+    Texture2D t = Texture2D::gradient("g", 8, {0, 0, 0, 255},
+                                      {255, 255, 255, 255},
+                                      TexFormat::RGBA8);
+    EXPECT_EQ(t.texel(0, -5, 0).r, t.texel(0, 0, 0).r);
+    EXPECT_EQ(t.texel(0, 100, 7).r, t.texel(0, 7, 7).r);
+}
+
+TEST(Texture, GradientMonotonic)
+{
+    Texture2D t = Texture2D::gradient("g", 32, {0, 0, 0, 255},
+                                      {255, 255, 255, 255},
+                                      TexFormat::RGBA8);
+    EXPECT_LT(t.texel(0, 0, 0).r, t.texel(0, 0, 16).r);
+    EXPECT_LT(t.texel(0, 0, 16).r, t.texel(0, 0, 31).r);
+}
+
+TEST(Texture, StorageBytesReflectCompression)
+{
+    Texture2D raw = Texture2D::noise("n", 64, 1, TexFormat::RGBA8);
+    Texture2D dxt1 = Texture2D::noise("n", 64, 1, TexFormat::DXT1);
+    Texture2D dxt5 = Texture2D::noise("n", 64, 1, TexFormat::DXT5);
+    EXPECT_EQ(raw.decodedBytes(), raw.storageBytes());
+    EXPECT_EQ(dxt1.storageBytes() * 8, dxt1.decodedBytes());
+    EXPECT_EQ(dxt5.storageBytes() * 4, dxt5.decodedBytes());
+}
+
+TEST(Texture, DxtRoundTripPreservesSmoothContent)
+{
+    // The noise texture is smooth; DXT1 should keep it recognisable.
+    Texture2D raw = Texture2D::noise("n", 64, 42, TexFormat::RGBA8);
+    Texture2D dxt = Texture2D::noise("n", 64, 42, TexFormat::DXT1);
+    double err = 0.0;
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            err += std::abs(raw.texel(0, x, y).r - dxt.texel(0, x, y).r);
+        }
+    }
+    EXPECT_LT(err / (64.0 * 64.0), 12.0); // small mean error
+}
+
+TEST(Texture, MipLevelsAverageContent)
+{
+    Texture2D t = Texture2D::checkerboard("chk", 64, 1, {0, 0, 0, 255},
+                                          {255, 255, 255, 255},
+                                          TexFormat::RGBA8);
+    // 1-texel checker averages to mid-grey one level down.
+    Rgba8 top = t.texel(t.levels() - 1, 0, 0);
+    EXPECT_NEAR(top.r, 127, 3);
+}
+
+TEST(Texture, MemoryBindingAddresses)
+{
+    memsys::MemoryController mc;
+    Texture2D t = Texture2D::noise("n", 32, 3, TexFormat::DXT1);
+    EXPECT_FALSE(t.memoryBound());
+    t.bindMemory(mc);
+    EXPECT_TRUE(t.memoryBound());
+
+    // Virtual: 64 bytes per block; consecutive blocks are contiguous.
+    std::uint64_t v00 = t.blockVirtualAddress(0, 0, 0);
+    std::uint64_t v10 = t.blockVirtualAddress(0, 1, 0);
+    EXPECT_EQ(v10 - v00, 64u);
+
+    // Memory: DXT1 = 8 bytes per block.
+    std::uint64_t m00 = t.blockMemAddress(0, 0, 0);
+    std::uint64_t m10 = t.blockMemAddress(0, 1, 0);
+    EXPECT_EQ(m10 - m00, 8u);
+
+    // Levels do not overlap.
+    std::uint64_t l0_last = t.blockVirtualAddress(
+        0, t.levelBlocksX(0) - 1, t.levelBlocksY(0) - 1);
+    std::uint64_t l1_first = t.blockVirtualAddress(1, 0, 0);
+    EXPECT_GE(l1_first, l0_last + 64);
+}
+
+TEST(Texture, TwoTexturesDisjointAddresses)
+{
+    memsys::MemoryController mc;
+    Texture2D a = Texture2D::noise("a", 32, 1, TexFormat::DXT1);
+    Texture2D b = Texture2D::noise("b", 32, 2, TexFormat::DXT1);
+    a.bindMemory(mc);
+    b.bindMemory(mc);
+    std::uint64_t a_last = a.blockMemAddress(
+        a.levels() - 1, 0, 0);
+    EXPECT_NE(a.blockMemAddress(0, 0, 0), b.blockMemAddress(0, 0, 0));
+    EXPECT_LT(a_last, b.blockMemAddress(0, 0, 0) + b.storageBytes());
+}
+
+TEST(Texture, NoiseDeterministicBySeed)
+{
+    Texture2D a = Texture2D::noise("a", 32, 5, TexFormat::RGBA8);
+    Texture2D b = Texture2D::noise("b", 32, 5, TexFormat::RGBA8);
+    Texture2D c = Texture2D::noise("c", 32, 6, TexFormat::RGBA8);
+    EXPECT_EQ(a.texel(0, 7, 9).r, b.texel(0, 7, 9).r);
+    bool differs = false;
+    for (int i = 0; i < 32 && !differs; ++i)
+        differs = a.texel(0, i, i).r != c.texel(0, i, i).r;
+    EXPECT_TRUE(differs);
+}

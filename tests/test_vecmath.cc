@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the fixed-size linear algebra types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/vecmath.hh"
+
+using namespace wc3d;
+
+TEST(Vec3, BasicArithmetic)
+{
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{4.0f, 5.0f, 6.0f};
+    Vec3 sum = a + b;
+    EXPECT_FLOAT_EQ(sum.x, 5.0f);
+    EXPECT_FLOAT_EQ(sum.y, 7.0f);
+    EXPECT_FLOAT_EQ(sum.z, 9.0f);
+    EXPECT_FLOAT_EQ(a.dot(b), 32.0f);
+}
+
+TEST(Vec3, CrossProductIsOrthogonal)
+{
+    Vec3 a{1.0f, 0.0f, 0.0f};
+    Vec3 b{0.0f, 1.0f, 0.0f};
+    Vec3 c = a.cross(b);
+    EXPECT_FLOAT_EQ(c.x, 0.0f);
+    EXPECT_FLOAT_EQ(c.y, 0.0f);
+    EXPECT_FLOAT_EQ(c.z, 1.0f);
+    EXPECT_FLOAT_EQ(c.dot(a), 0.0f);
+    EXPECT_FLOAT_EQ(c.dot(b), 0.0f);
+}
+
+TEST(Vec3, NormalizedHasUnitLength)
+{
+    Vec3 v{3.0f, 4.0f, 12.0f};
+    EXPECT_NEAR(v.normalized().length(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3, NormalizedZeroIsZero)
+{
+    Vec3 v{0.0f, 0.0f, 0.0f};
+    Vec3 n = v.normalized();
+    EXPECT_FLOAT_EQ(n.length(), 0.0f);
+}
+
+TEST(Vec4, IndexingMatchesComponents)
+{
+    Vec4 v{1.0f, 2.0f, 3.0f, 4.0f};
+    EXPECT_FLOAT_EQ(v[0], 1.0f);
+    EXPECT_FLOAT_EQ(v[1], 2.0f);
+    EXPECT_FLOAT_EQ(v[2], 3.0f);
+    EXPECT_FLOAT_EQ(v[3], 4.0f);
+    v[2] = 9.0f;
+    EXPECT_FLOAT_EQ(v.z, 9.0f);
+}
+
+TEST(Mat4, IdentityTransformIsNoop)
+{
+    Mat4 id = Mat4::identity();
+    Vec4 v{1.0f, 2.0f, 3.0f, 1.0f};
+    Vec4 r = id.transform(v);
+    EXPECT_FLOAT_EQ(r.x, v.x);
+    EXPECT_FLOAT_EQ(r.y, v.y);
+    EXPECT_FLOAT_EQ(r.z, v.z);
+    EXPECT_FLOAT_EQ(r.w, v.w);
+}
+
+TEST(Mat4, TranslatePoint)
+{
+    Mat4 t = Mat4::translate({10.0f, 20.0f, 30.0f});
+    Vec4 r = t.transformPoint({1.0f, 2.0f, 3.0f});
+    EXPECT_FLOAT_EQ(r.x, 11.0f);
+    EXPECT_FLOAT_EQ(r.y, 22.0f);
+    EXPECT_FLOAT_EQ(r.z, 33.0f);
+}
+
+TEST(Mat4, TranslateIgnoresDirections)
+{
+    Mat4 t = Mat4::translate({10.0f, 20.0f, 30.0f});
+    Vec3 d = t.transformDir({1.0f, 0.0f, 0.0f});
+    EXPECT_FLOAT_EQ(d.x, 1.0f);
+    EXPECT_FLOAT_EQ(d.y, 0.0f);
+    EXPECT_FLOAT_EQ(d.z, 0.0f);
+}
+
+TEST(Mat4, CompositionOrder)
+{
+    // (T * S) * p == T(S(p))
+    Mat4 t = Mat4::translate({1.0f, 0.0f, 0.0f});
+    Mat4 s = Mat4::scale({2.0f, 2.0f, 2.0f});
+    Vec4 r = (t * s).transformPoint({1.0f, 1.0f, 1.0f});
+    EXPECT_FLOAT_EQ(r.x, 3.0f);
+    EXPECT_FLOAT_EQ(r.y, 2.0f);
+    EXPECT_FLOAT_EQ(r.z, 2.0f);
+}
+
+TEST(Mat4, RotateZQuarterTurn)
+{
+    Mat4 r = Mat4::rotateZ(radians(90.0f));
+    Vec4 v = r.transformPoint({1.0f, 0.0f, 0.0f});
+    EXPECT_NEAR(v.x, 0.0f, 1e-6f);
+    EXPECT_NEAR(v.y, 1.0f, 1e-6f);
+}
+
+TEST(Mat4, PerspectiveMapsNearFarToClipRange)
+{
+    float znear = 1.0f;
+    float zfar = 100.0f;
+    Mat4 p = Mat4::perspective(radians(90.0f), 1.0f, znear, zfar);
+
+    Vec4 near_pt = p.transformPoint({0.0f, 0.0f, -znear});
+    Vec4 far_pt = p.transformPoint({0.0f, 0.0f, -zfar});
+    // After perspective divide, z should be -1 at near and +1 at far.
+    EXPECT_NEAR(near_pt.z / near_pt.w, -1.0f, 1e-5f);
+    EXPECT_NEAR(far_pt.z / far_pt.w, 1.0f, 1e-4f);
+}
+
+TEST(Mat4, LookAtPlacesEyeAtOrigin)
+{
+    Vec3 eye{5.0f, 3.0f, 8.0f};
+    Mat4 v = Mat4::lookAt(eye, {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f});
+    Vec4 r = v.transformPoint(eye);
+    EXPECT_NEAR(r.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.z, 0.0f, 1e-5f);
+}
+
+TEST(Mat4, LookAtTargetOnNegativeZ)
+{
+    Vec3 eye{0.0f, 0.0f, 10.0f};
+    Mat4 v = Mat4::lookAt(eye, {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f});
+    Vec4 r = v.transformPoint({0.0f, 0.0f, 0.0f});
+    EXPECT_NEAR(r.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.z, -10.0f, 1e-5f);
+}
+
+TEST(Mat4, TransposeRoundTrip)
+{
+    Mat4 p = Mat4::perspective(radians(60.0f), 1.3f, 0.5f, 200.0f);
+    Mat4 tt = p.transposed().transposed();
+    for (int c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            EXPECT_FLOAT_EQ(tt.m[c][r], p.m[c][r]);
+}
+
+TEST(Scalars, LerpAndClamp)
+{
+    EXPECT_FLOAT_EQ(lerp(0.0f, 10.0f, 0.25f), 2.5f);
+    EXPECT_FLOAT_EQ(clampf(5.0f, 0.0f, 1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(clampf(-5.0f, 0.0f, 1.0f), 0.0f);
+    EXPECT_FLOAT_EQ(clampf(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+TEST(Scalars, Radians)
+{
+    EXPECT_NEAR(radians(180.0f), kPi, 1e-6f);
+}

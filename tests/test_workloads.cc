@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the workload substrate: meshes, camera, shader
+ * synthesis, volume planning, profiles and timedemo determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "shader/assemble.hh"
+#include "workloads/games.hh"
+#include "workloads/shadowvolume.hh"
+
+using namespace wc3d;
+using namespace wc3d::workloads;
+
+TEST(Mesh, GridPatchGeometry)
+{
+    Mesh m = makeGridPatch(4, 3);
+    EXPECT_EQ(m.vertices.vertices.size(), 5u * 4u);
+    EXPECT_EQ(m.indices.indices.size(), 4u * 3u * 6u);
+    EXPECT_EQ(meshTriangles(m), 24);
+    EXPECT_EQ(m.topology, geom::PrimitiveType::TriangleList);
+    // All indices valid.
+    for (auto i : m.indices.indices)
+        EXPECT_LT(i, m.vertices.vertices.size());
+}
+
+TEST(Mesh, GridStripGeometry)
+{
+    Mesh m = makeGridStrip(4, 3);
+    EXPECT_EQ(m.topology, geom::PrimitiveType::TriangleStrip);
+    // Strip primitives ~ 2 per quad (plus degenerate stitches).
+    int prims = meshTriangles(m);
+    EXPECT_GE(prims, 24);
+    for (auto i : m.indices.indices)
+        EXPECT_LT(i, m.vertices.vertices.size());
+}
+
+TEST(Mesh, DiscFan)
+{
+    Mesh m = makeDiscFan(16);
+    EXPECT_EQ(m.topology, geom::PrimitiveType::TriangleFan);
+    EXPECT_EQ(meshTriangles(m), 16);
+}
+
+TEST(Mesh, TerrainDisplacesHeights)
+{
+    Mesh flat = makeGridPatch(8, 8);
+    Mesh terrain = makeTerrain(8, 3.0f, 42, false);
+    bool displaced = false;
+    for (const auto &v : terrain.vertices.vertices)
+        displaced |= v.position.z != 0.0f;
+    EXPECT_TRUE(displaced);
+    EXPECT_EQ(terrain.vertices.vertices.size(),
+              flat.vertices.vertices.size());
+}
+
+TEST(Mesh, BoxClosedAndSized)
+{
+    Mesh m = makeBox(2, {1, 2, 3});
+    EXPECT_EQ(meshTriangles(m), 6 * 2 * 2 * 2);
+    for (const auto &v : m.vertices.vertices) {
+        EXPECT_LE(std::abs(v.position.x), 1.0f + 1e-5f);
+        EXPECT_LE(std::abs(v.position.y), 2.0f + 1e-5f);
+        EXPECT_LE(std::abs(v.position.z), 3.0f + 1e-5f);
+    }
+}
+
+TEST(Mesh, ShadowSlabHasTwelveTriangles)
+{
+    Mesh m = makeShadowVolumeSlab({0, 0, 0}, {0, 0, 1}, 2.0f, 10.0f);
+    EXPECT_EQ(meshTriangles(m), 12);
+    EXPECT_EQ(m.vertices.vertices.size(), 8u);
+}
+
+TEST(Mesh, PadIndicesHitsExactTarget)
+{
+    Mesh m = makeGridPatch(2, 2); // 24 indices
+    padIndices(m, 300);
+    EXPECT_EQ(m.indices.indices.size(), 300u);
+    for (auto i : m.indices.indices)
+        EXPECT_LT(i, m.vertices.vertices.size());
+    // Truncation path (multiple of 3 preserved).
+    Mesh big = makeGridPatch(10, 10);
+    padIndices(big, 100);
+    EXPECT_EQ(big.indices.indices.size(), 99u);
+}
+
+TEST(Camera, DeterministicAndMoving)
+{
+    CameraPath a(50.0f, 0.01f, 2.0f);
+    CameraPath b(50.0f, 0.01f, 2.0f);
+    EXPECT_FLOAT_EQ(a.position(10).x, b.position(10).x);
+    Vec3 p0 = a.position(0);
+    Vec3 p100 = a.position(100);
+    EXPECT_GT((p100 - p0).length(), 1.0f);
+    // Looking roughly along the path, never at itself.
+    EXPECT_GT((a.target(5) - a.position(5)).length(), 1.0f);
+}
+
+TEST(ShaderSynth, VertexProgramExactLength)
+{
+    for (int len : {9, 12, 23, 38}) {
+        auto r = shader::assemble(synthVertexProgram(len),
+                                  shader::ProgramKind::Vertex);
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.program.instructionCount(), len);
+        EXPECT_TRUE(r.program.writesOutput(0)); // position
+        EXPECT_TRUE(r.program.writesOutput(1)); // uv
+        EXPECT_TRUE(r.program.writesOutput(2)); // color
+    }
+}
+
+TEST(ShaderSynth, FragmentProgramExactMix)
+{
+    for (int total : {3, 8, 16, 24}) {
+        for (int tex : {0, 1, 2, 4}) {
+            FragmentSpec spec;
+            spec.texInstructions = tex;
+            spec.totalInstructions =
+                std::max(total, std::max(1, tex) + 1);
+            auto r = shader::assemble(synthFragmentProgram(spec));
+            ASSERT_TRUE(r.ok) << r.error;
+            EXPECT_EQ(r.program.instructionCount(),
+                      spec.totalInstructions);
+            EXPECT_EQ(r.program.textureInstructionCount(), tex);
+            EXPECT_TRUE(r.program.writesOutput(0));
+            EXPECT_FALSE(r.program.usesKill());
+        }
+    }
+}
+
+TEST(ShaderSynth, AlphaKillVariant)
+{
+    FragmentSpec spec;
+    spec.texInstructions = 2;
+    spec.totalInstructions = 8;
+    spec.alphaKill = true;
+    auto r = shader::assemble(synthFragmentProgram(spec));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.program.usesKill());
+    EXPECT_EQ(r.program.instructionCount(), 8);
+}
+
+TEST(ShaderSynth, MaterialMixAveragesToTarget)
+{
+    Rng rng(5);
+    auto specs = planMaterialMix(20, 12.95, 3.98, 0.1, rng);
+    ASSERT_EQ(specs.size(), 20u);
+    double fs = 0.0, tex = 0.0;
+    int kills = 0;
+    for (const auto &s : specs) {
+        fs += s.totalInstructions;
+        tex += s.texInstructions;
+        kills += s.alphaKill;
+    }
+    EXPECT_NEAR(fs / 20.0, 12.95, 0.5);
+    EXPECT_NEAR(tex / 20.0, 3.98, 0.3);
+    EXPECT_EQ(kills, 2);
+    // Every spec assembles.
+    for (const auto &s : specs)
+        EXPECT_TRUE(shader::assemble(synthFragmentProgram(s)).ok);
+}
+
+TEST(ShadowVolumes, PlannedAheadOfCamera)
+{
+    Rng rng(3);
+    Vec3 eye{10, 2, 5};
+    Vec3 fwd{0, 0, -1};
+    auto volumes = planShadowVolumes(10, 0, eye, fwd, rng);
+    ASSERT_EQ(volumes.size(), 10u);
+    for (const auto &v : volumes) {
+        // In front of the camera.
+        EXPECT_GT((v.base - eye).dot(fwd), 0.0f);
+        EXPECT_GT(v.width, 0.0f);
+        EXPECT_GT(v.length, 0.0f);
+        EXPECT_NEAR(v.extrude.length(), 1.0f, 1e-4f);
+    }
+}
+
+TEST(Games, RegistryComplete)
+{
+    const auto &ids = allTimedemoIds();
+    EXPECT_EQ(ids.size(), 12u); // the paper's Table I
+    for (const auto &id : ids) {
+        EXPECT_TRUE(isTimedemoId(id));
+        const GameProfile &p = gameProfile(id);
+        EXPECT_EQ(p.id, id);
+        EXPECT_GT(p.batchesPerFrame, 0);
+        EXPECT_GT(p.indicesPerBatch, 0);
+        EXPECT_GE(p.fsInstructions,
+                  p.fsTexInstructions); // ALU >= 0
+    }
+    EXPECT_FALSE(isTimedemoId("bogus/demo"));
+    EXPECT_EQ(simulatedTimedemoIds().size(), 3u);
+    for (const auto &id : simulatedTimedemoIds()) {
+        EXPECT_EQ(gameProfile(id).apiKind, api::GraphicsApi::OpenGL);
+    }
+}
+
+TEST(Games, ApiFamiliesMatchPaper)
+{
+    EXPECT_EQ(gameProfile("ut2004/primeval").apiKind,
+              api::GraphicsApi::OpenGL);
+    EXPECT_EQ(gameProfile("fear/interval2").apiKind,
+              api::GraphicsApi::Direct3D);
+    EXPECT_EQ(gameProfile("oblivion/anvilcastle").stripPrimShare,
+              0.537);
+    EXPECT_FALSE(gameProfile("ut2004/primeval").usesShaders);
+    EXPECT_TRUE(gameProfile("doom3/trdemo2").stencilShadows);
+    EXPECT_EQ(gameProfile("riddick/mainframe").filter,
+              tex::TexFilter::Trilinear);
+}
+
+TEST(Timedemo, DeterministicAcrossInstances)
+{
+    api::Device a, b;
+    makeTimedemo("splintercell3/firstlevel")->run(a, 3);
+    makeTimedemo("splintercell3/firstlevel")->run(b, 3);
+    EXPECT_EQ(a.stats().batches(), b.stats().batches());
+    EXPECT_EQ(a.stats().indices(), b.stats().indices());
+    EXPECT_EQ(a.stats().stateCalls(), b.stats().stateCalls());
+    EXPECT_EQ(a.stats().primitives(), b.stats().primitives());
+}
+
+TEST(Timedemo, ApiTargetsApproximatelyMet)
+{
+    // Run a slice of a cheap game and check the calibration targets.
+    api::Device dev;
+    makeTimedemo("splintercell3/firstlevel")->run(dev, 30);
+    const auto &p = gameProfile("splintercell3/firstlevel");
+    const auto &s = dev.stats();
+    EXPECT_NEAR(s.avgIndicesPerBatch(), p.indicesPerBatch,
+                p.indicesPerBatch * 0.15);
+    EXPECT_NEAR(s.avgBatchesPerFrame(), p.batchesPerFrame,
+                p.batchesPerFrame * 0.3);
+    EXPECT_NEAR(s.avgFragmentInstructions(), p.fsInstructions,
+                p.fsInstructions * 0.15);
+    EXPECT_NEAR(s.avgVertexShaderInstructions(), p.vsInstructions,
+                0.01);
+    // Strips and fans both present (Table V).
+    EXPECT_GT(s.primitiveSharePct(geom::PrimitiveType::TriangleStrip),
+              5.0);
+    EXPECT_GT(s.primitiveSharePct(geom::PrimitiveType::TriangleFan),
+              0.5);
+}
+
+TEST(Timedemo, SetupSpikeInFrameZero)
+{
+    api::Device dev;
+    auto demo = makeTimedemo("hl2lc/builtin");
+    demo->setup(dev);
+    std::uint64_t setup_calls = dev.stats().stateCalls();
+    // Setup creates hundreds of resources ("set up geometry and
+    // texture data" burst of Fig. 3).
+    EXPECT_GT(setup_calls, 100u);
+    demo->renderFrame(dev, 0);
+    demo->renderFrame(dev, 1);
+    const auto &series = dev.stats().series().series("state_calls");
+    ASSERT_EQ(series.size(), 2u);
+    // Frame 0 carries the setup burst on top of per-frame calls.
+    EXPECT_GT(series[0], series[1]);
+    EXPECT_GT(series[1], 0.0);
+}
+
+TEST(Timedemo, OblivionSwitchesVertexProgramMidDemo)
+{
+    api::Device dev;
+    auto demo = makeTimedemo("oblivion/anvilcastle");
+    demo->setup(dev);
+    const auto &p = gameProfile("oblivion/anvilcastle");
+    demo->renderFrame(dev, 0);
+    double early = dev.stats().avgVertexShaderInstructions();
+    // Render one frame from the second region.
+    demo->renderFrame(dev, p.paperFrames / 2 + 1);
+    double late = dev.stats().avgVertexShaderInstructions();
+    EXPECT_NEAR(early, 19.0, 0.01);
+    EXPECT_GT(late, early); // region 2 raises the average
+}
