@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Simulation-speed benchmark for the parallel execution layer: times
+ * the simulator itself (not statistic extraction) cold-cache at thread
+ * counts 1, 2, 4 and the hardware concurrency, reporting frames/sec
+ * and the speedup over the sequential engine as benchmark counters.
+ *
+ * The parallel engine is deterministic (statistics are bit-identical
+ * at every thread count — enforced by tests/test_parallel.cc), so this
+ * sweep measures pure wall-clock scaling of the same work.
+ *
+ * Environment: WC3D_SPEED_FRAMES (default 2) and WC3D_SPEED_RES
+ * ("WxH", default 512x384) size the timed runs.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/threadpool.hh"
+
+using namespace wc3d;
+using namespace wc3d::core;
+
+namespace {
+
+/** The game timed by the sweep (heaviest shading of the OGL three). */
+constexpr const char *kGameId = "doom3/trdemo2";
+
+int
+speedFrames()
+{
+    return envInt("WC3D_SPEED_FRAMES", 2);
+}
+
+void
+speedResolution(int &width, int &height)
+{
+    std::string res = envString("WC3D_SPEED_RES", "512x384");
+    width = 512;
+    height = 384;
+    std::sscanf(res.c_str(), "%dx%d", &width, &height);
+}
+
+/** Thread counts to sweep: 1, 2, 4 and N (deduplicated, ascending). */
+std::vector<int>
+sweepThreadCounts()
+{
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    std::vector<int> counts = {1, 2, 4, std::max(hw, 1)};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+    return counts;
+}
+
+/** One cold-cache simulation; @return seconds of wall clock. */
+double
+timedRun(int threads)
+{
+    int width, height;
+    speedResolution(width, height);
+    ThreadPool::setGlobalThreads(threads);
+    auto start = std::chrono::steady_clock::now();
+    MicroRun run = runMicroarch(kGameId, speedFrames(), width, height,
+                                /*allow_cache=*/false);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+    benchmark::DoNotOptimize(run.counters.rasterFragments);
+    return elapsed.count();
+}
+
+/** Sequential baseline, measured once and shared by all cases. */
+double
+baselineSeconds()
+{
+    static const double kSeconds = timedRun(1);
+    return kSeconds;
+}
+
+void
+SimulationSpeed(benchmark::State &state)
+{
+    int threads = static_cast<int>(state.range(0));
+    double base = baselineSeconds();
+    double seconds = 0.0;
+    for (auto _ : state) {
+        // Manual timing: setGlobalThreads and the cold-cache guard
+        // belong to setup, not the measured simulation.
+        seconds = threads == 1 ? baselineSeconds() : timedRun(threads);
+        state.SetIterationTime(seconds);
+    }
+    state.counters["threads"] = threads;
+    state.counters["frames_per_sec"] =
+        seconds > 0.0 ? speedFrames() / seconds : 0.0;
+    state.counters["speedup_vs_1t"] = seconds > 0.0 ? base / seconds : 0.0;
+}
+
+void
+printSweep()
+{
+    int width, height;
+    speedResolution(width, height);
+    std::printf("\n=== Simulation speed (%s, %d frames at %dx%d, "
+                "cold cache) ===\n",
+                kGameId, speedFrames(), width, height);
+    std::printf("%8s %12s %12s %10s\n", "threads", "seconds",
+                "frames/sec", "speedup");
+    double base = 0.0;
+    for (int threads : sweepThreadCounts()) {
+        double seconds = timedRun(threads);
+        if (threads == 1)
+            base = seconds;
+        std::printf("%8d %12.3f %12.3f %9.2fx\n", threads, seconds,
+                    seconds > 0.0 ? speedFrames() / seconds : 0.0,
+                    seconds > 0.0 && base > 0.0 ? base / seconds : 0.0);
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+BENCHMARK(SimulationSpeed)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(std::max(1u, std::thread::hardware_concurrency()))
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+WC3D_BENCH_MAIN(printSweep)

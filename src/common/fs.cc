@@ -1,0 +1,38 @@
+#include "common/fs.hh"
+
+#include <cerrno>
+#include <sys/stat.h>
+
+namespace wc3d {
+
+bool
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    std::string prefix;
+    prefix.reserve(path.size());
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i < path.size() && path[i] != '/') {
+            prefix.push_back(path[i]);
+            continue;
+        }
+        if (i < path.size())
+            prefix.push_back('/');
+        if (prefix.empty() || prefix == "/")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+            // A parent may be a pre-existing file, permissions may be
+            // missing, ... — the final stat below decides.
+            struct stat st;
+            if (::stat(prefix.c_str(), &st) != 0 ||
+                !S_ISDIR(st.st_mode)) {
+                return false;
+            }
+        }
+    }
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+} // namespace wc3d

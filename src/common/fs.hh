@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Minimal filesystem helpers shared by the result cache and the bench
+ * CSV writers.
+ */
+
+#ifndef WC3D_COMMON_FS_HH
+#define WC3D_COMMON_FS_HH
+
+#include <string>
+
+namespace wc3d {
+
+/**
+ * Create directory @p path including all missing parents (mkdir -p).
+ * @return true when the directory exists on return.
+ */
+bool makeDirs(const std::string &path);
+
+} // namespace wc3d
+
+#endif // WC3D_COMMON_FS_HH

@@ -1,13 +1,15 @@
 #include "core/runner.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <map>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/fs.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "common/threadpool.hh"
 #include "workloads/games.hh"
 
 namespace wc3d::core {
@@ -15,7 +17,10 @@ namespace wc3d::core {
 namespace {
 
 /** Bump when the simulator or workloads change behaviour. */
-constexpr int kCacheSchema = 3;
+constexpr int kCacheSchema = 4;
+
+/** Trailing marker proving a cache file was written out completely. */
+constexpr const char *kEndMarker = "#end";
 
 std::string
 sanitize(const std::string &id)
@@ -133,14 +138,26 @@ saveMicroRun(const MicroRun &run, const std::string &path)
     putCache(out, "t1", run.texL1);
     out += "series-csv:\n";
     out += run.series.toCsv();
+    out += kEndMarker;
+    out += '\n';
 
     // Write-then-rename so concurrent readers never see a torn file.
+    // The pid suffix keeps simultaneous writers (parallel fan-out,
+    // several processes sharing one cache dir) off each other's temp
+    // files; whoever renames last wins with identical content.
     std::string tmp = path + format(".tmp%d", ::getpid());
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
-    std::fwrite(out.data(), 1, out.size(), f);
-    std::fclose(f);
+    // A short write renamed into place would poison the cache; check
+    // both the write and the close (flush) and never rename a partial
+    // temp file.
+    bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return false;
@@ -163,6 +180,17 @@ loadMicroRun(MicroRun &run, const std::string &path)
 
     auto lines = split(content, '\n');
     if (lines.empty() || lines[0] != "wc3d-microrun-v1")
+        return false;
+
+    // Reject truncated files: a complete save ends with the marker.
+    bool complete = false;
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+        if (trim(*it).empty())
+            continue;
+        complete = *it == kEndMarker;
+        break;
+    }
+    if (!complete)
         return false;
 
     std::map<std::string, std::string> kv;
@@ -235,6 +263,8 @@ loadMicroRun(MicroRun &run, const std::string &path)
     if (series_start < lines.size()) {
         auto headers = split(lines[series_start], ',');
         for (std::size_t r = series_start + 1; r < lines.size(); ++r) {
+            if (lines[r] == kEndMarker)
+                break;
             if (trim(lines[r]).empty())
                 continue;
             auto cells = split(lines[r], ',');
@@ -258,9 +288,14 @@ runMicroarch(const std::string &id, int frames, int width, int height,
         allow_cache && envInt("WC3D_NO_CACHE", 0) == 0;
     std::string path = cachePath(id, frames, width, height);
 
+    // Lock-free double check: the atomic write-then-rename in
+    // saveMicroRun means a load either sees a complete file or none,
+    // so concurrent runners (threads or processes) need no lock — at
+    // worst both simulate and one rename wins with identical content.
     MicroRun run;
     if (cache_enabled && loadMicroRun(run, path) && run.id == id &&
-        run.frames == frames) {
+        run.frames == frames && run.width == width &&
+        run.height == height) {
         return run;
     }
 
@@ -289,8 +324,7 @@ runMicroarch(const std::string &id, int frames, int width, int height,
 
     if (cache_enabled) {
         std::string dir = envString("WC3D_CACHE_DIR", ".wc3d-cache");
-        ::mkdir(dir.c_str(), 0755);
-        if (!saveMicroRun(run, path))
+        if (!makeDirs(dir) || !saveMicroRun(run, path))
             warn("could not write run cache '%s'", path.c_str());
     }
     return run;
@@ -299,18 +333,35 @@ runMicroarch(const std::string &id, int frames, int width, int height,
 std::vector<MicroRun>
 runSimulatedGames(int frames)
 {
-    std::vector<MicroRun> runs;
-    for (const auto &id : workloads::simulatedTimedemoIds())
-        runs.push_back(runMicroarch(id, frames));
+    // Independent (game, frames) runs fan out onto the global pool;
+    // results land at their id's index, so ordering matches the serial
+    // loop. Each run's simulator is confined to the thread executing
+    // its task (nested shading parallelism shards only pure work), so
+    // per-run statistics are untouched by the fan-out.
+    auto ids = workloads::simulatedTimedemoIds();
+    std::vector<MicroRun> runs(ids.size());
+    TaskGroup group;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        group.run([&runs, &ids, i, frames] {
+            runs[i] = runMicroarch(ids[i], frames);
+        });
+    }
+    group.wait();
     return runs;
 }
 
 std::vector<ApiRun>
 runAllGamesApi(int frames)
 {
-    std::vector<ApiRun> runs;
-    for (const auto &id : workloads::allTimedemoIds())
-        runs.push_back(runApiLevel(id, frames));
+    auto ids = workloads::allTimedemoIds();
+    std::vector<ApiRun> runs(ids.size());
+    TaskGroup group;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        group.run([&runs, &ids, i, frames] {
+            runs[i] = runApiLevel(ids[i], frames);
+        });
+    }
+    group.wait();
     return runs;
 }
 

@@ -10,7 +10,14 @@
  *  - WC3D_FRAMES:     frames for microarchitectural runs (default 4)
  *  - WC3D_API_FRAMES: frames for API-level runs (default 300)
  *  - WC3D_NO_CACHE:   set to 1 to force re-simulation
- *  - WC3D_CACHE_DIR:  cache directory (default ".wc3d-cache")
+ *  - WC3D_CACHE_DIR:  cache directory (default ".wc3d-cache"; nested
+ *                     paths are created as needed)
+ *  - WC3D_THREADS:    simulation threads (default: hardware
+ *                     concurrency; 1 = fully sequential). Independent
+ *                     games fan out across the pool and each run
+ *                     shards its shading work; all statistics are
+ *                     bit-identical for any thread count (see
+ *                     DESIGN.md "Threading model").
  */
 
 #ifndef WC3D_CORE_RUNNER_HH

@@ -4,12 +4,17 @@
 #include <bit>
 
 #include "common/log.hh"
+#include "common/threadpool.hh"
 #include "geom/assembly.hh"
 #include "geom/viewport.hh"
+#include "stats/shard.hh"
 
 namespace wc3d::gpu {
 
 namespace {
+
+/** Quads staged before a parallel shade pass is launched. */
+constexpr std::size_t kShadeChunk = 4096;
 
 /** Bitmask of fragment-program input registers actually read. */
 std::uint32_t
@@ -54,6 +59,25 @@ hzUsable(const frag::DepthStencilState &ds)
     return true;
 }
 
+/** Run the vertex program on one fetched vertex (pure). */
+geom::TransformedVertex
+shadeVertex(const shader::Program &vp, const api::VertexData &v,
+            shader::Interpreter &interp)
+{
+    shader::LaneState lane;
+    lane.inputs[0] = Vec4(v.position, 1.0f);
+    lane.inputs[1] = Vec4(v.normal, 0.0f);
+    lane.inputs[2] = {v.uv.x, v.uv.y, 0.0f, 1.0f};
+    lane.inputs[3] = v.color;
+    interp.run(vp, lane);
+
+    geom::TransformedVertex tv;
+    tv.clip = lane.outputs[0];
+    for (int k = 0; k + 1 < shader::kMaxOutputs; ++k)
+        tv.varyings[static_cast<std::size_t>(k)] = lane.outputs[k + 1];
+    return tv;
+}
+
 } // namespace
 
 struct GpuSimulator::QuadContextInfo
@@ -67,6 +91,114 @@ struct GpuSimulator::QuadContextInfo
     bool colorMaskOff = false;
     bool usesKill = false;
     std::uint32_t fpInputMask = 0;
+};
+
+/** Triangle state a staged quad refers back to. */
+struct GpuSimulator::PendingTri
+{
+    raster::TriangleSetup setup;
+    bool backFace = false;
+};
+
+/**
+ * A quad staged for the parallel shade pass. The in-order collection
+ * phase fills the top group; a worker fills the outputs; the in-order
+ * resolve phase consumes both.
+ */
+struct GpuSimulator::PendingQuad
+{
+    enum class Action : std::uint8_t
+    {
+        Shade,     ///< early-z survivor awaiting shading + blend
+        ShadeLate, ///< late-z draw: HZ/z&stencil resolved after shading
+        MaskDrop,  ///< colour-mask removal, kept for colour-order replay
+    };
+
+    raster::RasterQuad quad;
+    std::int32_t tri = 0;  ///< index into ShadeBatch::tris
+    Action action = Action::Shade;
+    std::uint8_t live = 0; ///< lanes alive entering the shade stage
+
+    /** @name Worker outputs */
+    /// @{
+    std::uint8_t killMask = 0;
+    std::uint16_t slot = 0;       ///< worker shard holding our blocks
+    std::uint32_t blockBegin = 0; ///< range in that shard's block log
+    std::uint32_t blockCount = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t texInstructions = 0;
+    std::uint64_t texRequests = 0;
+    std::uint64_t bilinears = 0;
+    Vec4 colors[4];
+    /// @}
+};
+
+/** In-order staging area for one draw (flushed in chunks). */
+struct GpuSimulator::ShadeBatch
+{
+    std::vector<PendingTri> tris;
+    std::vector<PendingQuad> quads;
+};
+
+/**
+ * Per-worker shard: a private interpreter and sampler plus a log of the
+ * texture-cache block accesses sampling would have performed. Workers
+ * never touch the shared texture cache; the resolve phase replays each
+ * quad's logged accesses into it in submission order, so residency,
+ * hit rates and memory traffic match the sequential execution exactly.
+ */
+struct GpuSimulator::ShadeWorker final : shader::TextureSampleHandler,
+                                         tex::TexelAccessListener
+{
+    struct Block
+    {
+        const tex::Texture2D *texture = nullptr;
+        std::int32_t level = 0;
+        std::int32_t bx = 0;
+        std::int32_t by = 0;
+        std::int32_t refs = 0;
+    };
+
+    shader::Interpreter interp;
+    tex::Sampler sampler;
+    const api::DrawCall *call = nullptr;
+    std::vector<Block> blocks;
+
+    ShadeWorker() { sampler.setListener(this); }
+
+    void
+    begin(const api::DrawCall *c)
+    {
+        call = c;
+        blocks.clear();
+    }
+
+    /** Mirror of TextureUnit::sampleQuad over the draw's bindings. */
+    void
+    sampleQuad(int unit, const Vec4 coords[4], float lod_bias,
+               Vec4 out[4]) override
+    {
+        WC3D_ASSERT(unit >= 0 && unit < shader::kMaxSamplers);
+        const tex::Texture2D *texture =
+            call->textures[static_cast<std::size_t>(unit)];
+        if (!texture) {
+            // Unbound unit: sample opaque black, like a disabled stage.
+            for (int l = 0; l < 4; ++l)
+                out[l] = {0.0f, 0.0f, 0.0f, 1.0f};
+            return;
+        }
+        sampler.sampleQuad(*texture,
+                           call->state.samplers[static_cast<std::size_t>(
+                               unit)],
+                           coords, lod_bias, out);
+    }
+
+    void
+    blockAccess(const tex::Texture2D &texture, int level, int bx, int by,
+                int refs) override
+    {
+        blocks.push_back({&texture, level, bx, by, refs});
+    }
 };
 
 GpuSimulator::GpuSimulator(const GpuConfig &config)
@@ -86,6 +218,8 @@ GpuSimulator::GpuSimulator(const GpuConfig &config)
     _depth.fastClear(frag::packDepthStencil(1.0f, 0));
     _color.fastClear(0xff000000u);
 }
+
+GpuSimulator::~GpuSimulator() = default;
 
 void
 GpuSimulator::vertexBufferCreated(std::uint32_t,
@@ -154,27 +288,11 @@ GpuSimulator::clear(const api::ClearCmd &cmd)
 }
 
 void
-GpuSimulator::draw(const api::DrawCall &call)
+GpuSimulator::shadeVerticesSerial(const api::DrawCall &call)
 {
-    WC3D_ASSERT(call.vertices && call.indexData && call.vertexProgram &&
-                call.fragmentProgram);
-
-    int bytes_per_index = api::indexTypeBytes(call.indexData->type);
-
-    // Command processor: parse the draw and stream the (dynamic) index
-    // data into GPU memory; the vertex loader will read it back.
-    _memory.read(memsys::Client::CommandProcessor,
-                 static_cast<std::uint64_t>(_config.commandBytes));
-    _memory.write(memsys::Client::CommandProcessor,
-                  static_cast<std::uint64_t>(call.indexCount) *
-                      bytes_per_index);
-
-    // --- Vertex stage -----------------------------------------------
-    _vertexCache.invalidate(); // indices are batch-relative
-    _stream.resize(call.indexCount);
-
     const auto &vertices = call.vertices->vertices;
     int stride = call.vertices->strideBytes();
+    int bytes_per_index = api::indexTypeBytes(call.indexData->type);
     const shader::Program &vp = *call.vertexProgram;
 
     for (std::uint32_t i = 0; i < call.indexCount; ++i) {
@@ -195,26 +313,105 @@ GpuSimulator::draw(const api::DrawCall &call)
         }
         _memory.read(memsys::Client::Vertex,
                      static_cast<std::uint64_t>(stride));
-        const api::VertexData &v = vertices[index];
-
-        shader::LaneState lane;
-        lane.inputs[0] = Vec4(v.position, 1.0f);
-        lane.inputs[1] = Vec4(v.normal, 0.0f);
-        lane.inputs[2] = {v.uv.x, v.uv.y, 0.0f, 1.0f};
-        lane.inputs[3] = v.color;
-        _interp.run(vp, lane);
+        geom::TransformedVertex tv = shadeVertex(vp, vertices[index],
+                                                 _interp);
         _counters.vertexInstructions +=
             static_cast<std::uint64_t>(vp.instructionCount());
-
-        geom::TransformedVertex tv;
-        tv.clip = lane.outputs[0];
-        for (int k = 0; k + 1 < shader::kMaxOutputs; ++k)
-            tv.varyings[static_cast<std::size_t>(k)] =
-                lane.outputs[k + 1];
         slot = _vertexCache.insert(index);
         _vertexCacheData[static_cast<std::size_t>(slot)] = tv;
         _stream[i] = tv;
     }
+}
+
+void
+GpuSimulator::shadeVerticesParallel(const api::DrawCall &call)
+{
+    const auto &vertices = call.vertices->vertices;
+    int stride = call.vertices->strideBytes();
+    int bytes_per_index = api::indexTypeBytes(call.indexData->type);
+    const shader::Program &vp = *call.vertexProgram;
+
+    // Pass 1 (in order): replay the vertex cache and memory accounting
+    // exactly as the serial path would, turning each miss into a pure
+    // shading job and each hit into a reference to the job that filled
+    // its slot. Cache behaviour does not depend on shading results, so
+    // the FIFO sequence is identical to the sequential execution.
+    std::vector<std::uint32_t> job_vertex; // job -> (clamped) source index
+    std::vector<std::uint32_t> stream_job(call.indexCount);
+    std::vector<std::uint32_t> slot_job(
+        static_cast<std::size_t>(_vertexCache.entries()), 0);
+    job_vertex.reserve(call.indexCount);
+
+    for (std::uint32_t i = 0; i < call.indexCount; ++i) {
+        std::uint32_t index =
+            call.indexData->indices[call.firstIndex + i];
+        _memory.read(memsys::Client::Vertex,
+                     static_cast<std::uint64_t>(bytes_per_index));
+        int slot = _vertexCache.lookup(index);
+        if (slot >= 0) {
+            ++_counters.vertexCacheHits;
+            stream_job[i] = slot_job[static_cast<std::size_t>(slot)];
+            continue;
+        }
+        ++_counters.vertexCacheMisses;
+        if (index >= vertices.size()) {
+            warn("gpu: index %u out of range, clamping", index);
+            index = static_cast<std::uint32_t>(vertices.size() - 1);
+        }
+        _memory.read(memsys::Client::Vertex,
+                     static_cast<std::uint64_t>(stride));
+        _counters.vertexInstructions +=
+            static_cast<std::uint64_t>(vp.instructionCount());
+        auto job = static_cast<std::uint32_t>(job_vertex.size());
+        job_vertex.push_back(index);
+        slot = _vertexCache.insert(index);
+        slot_job[static_cast<std::size_t>(slot)] = job;
+        stream_job[i] = job;
+    }
+
+    // Pass 2 (parallel): shade the misses. The interpreter is pure, so
+    // job results are independent of scheduling.
+    std::vector<geom::TransformedVertex> shaded(job_vertex.size());
+    parallelForRanges(
+        ThreadPool::global(), job_vertex.size(),
+        [&](int, std::size_t begin, std::size_t end) {
+            shader::Interpreter interp;
+            for (std::size_t j = begin; j < end; ++j) {
+                shaded[j] = shadeVertex(
+                    vp, vertices[job_vertex[j]], interp);
+            }
+        });
+
+    // Pass 3: scatter into the post-transform stream.
+    for (std::uint32_t i = 0; i < call.indexCount; ++i)
+        _stream[i] = shaded[stream_job[i]];
+}
+
+void
+GpuSimulator::draw(const api::DrawCall &call)
+{
+    WC3D_ASSERT(call.vertices && call.indexData && call.vertexProgram &&
+                call.fragmentProgram);
+
+    int bytes_per_index = api::indexTypeBytes(call.indexData->type);
+
+    // Command processor: parse the draw and stream the (dynamic) index
+    // data into GPU memory; the vertex loader will read it back.
+    _memory.read(memsys::Client::CommandProcessor,
+                 static_cast<std::uint64_t>(_config.commandBytes));
+    _memory.write(memsys::Client::CommandProcessor,
+                  static_cast<std::uint64_t>(call.indexCount) *
+                      bytes_per_index);
+
+    const bool parallel = ThreadPool::global().threads() > 1;
+
+    // --- Vertex stage -----------------------------------------------
+    _vertexCache.invalidate(); // indices are batch-relative
+    _stream.resize(call.indexCount);
+    if (parallel)
+        shadeVerticesParallel(call);
+    else
+        shadeVerticesSerial(call);
     _counters.indices += call.indexCount;
 
     // --- Primitive assembly + clip/cull + traversal -----------------
@@ -243,6 +440,14 @@ GpuSimulator::draw(const api::DrawCall &call)
     }
 
     geom::Viewport vp_rect{0, 0, _config.width, _config.height};
+
+    if (parallel && !_batch)
+        _batch = std::make_unique<ShadeBatch>();
+    if (parallel) {
+        _batch->tris.clear();
+        _batch->quads.clear();
+    }
+    int cur_tri = -1;
 
     for (const geom::AssembledTriangle &tri : _assembled) {
         geom::TransformedVertex verts[3] = {_stream[tri.v[0]],
@@ -276,13 +481,108 @@ GpuSimulator::draw(const api::DrawCall &call)
                 screen, _config.width, _config.height);
             if (!setup.valid)
                 continue;
-            info.setup = &setup;
+            if (!parallel) {
+                info.setup = &setup;
+                _rasterizer.rasterize(
+                    setup, [this, &info](const raster::RasterQuad &quad) {
+                        shadeAndResolveQuad(quad, *info.setup, info);
+                    });
+                continue;
+            }
+            _batch->tris.push_back({setup, info.backFace});
+            cur_tri = static_cast<int>(_batch->tris.size()) - 1;
             _rasterizer.rasterize(
-                setup, [this, &info](const raster::RasterQuad &quad) {
-                    shadeAndResolveQuad(quad, *info.setup, info);
+                setup,
+                [this, &info, &setup, &cur_tri](
+                    const raster::RasterQuad &quad) {
+                    collectQuad(*_batch, quad, cur_tri, info);
+                    if (_batch->quads.size() >= kShadeChunk) {
+                        flushShadeBatch(*_batch, info);
+                        // Keep only the triangle still being traversed.
+                        _batch->tris.clear();
+                        _batch->tris.push_back({setup, info.backFace});
+                        cur_tri = 0;
+                    }
                 });
         }
     }
+    if (parallel)
+        flushShadeBatch(*_batch, info);
+}
+
+GpuSimulator::HzOutcome
+GpuSimulator::hzTestQuad(const QuadContextInfo &info,
+                         const raster::RasterQuad &quad)
+{
+    if (!info.hzOk)
+        return HzOutcome::Pass;
+    const auto &ds = info.call->state.depthStencil;
+
+    float zmin = 1.0f;
+    float zmax = 0.0f;
+    for (int l = 0; l < 4; ++l) {
+        if (quad.covered(l)) {
+            zmin = std::min(zmin, quad.z[l]);
+            zmax = std::max(zmax, quad.z[l]);
+        }
+    }
+    // Min/max HZ (extension): early-accept is only sound for plain
+    // Less/LEqual depth states with no stencil side effects and an
+    // early-z pipeline order.
+    bool accept_ok =
+        _config.hzMinMax && info.earlyZ && !ds.stencilTest &&
+        (ds.depthFunc == frag::CompareFunc::Less ||
+         ds.depthFunc == frag::CompareFunc::LEqual);
+    if (accept_ok) {
+        switch (_hz.testQuadRange(quad.x, quad.y, zmin, zmax)) {
+          case raster::HzResult::Culled:
+            return HzOutcome::Culled;
+          case raster::HzResult::Accepted:
+            return HzOutcome::Accepted;
+          case raster::HzResult::Ambiguous:
+            return HzOutcome::Pass;
+        }
+    }
+    if (!_hz.testQuad(quad.x, quad.y, zmin))
+        return HzOutcome::Culled;
+    return HzOutcome::Pass;
+}
+
+bool
+GpuSimulator::zStencilQuad(const QuadContextInfo &info,
+                           const raster::RasterQuad &quad,
+                           std::uint8_t &mask, bool hz_accepted)
+{
+    const auto &ds = info.call->state.depthStencil;
+    bool depth_writes = ds.depthTest && ds.depthWrite;
+
+    ++_counters.zStencilQuads;
+    if (mask == 0xf)
+        ++_counters.zStencilFullQuads;
+    _counters.zStencilFragments +=
+        static_cast<std::uint64_t>(std::popcount(mask));
+    if (!info.zsEnabled)
+        return true; // bypass: fragments flow through untested
+    float quad_z_min = 1.0f;
+    float quad_z_max = 0.0f;
+    bool any;
+    if (hz_accepted) {
+        auto range = _zUnit.acceptQuad(ds, quad.x, quad.y, quad.z, mask);
+        quad_z_min = range.first;
+        quad_z_max = range.second;
+        any = mask != 0;
+    } else {
+        any = _zUnit.testQuadEx(ds, info.backFace, quad.x, quad.y,
+                                quad.z, mask, quad_z_min, quad_z_max);
+    }
+    if (depth_writes && _config.hzEnabled) {
+        if (_config.hzMinMax) {
+            _hz.updateQuadRange(quad.x, quad.y, quad_z_min, quad_z_max);
+        } else {
+            _hz.updateQuad(quad.x, quad.y, quad_z_max);
+        }
+    }
+    return any;
 }
 
 void
@@ -291,7 +591,6 @@ GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
                                   const QuadContextInfo &info)
 {
     const api::DrawCall &call = *info.call;
-    const auto &ds = call.state.depthStencil;
 
     ++_counters.rasterQuads;
     if (quad.full())
@@ -303,79 +602,23 @@ GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
 
     // --- Hierarchical Z ---------------------------------------------
     bool hz_accepted = false;
-    if (info.hzOk) {
-        float zmin = 1.0f;
-        float zmax = 0.0f;
-        for (int l = 0; l < 4; ++l) {
-            if (quad.covered(l)) {
-                zmin = std::min(zmin, quad.z[l]);
-                zmax = std::max(zmax, quad.z[l]);
-            }
-        }
-        // Min/max HZ (extension): early-accept is only sound for plain
-        // Less/LEqual depth states with no stencil side effects and an
-        // early-z pipeline order.
-        bool accept_ok =
-            _config.hzMinMax && info.earlyZ && !ds.stencilTest &&
-            (ds.depthFunc == frag::CompareFunc::Less ||
-             ds.depthFunc == frag::CompareFunc::LEqual);
-        if (accept_ok) {
-            switch (_hz.testQuadRange(quad.x, quad.y, zmin, zmax)) {
-              case raster::HzResult::Culled:
-                ++_counters.quadsRemovedHz;
-                return;
-              case raster::HzResult::Accepted:
-                hz_accepted = true;
-                break;
-              case raster::HzResult::Ambiguous:
-                break;
-            }
-        } else if (!_hz.testQuad(quad.x, quad.y, zmin)) {
-            ++_counters.quadsRemovedHz;
-            return;
-        }
+    switch (hzTestQuad(info, quad)) {
+      case HzOutcome::Culled:
+        ++_counters.quadsRemovedHz;
+        return;
+      case HzOutcome::Accepted:
+        hz_accepted = true;
+        break;
+      case HzOutcome::Pass:
+        break;
     }
 
     bool z_applied = false;
-    bool depth_writes = ds.depthTest && ds.depthWrite;
-
-    auto run_zstencil = [&](std::uint8_t &mask) -> bool {
-        ++_counters.zStencilQuads;
-        if (mask == 0xf)
-            ++_counters.zStencilFullQuads;
-        _counters.zStencilFragments +=
-            static_cast<std::uint64_t>(std::popcount(mask));
-        if (!info.zsEnabled)
-            return true; // bypass: fragments flow through untested
-        float quad_z_min = 1.0f;
-        float quad_z_max = 0.0f;
-        bool any;
-        if (hz_accepted) {
-            auto range =
-                _zUnit.acceptQuad(ds, quad.x, quad.y, quad.z, mask);
-            quad_z_min = range.first;
-            quad_z_max = range.second;
-            any = mask != 0;
-        } else {
-            any = _zUnit.testQuadEx(ds, info.backFace, quad.x, quad.y,
-                                    quad.z, mask, quad_z_min,
-                                    quad_z_max);
-        }
-        if (depth_writes && _config.hzEnabled) {
-            if (_config.hzMinMax) {
-                _hz.updateQuadRange(quad.x, quad.y, quad_z_min,
-                                    quad_z_max);
-            } else {
-                _hz.updateQuad(quad.x, quad.y, quad_z_max);
-            }
-        }
-        return any;
-    };
 
     // --- Early z & stencil ------------------------------------------
     if (info.earlyZ) {
         z_applied = true;
-        if (!run_zstencil(live)) {
+        if (!zStencilQuad(info, quad, live, hz_accepted)) {
             ++_counters.quadsRemovedZStencil;
             return;
         }
@@ -440,7 +683,7 @@ GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
 
     // --- Late z & stencil --------------------------------------------
     if (!z_applied) {
-        if (!run_zstencil(live)) {
+        if (!zStencilQuad(info, quad, live, false)) {
             ++_counters.quadsRemovedZStencil;
             return;
         }
@@ -459,6 +702,212 @@ GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
     } else {
         ++_counters.quadsRemovedColorMask;
     }
+}
+
+void
+GpuSimulator::collectQuad(ShadeBatch &batch, const raster::RasterQuad &quad,
+                          int tri, const QuadContextInfo &info)
+{
+    ++_counters.rasterQuads;
+    if (quad.full())
+        ++_counters.rasterFullQuads;
+    _counters.rasterFragments +=
+        static_cast<std::uint64_t>(quad.coveredCount());
+
+    PendingQuad p;
+    p.quad = quad;
+    p.tri = tri;
+
+    if (!info.earlyZ) {
+        // Late-z draw (KIL): in the serial pipeline the HZ test and
+        // z&stencil run against state updated by earlier quads' *late*
+        // z writes, so both are deferred to the in-order resolve phase;
+        // shading is speculative (pure, so discarding is free).
+        p.action = PendingQuad::Action::ShadeLate;
+        p.live = quad.coverage;
+        batch.quads.push_back(p);
+        return;
+    }
+
+    // Early-z draw: HZ and z&stencil mutate their structures during
+    // collection, in quad submission order — exactly the serial
+    // sequence, because shading (deferred) never touches them.
+    std::uint8_t live = quad.coverage;
+    bool hz_accepted = false;
+    switch (hzTestQuad(info, quad)) {
+      case HzOutcome::Culled:
+        ++_counters.quadsRemovedHz;
+        return;
+      case HzOutcome::Accepted:
+        hz_accepted = true;
+        break;
+      case HzOutcome::Pass:
+        break;
+    }
+    if (!zStencilQuad(info, quad, live, hz_accepted)) {
+        ++_counters.quadsRemovedZStencil;
+        return;
+    }
+    if (info.colorMaskOff && !info.usesKill) {
+        // No shading needed, but the colour-surface access must happen
+        // at this quad's position in the colour stream: stage it.
+        p.action = PendingQuad::Action::MaskDrop;
+        p.live = live;
+        batch.quads.push_back(p);
+        return;
+    }
+    p.action = PendingQuad::Action::Shade;
+    p.live = live;
+    batch.quads.push_back(p);
+}
+
+void
+GpuSimulator::shadeQuadWorker(ShadeWorker &worker, const ShadeBatch &batch,
+                              PendingQuad &pending,
+                              const QuadContextInfo &info)
+{
+    const api::DrawCall &call = *info.call;
+    const raster::TriangleSetup &setup =
+        batch.tris[static_cast<std::size_t>(pending.tri)].setup;
+
+    shader::QuadState qs;
+    for (int l = 0; l < 4; ++l) {
+        qs.covered[l] = (pending.live >> l) & 1;
+        std::uint32_t mask = info.fpInputMask;
+        while (mask) {
+            int slot = std::countr_zero(mask);
+            mask &= mask - 1;
+            if (slot < geom::kMaxVaryings) {
+                qs.lanes[l].inputs[slot] = setup.interpolateVarying(
+                    pending.quad.lambda[l], slot);
+            }
+        }
+    }
+
+    auto interp_before = worker.interp.stats();
+    auto sampler_before = worker.sampler.stats();
+    pending.blockBegin = static_cast<std::uint32_t>(worker.blocks.size());
+    worker.interp.runQuad(*call.fragmentProgram, qs, &worker);
+    pending.blockCount =
+        static_cast<std::uint32_t>(worker.blocks.size()) -
+        pending.blockBegin;
+    auto interp_after = worker.interp.stats();
+    auto sampler_after = worker.sampler.stats();
+
+    pending.instructions = interp_after.instructionsExecuted -
+                           interp_before.instructionsExecuted;
+    pending.texInstructions = interp_after.textureInstructions -
+                              interp_before.textureInstructions;
+    pending.texRequests =
+        sampler_after.requests - sampler_before.requests;
+    pending.bilinears =
+        sampler_after.bilinearSamples - sampler_before.bilinearSamples;
+
+    pending.killMask = 0;
+    for (int l = 0; l < 4; ++l) {
+        if (qs.lanes[l].killed)
+            pending.killMask |= static_cast<std::uint8_t>(1u << l);
+        pending.colors[l] = qs.lanes[l].outputs[0];
+    }
+}
+
+void
+GpuSimulator::resolvePendingQuad(const ShadeWorker &worker,
+                                 const ShadeBatch &batch,
+                                 PendingQuad &pending,
+                                 QuadContextInfo &info)
+{
+    const api::DrawCall &call = *info.call;
+    const raster::RasterQuad &quad = pending.quad;
+    info.backFace =
+        batch.tris[static_cast<std::size_t>(pending.tri)].backFace;
+
+    if (pending.action == PendingQuad::Action::MaskDrop) {
+        Vec4 dummy[4] = {};
+        _colorUnit.writeQuad(call.state.blend, quad.x, quad.y, dummy,
+                             pending.live);
+        ++_counters.quadsRemovedColorMask;
+        return;
+    }
+
+    if (pending.action == PendingQuad::Action::ShadeLate) {
+        // Deferred HZ test: earlier quads' late z&stencil already
+        // resolved, so the HZ state matches the serial sequence. A cull
+        // discards the speculative shading results entirely.
+        if (hzTestQuad(info, quad) == HzOutcome::Culled) {
+            ++_counters.quadsRemovedHz;
+            return;
+        }
+    }
+
+    ++_counters.shadedQuads;
+    _counters.shadedFragments +=
+        static_cast<std::uint64_t>(std::popcount(pending.live));
+    _counters.fragmentInstructions += pending.instructions;
+    _counters.fragmentTexInstructions += pending.texInstructions;
+    _counters.textureRequests += pending.texRequests;
+    _counters.bilinearSamples += pending.bilinears;
+
+    // Replay the recorded texture-cache accesses in submission order.
+    for (std::uint32_t b = 0; b < pending.blockCount; ++b) {
+        const ShadeWorker::Block &blk =
+            worker.blocks[pending.blockBegin + b];
+        _texUnit.cache().blockAccess(*blk.texture, blk.level, blk.bx,
+                                     blk.by, blk.refs);
+    }
+
+    std::uint8_t live =
+        pending.live & static_cast<std::uint8_t>(~pending.killMask);
+    if (live == 0) {
+        ++_counters.quadsRemovedAlpha;
+        return;
+    }
+
+    if (pending.action == PendingQuad::Action::ShadeLate) {
+        if (!zStencilQuad(info, quad, live, false)) {
+            ++_counters.quadsRemovedZStencil;
+            return;
+        }
+    }
+
+    bool updated = _colorUnit.writeQuad(call.state.blend, quad.x, quad.y,
+                                        pending.colors, live);
+    if (updated) {
+        ++_counters.quadsBlended;
+        _counters.blendedFragments +=
+            static_cast<std::uint64_t>(std::popcount(live));
+    } else {
+        ++_counters.quadsRemovedColorMask;
+    }
+}
+
+void
+GpuSimulator::flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info)
+{
+    if (batch.quads.empty())
+        return;
+    ThreadPool &pool = ThreadPool::global();
+
+    // Phase 1 (parallel): run the pure shading work. Each worker slot
+    // owns a private interpreter/sampler shard and a block log; a quad
+    // records which shard served it so the resolve phase can find its
+    // texture accesses.
+    stats::ShardSet<ShadeWorker> workers(pool);
+    for (int s = 0; s < workers.size(); ++s)
+        workers.shard(s).begin(info.call);
+    parallelFor(pool, batch.quads.size(), [&](int slot, std::size_t i) {
+        PendingQuad &p = batch.quads[i];
+        if (p.action == PendingQuad::Action::MaskDrop)
+            return;
+        p.slot = static_cast<std::uint16_t>(slot);
+        shadeQuadWorker(workers.shard(slot), batch, p, info);
+    });
+
+    // Phase 2 (in order): fold worker results back into the shared
+    // pipeline state in exact submission order.
+    for (PendingQuad &p : batch.quads)
+        resolvePendingQuad(workers.shard(p.slot), batch, p, info);
+    batch.quads.clear();
 }
 
 void

@@ -15,6 +15,16 @@
  * All paper metrics are counts and byte totals, none are cycle timings,
  * so a functional model executing the real algorithms yields the same
  * statistics a cycle-accurate simulator would (see DESIGN.md).
+ *
+ * Threading: when the global ThreadPool (WC3D_THREADS) has more than
+ * one thread, the pure parts of a draw — vertex shading and fragment
+ * shading/sampling math — are sharded across workers while every
+ * stateful structure (vertex cache, Hierarchical Z, z/colour surfaces
+ * and their caches, the texture cache, the memory controller) is only
+ * touched on the submitting thread in exact submission order; texture
+ * cache accesses are recorded by workers and replayed sequentially.
+ * Counters, cache statistics and traffic bytes are therefore
+ * bit-identical to WC3D_THREADS=1 (see DESIGN.md "Threading model").
  */
 
 #ifndef WC3D_GPU_SIMULATOR_HH
@@ -41,6 +51,7 @@ class GpuSimulator : public api::DrawSink
 {
   public:
     explicit GpuSimulator(const GpuConfig &config = GpuConfig{});
+    ~GpuSimulator() override;
 
     GpuSimulator(const GpuSimulator &) = delete;
     GpuSimulator &operator=(const GpuSimulator &) = delete;
@@ -96,10 +107,45 @@ class GpuSimulator : public api::DrawSink
 
   private:
     struct QuadContextInfo;
+    struct PendingTri;   ///< setup + facing kept alive for a shade batch
+    struct PendingQuad;  ///< one quad awaiting parallel shading/resolve
+    struct ShadeBatch;   ///< in-order quad/triangle staging area
+    struct ShadeWorker;  ///< per-slot interpreter/sampler/recorder shard
 
+    /** Outcome of the Hierarchical-Z stage for one quad. */
+    enum class HzOutcome : std::uint8_t { Culled, Accepted, Pass };
+
+    /** @name Stages shared by the serial and parallel paths */
+    /// @{
+    HzOutcome hzTestQuad(const QuadContextInfo &info,
+                         const raster::RasterQuad &quad);
+    bool zStencilQuad(const QuadContextInfo &info,
+                      const raster::RasterQuad &quad, std::uint8_t &mask,
+                      bool hz_accepted);
+    /// @}
+
+    /** @name Serial (WC3D_THREADS=1) path */
+    /// @{
+    void shadeVerticesSerial(const api::DrawCall &call);
     void shadeAndResolveQuad(const raster::RasterQuad &quad,
                              const raster::TriangleSetup &setup,
                              const QuadContextInfo &info);
+    /// @}
+
+    /** @name Parallel path (pure work sharded, state replayed in order) */
+    /// @{
+    void shadeVerticesParallel(const api::DrawCall &call);
+    void collectQuad(ShadeBatch &batch, const raster::RasterQuad &quad,
+                     int tri, const QuadContextInfo &info);
+    static void shadeQuadWorker(ShadeWorker &worker, const ShadeBatch &batch,
+                                PendingQuad &pending,
+                                const QuadContextInfo &info);
+    void resolvePendingQuad(const ShadeWorker &worker,
+                            const ShadeBatch &batch, PendingQuad &pending,
+                            QuadContextInfo &info);
+    void flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info);
+    /// @}
+
     void recordFrame();
 
     GpuConfig _config;
@@ -125,6 +171,7 @@ class GpuSimulator : public api::DrawSink
     std::vector<geom::TransformedVertex> _stream;
     std::vector<geom::AssembledTriangle> _assembled;
     std::vector<std::array<geom::TransformedVertex, 3>> _clippedTris;
+    std::unique_ptr<ShadeBatch> _batch; ///< parallel-path staging, reused
 };
 
 } // namespace wc3d::gpu

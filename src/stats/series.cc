@@ -1,5 +1,6 @@
 #include "stats/series.hh"
 
+#include <charconv>
 #include <cstdio>
 
 #include "common/strutil.hh"
@@ -8,6 +9,16 @@ namespace wc3d::stats {
 
 namespace {
 const std::vector<double> kEmpty;
+
+/** Shortest decimal form that parses back to exactly @p v (the CSV is
+ *  also the run-cache storage format, so emission must be lossless). */
+std::string
+exactDouble(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
 } // namespace
 
 void
@@ -62,8 +73,9 @@ FrameSeries::toCsv() const
         out += format("%d", f);
         for (const auto &name : _order) {
             const auto &s = _series.at(name);
-            out += format(",%g",
-                          f < static_cast<int>(s.size()) ? s[f] : 0.0);
+            out += ',';
+            out += exactDouble(f < static_cast<int>(s.size()) ? s[f]
+                                                              : 0.0);
         }
         out += "\n";
     }

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-worker counter shards for deterministic parallel statistics.
+ *
+ * The simulator's parallel stages follow one discipline: workers only
+ * ever write to the shard indexed by their ThreadPool slot, and shards
+ * are reduced on the submitting thread *in slot order* (or, for
+ * per-item accounting, in item submission order) once the parallel
+ * region completed. Integer counters therefore sum to exactly the
+ * values the sequential path produces, independent of thread count and
+ * scheduling — the foundation any sharded backend must preserve.
+ */
+
+#ifndef WC3D_STATS_SHARD_HH
+#define WC3D_STATS_SHARD_HH
+
+#include <vector>
+
+#include "common/threadpool.hh"
+
+namespace wc3d::stats {
+
+/**
+ * A fixed set of per-worker shards of some accumulator type T.
+ *
+ * Sized for a pool (one shard per worker slot). shard(slot) hands a
+ * worker its private accumulator; reduce() folds the shards in slot
+ * order on the caller's thread after the parallel region.
+ */
+template <typename T>
+class ShardSet
+{
+  public:
+    /** One shard per worker slot of @p pool. */
+    explicit ShardSet(const ThreadPool &pool)
+        : _shards(static_cast<std::size_t>(pool.threads()))
+    {
+    }
+
+    explicit ShardSet(int shards)
+        : _shards(static_cast<std::size_t>(shards < 1 ? 1 : shards))
+    {
+    }
+
+    int size() const { return static_cast<int>(_shards.size()); }
+
+    /** The shard owned by worker @p slot. */
+    T &shard(int slot) { return _shards[static_cast<std::size_t>(slot)]; }
+    const T &shard(int slot) const
+    {
+        return _shards[static_cast<std::size_t>(slot)];
+    }
+
+    /** The calling thread's shard (by its pool slot). */
+    T &mine() { return shard(ThreadPool::currentSlot()); }
+
+    /**
+     * Fold all shards in slot order: fold(accumulator, shard) is called
+     * for slots 0, 1, ... in sequence on the calling thread.
+     */
+    template <typename Acc, typename Fold>
+    Acc
+    reduce(Acc acc, Fold fold) const
+    {
+        for (const T &s : _shards)
+            fold(acc, s);
+        return acc;
+    }
+
+  private:
+    std::vector<T> _shards;
+};
+
+} // namespace wc3d::stats
+
+#endif // WC3D_STATS_SHARD_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the parallel execution layer: thread-pool semantics,
+ * per-slot sharding, and the headline determinism contract — a full
+ * simulated game produces bit-identical statistics at WC3D_THREADS=1
+ * and WC3D_THREADS=4.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.hh"
+#include "core/runner.hh"
+#include "stats/shard.hh"
+
+using namespace wc3d;
+using namespace wc3d::core;
+
+TEST(ThreadPool, SubmitterOccupiesSlotZero)
+{
+    EXPECT_EQ(ThreadPool::currentSlot(), 0);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    std::vector<int> order;
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i)
+        group.run([&order, i] { order.push_back(i); });
+    group.wait();
+    std::vector<int> expect(16);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(pool, hits.size(), [&](int slot, std::size_t i) {
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, pool.threads());
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock)
+{
+    // Outer tasks submit inner work to the same pool; wait() helps, so
+    // this completes even when every worker is stuck in an outer task.
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    TaskGroup outer(pool);
+    for (int t = 0; t < 8; ++t) {
+        outer.run([&pool, &total] {
+            parallelFor(pool, 50,
+                        [&total](int, std::size_t) { total.fetch_add(1); });
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ThreadPool, ShardsReduceInSlotOrder)
+{
+    ThreadPool pool(4);
+    stats::ShardSet<std::vector<std::size_t>> shards(pool);
+    ASSERT_EQ(shards.size(), 4);
+    parallelFor(pool, 400, [&shards](int slot, std::size_t i) {
+        shards.shard(slot).push_back(i);
+    });
+    auto sum = shards.reduce(std::size_t{0},
+                             [](std::size_t &acc,
+                                const std::vector<std::size_t> &s) {
+                                 for (std::size_t v : s)
+                                     acc += v;
+                             });
+    EXPECT_EQ(sum, 400u * 399u / 2);
+}
+
+TEST(ThreadPool, ConfiguredThreadsHonoursEnvironment)
+{
+    setenv("WC3D_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 3);
+    unsetenv("WC3D_THREADS");
+    EXPECT_GE(ThreadPool::configuredThreads(), 1);
+}
+
+namespace {
+
+/** Simulate one OGL game uncached at the given thread count. */
+MicroRun
+simulateAt(int threads)
+{
+    ThreadPool::setGlobalThreads(threads);
+    MicroRun run = runMicroarch("ut2004/primeval", 2, 256, 192,
+                                /*allow_cache=*/false);
+    ThreadPool::setGlobalThreads(1);
+    return run;
+}
+
+void
+expectCacheEqual(const memsys::CacheStats &a, const memsys::CacheStats &b,
+                 const char *which)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << which;
+    EXPECT_EQ(a.hits, b.hits) << which;
+    EXPECT_EQ(a.misses, b.misses) << which;
+    EXPECT_EQ(a.writebacks, b.writebacks) << which;
+}
+
+} // namespace
+
+TEST(Determinism, ParallelRunIsBitIdenticalToSequential)
+{
+    MicroRun serial = simulateAt(1);
+    MicroRun parallel = simulateAt(4);
+
+    const gpu::PipelineCounters &a = parallel.counters;
+    const gpu::PipelineCounters &b = serial.counters;
+    EXPECT_EQ(a.indices, b.indices);
+    EXPECT_EQ(a.vertexCacheHits, b.vertexCacheHits);
+    EXPECT_EQ(a.vertexCacheMisses, b.vertexCacheMisses);
+    EXPECT_EQ(a.trianglesAssembled, b.trianglesAssembled);
+    EXPECT_EQ(a.trianglesClipped, b.trianglesClipped);
+    EXPECT_EQ(a.trianglesCulled, b.trianglesCulled);
+    EXPECT_EQ(a.trianglesTraversed, b.trianglesTraversed);
+    EXPECT_EQ(a.rasterQuads, b.rasterQuads);
+    EXPECT_EQ(a.rasterFullQuads, b.rasterFullQuads);
+    EXPECT_EQ(a.rasterFragments, b.rasterFragments);
+    EXPECT_EQ(a.quadsRemovedHz, b.quadsRemovedHz);
+    EXPECT_EQ(a.quadsRemovedZStencil, b.quadsRemovedZStencil);
+    EXPECT_EQ(a.quadsRemovedAlpha, b.quadsRemovedAlpha);
+    EXPECT_EQ(a.quadsRemovedColorMask, b.quadsRemovedColorMask);
+    EXPECT_EQ(a.quadsBlended, b.quadsBlended);
+    EXPECT_EQ(a.zStencilQuads, b.zStencilQuads);
+    EXPECT_EQ(a.zStencilFullQuads, b.zStencilFullQuads);
+    EXPECT_EQ(a.zStencilFragments, b.zStencilFragments);
+    EXPECT_EQ(a.shadedQuads, b.shadedQuads);
+    EXPECT_EQ(a.shadedFragments, b.shadedFragments);
+    EXPECT_EQ(a.blendedFragments, b.blendedFragments);
+    EXPECT_EQ(a.vertexInstructions, b.vertexInstructions);
+    EXPECT_EQ(a.fragmentInstructions, b.fragmentInstructions);
+    EXPECT_EQ(a.fragmentTexInstructions, b.fragmentTexInstructions);
+    EXPECT_EQ(a.textureRequests, b.textureRequests);
+    EXPECT_EQ(a.bilinearSamples, b.bilinearSamples);
+
+    // Per-client memory traffic, byte for byte.
+    for (int i = 0; i < memsys::kNumClients; ++i) {
+        EXPECT_EQ(a.traffic.readBytes[i], b.traffic.readBytes[i])
+            << "read client " << i;
+        EXPECT_EQ(a.traffic.writeBytes[i], b.traffic.writeBytes[i])
+            << "write client " << i;
+    }
+
+    // All four cache models saw the identical access stream.
+    expectCacheEqual(parallel.zCache, serial.zCache, "z cache");
+    expectCacheEqual(parallel.colorCache, serial.colorCache,
+                     "color cache");
+    expectCacheEqual(parallel.texL0, serial.texL0, "tex L0");
+    expectCacheEqual(parallel.texL1, serial.texL1, "tex L1");
+
+    // Per-frame series line up too (same values, frame by frame).
+    ASSERT_EQ(parallel.series.frames(), serial.series.frames());
+    for (const auto &name : serial.series.names()) {
+        const auto &sa = parallel.series.series(name);
+        const auto &sb = serial.series.series(name);
+        ASSERT_EQ(sa.size(), sb.size()) << name;
+        for (std::size_t i = 0; i < sb.size(); ++i)
+            EXPECT_EQ(sa[i], sb[i]) << name << " frame " << i;
+    }
+}
+
+TEST(Determinism, FanOutMatchesSerialLoop)
+{
+    // Games fanned out onto the pool (the runSimulatedGames dispatch
+    // shape, at test resolution) must match individual serial runs:
+    // each run's simulator is confined to the task executing it.
+    const char *ids[] = {"doom3/trdemo2", "quake4/demo4",
+                         "ut2004/primeval"};
+    ThreadPool::setGlobalThreads(4);
+    MicroRun fanned[3];
+    {
+        TaskGroup group;
+        for (int i = 0; i < 3; ++i) {
+            group.run([&fanned, &ids, i] {
+                fanned[i] = runMicroarch(ids[i], 1, 256, 192,
+                                         /*allow_cache=*/false);
+            });
+        }
+        group.wait();
+    }
+    ThreadPool::setGlobalThreads(1);
+
+    for (int i = 0; i < 3; ++i) {
+        MicroRun serial = runMicroarch(ids[i], 1, 256, 192,
+                                       /*allow_cache=*/false);
+        EXPECT_EQ(fanned[i].id, serial.id);
+        EXPECT_EQ(fanned[i].counters.rasterFragments,
+                  serial.counters.rasterFragments);
+        EXPECT_EQ(fanned[i].counters.shadedFragments,
+                  serial.counters.shadedFragments);
+        EXPECT_EQ(fanned[i].counters.traffic.total(),
+                  serial.counters.traffic.total());
+    }
+}
