@@ -34,11 +34,21 @@ main(int argc, char **argv)
     {
         api::Device device;
         api::TraceWriter writer(path);
+        if (!writer.ok()) {
+            std::fprintf(stderr, "trace write: %s\n",
+                         writer.error()->describe().c_str());
+            return 1;
+        }
         device.setRecorder(&writer);
         auto demo = workloads::makeTimedemo(id);
         demo->run(device, frames);
         recorded = writer.commandsWritten();
         live_stats = device.stats();
+        if (!writer.close()) {
+            std::fprintf(stderr, "trace write: %s\n",
+                         writer.error()->describe().c_str());
+            return 1;
+        }
     }
     std::printf("recorded %llu commands over %d frames of %s into %s\n",
                 static_cast<unsigned long long>(recorded), frames,
@@ -52,6 +62,11 @@ main(int argc, char **argv)
         return 1;
     }
     std::uint64_t replayed = api::playTrace(reader, replay_device);
+    if (reader.error()) {
+        std::fprintf(stderr, "trace read: %s\n",
+                     reader.error()->describe().c_str());
+        return 1;
+    }
     const api::ApiStats &replay_stats = replay_device.stats();
 
     std::printf("replayed %llu commands\n",

@@ -1,26 +1,37 @@
 #include "api/trace.hh"
 
+#include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "api/device.hh"
 #include "common/log.hh"
+#include "common/strutil.hh"
 
 namespace wc3d::api {
 
 namespace {
 
-constexpr char kMagic[8] = {'W', 'C', '3', 'D', 'T', 'R', 'C', '1'};
+constexpr char kMagic[8] = {'W', 'C', '3', 'D', 'T', 'R', 'C', '2'};
 
-/** Little-endian primitive writers/readers over stdio. */
+/** Highest valid command tag (= index of EndFrameCmd in Command). */
+constexpr std::uint8_t kMaxTag =
+    static_cast<std::uint8_t>(std::variant_size_v<Command> - 1);
+
+/** Bytes one vertex occupies in the stream: 12 floats. */
+constexpr std::size_t kVertexStreamBytes = 12 * 4;
+
+/** Little-endian primitive writers into a growable buffer. Records are
+ *  serialized here first so the writer can frame them with an exact
+ *  payload length. */
 struct Out
 {
-    std::FILE *f;
+    std::string &buf;
 
     void
     bytes(const void *p, std::size_t n)
     {
-        if (std::fwrite(p, 1, n, f) != n)
-            fatal("trace: short write");
+        buf.append(static_cast<const char *>(p), n);
     }
 
     void u8(std::uint8_t v) { bytes(&v, 1); }
@@ -62,18 +73,44 @@ struct Out
     }
 };
 
-struct In
+/**
+ * Validating little-endian reader over one record's payload bytes.
+ * The first failure is latched with the absolute file offset of the
+ * offending field; every later read is a no-op returning zeros, so
+ * record decoders can read straight through without checking each
+ * primitive.
+ */
+struct Cursor
 {
-    std::FILE *f;
-    bool failed = false;
+    const unsigned char *data;
+    std::size_t size;
+    std::uint64_t base; ///< file offset of data[0]
+    std::size_t pos = 0;
+    std::optional<TraceError> err;
+
+    bool failed() const { return err.has_value(); }
+    std::size_t remaining() const { return size - pos; }
+
+    void
+    failAt(std::size_t at, std::string reason)
+    {
+        if (!err)
+            err = TraceError{base + at, std::move(reason)};
+    }
 
     bool
-    bytes(void *p, std::size_t n)
+    take(void *p, std::size_t n)
     {
-        if (std::fread(p, 1, n, f) != n) {
-            failed = true;
+        if (failed())
+            return false;
+        if (n > remaining()) {
+            failAt(pos, format("record payload truncated: field needs "
+                               "%zu bytes, %zu left",
+                               n, remaining()));
             return false;
         }
+        std::memcpy(p, data + pos, n);
+        pos += n;
         return true;
     }
 
@@ -81,14 +118,14 @@ struct In
     u8()
     {
         std::uint8_t v = 0;
-        bytes(&v, 1);
+        take(&v, 1);
         return v;
     }
     std::uint32_t
     u32()
     {
         std::uint8_t b[4] = {};
-        bytes(b, 4);
+        take(b, 4);
         return static_cast<std::uint32_t>(b[0]) |
                (static_cast<std::uint32_t>(b[1]) << 8) |
                (static_cast<std::uint32_t>(b[2]) << 16) |
@@ -110,15 +147,25 @@ struct In
         return v;
     }
     std::string
-    str()
+    str(const char *name, std::uint32_t max_bytes)
     {
+        std::size_t at = pos;
         std::uint32_t n = u32();
-        if (failed || n > (1u << 30)) {
-            failed = true;
+        if (failed())
+            return {};
+        if (n > max_bytes) {
+            failAt(at, format("%s length %u exceeds cap %u", name, n,
+                              max_bytes));
             return {};
         }
-        std::string s(n, '\0');
-        bytes(s.data(), n);
+        if (n > remaining()) {
+            failAt(at, format("%s length %u exceeds the %zu payload "
+                              "bytes left",
+                              name, n, remaining()));
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
         return s;
     }
     Vec4
@@ -130,6 +177,77 @@ struct In
         v.z = f32();
         v.w = f32();
         return v;
+    }
+
+    /** A bool serialized as one byte; anything but 0/1 is corruption. */
+    bool
+    boolean(const char *name)
+    {
+        std::size_t at = pos;
+        std::uint8_t v = u8();
+        if (!failed() && v > 1)
+            failAt(at, format("%s: invalid bool byte %u", name, v));
+        return v == 1;
+    }
+
+    /** An enum serialized as one byte, validated against its range. */
+    template <typename E>
+    E
+    enum8(const char *name, E max_value)
+    {
+        std::size_t at = pos;
+        std::uint8_t v = u8();
+        auto max_raw = static_cast<std::uint8_t>(max_value);
+        if (!failed() && v > max_raw) {
+            failAt(at, format("%s out of range: %u > %u", name, v,
+                              max_raw));
+            return E{};
+        }
+        return static_cast<E>(v);
+    }
+
+    /** A float that must be finite (samplers, not bulk vertex data). */
+    float
+    finiteF32(const char *name)
+    {
+        std::size_t at = pos;
+        float v = f32();
+        if (!failed() && !std::isfinite(v)) {
+            failAt(at, format("%s: non-finite float", name));
+            return 0.0f;
+        }
+        return v;
+    }
+
+    /**
+     * An element count for a payload of @p elem_bytes-sized elements.
+     * Rejecting counts the remaining payload cannot hold bounds every
+     * allocation by the record size, so a corrupt count can never
+     * over-allocate.
+     */
+    std::uint32_t
+    count(const char *name, std::uint32_t cap, std::size_t elem_bytes)
+    {
+        std::size_t at = pos;
+        std::uint32_t n = u32();
+        if (failed())
+            return 0;
+        if (n > cap) {
+            failAt(at,
+                   format("%s %u exceeds cap %u", name, n, cap));
+            return 0;
+        }
+        if (static_cast<std::uint64_t>(n) * elem_bytes > remaining()) {
+            failAt(at, format("%s %u needs %llu bytes but only %zu "
+                              "remain in the record",
+                              name, n,
+                              static_cast<unsigned long long>(
+                                  static_cast<std::uint64_t>(n) *
+                                  elem_bytes),
+                              remaining()));
+            return 0;
+        }
+        return n;
     }
 };
 
@@ -152,21 +270,21 @@ writeDepthStencil(Out &o, const frag::DepthStencilState &s)
 }
 
 frag::DepthStencilState
-readDepthStencil(In &i)
+readDepthStencil(Cursor &c)
 {
     frag::DepthStencilState s;
-    s.depthTest = i.u8();
-    s.depthFunc = static_cast<frag::CompareFunc>(i.u8());
-    s.depthWrite = i.u8();
-    s.stencilTest = i.u8();
+    s.depthTest = c.boolean("depthTest");
+    s.depthFunc = c.enum8("depthFunc", frag::CompareFunc::Always);
+    s.depthWrite = c.boolean("depthWrite");
+    s.stencilTest = c.boolean("stencilTest");
     for (frag::StencilFace *face : {&s.front, &s.back}) {
-        face->func = static_cast<frag::CompareFunc>(i.u8());
-        face->ref = i.u8();
-        face->readMask = i.u8();
-        face->writeMask = i.u8();
-        face->sfail = static_cast<frag::StencilOp>(i.u8());
-        face->zfail = static_cast<frag::StencilOp>(i.u8());
-        face->zpass = static_cast<frag::StencilOp>(i.u8());
+        face->func = c.enum8("stencil func", frag::CompareFunc::Always);
+        face->ref = c.u8();
+        face->readMask = c.u8();
+        face->writeMask = c.u8();
+        face->sfail = c.enum8("stencil sfail", frag::StencilOp::Invert);
+        face->zfail = c.enum8("stencil zfail", frag::StencilOp::Invert);
+        face->zpass = c.enum8("stencil zpass", frag::StencilOp::Invert);
     }
     return s;
 }
@@ -182,14 +300,16 @@ writeBlend(Out &o, const frag::BlendState &s)
 }
 
 frag::BlendState
-readBlend(In &i)
+readBlend(Cursor &c)
 {
     frag::BlendState s;
-    s.enabled = i.u8();
-    s.srcFactor = static_cast<frag::BlendFactor>(i.u8());
-    s.dstFactor = static_cast<frag::BlendFactor>(i.u8());
-    s.op = static_cast<frag::BlendOp>(i.u8());
-    s.colorWriteMask = i.u8();
+    s.enabled = c.boolean("blend enabled");
+    s.srcFactor =
+        c.enum8("srcFactor", frag::BlendFactor::InvDstAlpha);
+    s.dstFactor =
+        c.enum8("dstFactor", frag::BlendFactor::InvDstAlpha);
+    s.op = c.enum8("blend op", frag::BlendOp::Max);
+    s.colorWriteMask = c.u8();
     return s;
 }
 
@@ -203,13 +323,21 @@ writeSampler(Out &o, const tex::SamplerState &s)
 }
 
 tex::SamplerState
-readSampler(In &i)
+readSampler(Cursor &c)
 {
     tex::SamplerState s;
-    s.filter = static_cast<tex::TexFilter>(i.u8());
-    s.wrap = static_cast<tex::TexWrap>(i.u8());
-    s.maxAniso = static_cast<int>(i.u32());
-    s.lodBias = i.f32();
+    s.filter = c.enum8("tex filter", tex::TexFilter::Anisotropic);
+    s.wrap = c.enum8("tex wrap", tex::TexWrap::Clamp);
+    std::size_t at = c.pos;
+    std::uint32_t aniso = c.u32();
+    if (!c.failed() &&
+        (aniso < 1 ||
+         aniso > static_cast<std::uint32_t>(kTraceMaxAniso))) {
+        c.failAt(at, format("maxAniso %u outside [1, %d]", aniso,
+                            kTraceMaxAniso));
+    }
+    s.maxAniso = static_cast<int>(aniso);
+    s.lodBias = c.finiteF32("lodBias");
     return s;
 }
 
@@ -227,17 +355,31 @@ writeTextureSpec(Out &o, const TextureSpec &s)
 }
 
 TextureSpec
-readTextureSpec(In &i)
+readTextureSpec(Cursor &c)
 {
     TextureSpec s;
-    s.kind = static_cast<TextureSpec::Kind>(i.u8());
-    s.size = static_cast<int>(i.u32());
-    s.cell = static_cast<int>(i.u32());
-    s.seed = i.u64();
-    s.colorA = Rgba8::fromPacked(i.u32());
-    s.colorB = Rgba8::fromPacked(i.u32());
-    s.format = static_cast<tex::TexFormat>(i.u8());
-    s.alphaNoise = i.u8();
+    s.kind = c.enum8("texture kind", TextureSpec::Kind::Gradient);
+    std::size_t at = c.pos;
+    std::uint32_t size = c.u32();
+    if (!c.failed() &&
+        (size < 1 ||
+         size > static_cast<std::uint32_t>(kTraceMaxTextureSize))) {
+        c.failAt(at, format("texture size %u outside [1, %d]", size,
+                            kTraceMaxTextureSize));
+    }
+    s.size = static_cast<int>(size);
+    at = c.pos;
+    std::uint32_t cell = c.u32();
+    if (!c.failed() && (cell < 1 || cell > size)) {
+        c.failAt(at, format("texture cell %u outside [1, size=%u]",
+                            cell, size));
+    }
+    s.cell = static_cast<int>(cell);
+    s.seed = c.u64();
+    s.colorA = Rgba8::fromPacked(c.u32());
+    s.colorB = Rgba8::fromPacked(c.u32());
+    s.format = c.enum8("texture format", tex::TexFormat::DXT5);
+    s.alphaNoise = c.boolean("alphaNoise");
     return s;
 }
 
@@ -347,135 +489,158 @@ struct WriteVisitor
     void operator()(const EndFrameCmd &) {}
 };
 
-std::optional<Command>
-readCommand(In &in)
+/** Decode one record payload; validation errors land in @p c.err. */
+Command
+readCommand(Cursor &c, std::uint8_t tag)
 {
-    int tag_int = std::fgetc(in.f);
-    if (tag_int == EOF)
-        return std::nullopt;
-    auto tag = static_cast<std::uint8_t>(tag_int);
-
     Command cmd;
     switch (tag) {
       case 0: {
-        CreateVertexBufferCmd c;
-        c.id = in.u32();
-        c.data.strideFloats = static_cast<int>(in.u32());
-        std::uint32_t n = in.u32();
-        if (in.failed || n > (1u << 28))
-            return std::nullopt;
-        c.data.vertices.resize(n);
-        for (VertexData &v : c.data.vertices) {
-            v.position = {in.f32(), in.f32(), in.f32()};
-            v.normal = {in.f32(), in.f32(), in.f32()};
-            v.uv = {in.f32(), in.f32()};
-            v.color = in.vec4();
+        CreateVertexBufferCmd v;
+        v.id = c.u32();
+        std::size_t at = c.pos;
+        std::uint32_t stride = c.u32();
+        if (!c.failed() &&
+            (stride < static_cast<std::uint32_t>(kVertexLayoutFloats) ||
+             stride >
+                 static_cast<std::uint32_t>(kTraceMaxStrideFloats))) {
+            c.failAt(at, format("vertex stride %u outside [%d, %d]",
+                                stride, kVertexLayoutFloats,
+                                kTraceMaxStrideFloats));
         }
-        cmd = std::move(c);
+        v.data.strideFloats = static_cast<int>(stride);
+        std::uint32_t n = c.count("vertex count", kTraceMaxVertices,
+                                  kVertexStreamBytes);
+        if (c.failed())
+            break;
+        v.data.vertices.resize(n);
+        for (VertexData &vd : v.data.vertices) {
+            vd.position = {c.f32(), c.f32(), c.f32()};
+            vd.normal = {c.f32(), c.f32(), c.f32()};
+            vd.uv = {c.f32(), c.f32()};
+            vd.color = c.vec4();
+        }
+        cmd = std::move(v);
         break;
       }
       case 1: {
-        CreateIndexBufferCmd c;
-        c.id = in.u32();
-        c.data.type = static_cast<IndexType>(in.u8());
-        std::uint32_t n = in.u32();
-        if (in.failed || n > (1u << 28))
-            return std::nullopt;
-        c.data.indices.resize(n);
-        for (auto &idx : c.data.indices)
-            idx = in.u32();
-        cmd = std::move(c);
+        CreateIndexBufferCmd v;
+        v.id = c.u32();
+        v.data.type = c.enum8("IndexType", IndexType::U32);
+        std::uint32_t n =
+            c.count("index count", kTraceMaxIndices, 4);
+        if (c.failed())
+            break;
+        v.data.indices.resize(n);
+        for (auto &idx : v.data.indices)
+            idx = c.u32();
+        cmd = std::move(v);
         break;
       }
       case 2: {
-        CreateTextureCmd c;
-        c.id = in.u32();
-        c.spec = readTextureSpec(in);
-        cmd = c;
+        CreateTextureCmd v;
+        v.id = c.u32();
+        v.spec = readTextureSpec(c);
+        cmd = v;
         break;
       }
       case 3: {
-        CreateProgramCmd c;
-        c.id = in.u32();
-        c.kind = static_cast<shader::ProgramKind>(in.u8());
-        c.source = in.str();
-        cmd = std::move(c);
+        CreateProgramCmd v;
+        v.id = c.u32();
+        v.kind = c.enum8("ProgramKind", shader::ProgramKind::Fragment);
+        v.source = c.str("program source", kTraceMaxStringBytes);
+        cmd = std::move(v);
         break;
       }
       case 4: {
-        BindProgramCmd c;
-        c.kind = static_cast<shader::ProgramKind>(in.u8());
-        c.id = in.u32();
-        cmd = c;
+        BindProgramCmd v;
+        v.kind = c.enum8("ProgramKind", shader::ProgramKind::Fragment);
+        v.id = c.u32();
+        cmd = v;
         break;
       }
       case 5: {
-        BindTextureCmd c;
-        c.unit = in.u32();
-        c.id = in.u32();
-        c.sampler = readSampler(in);
-        cmd = c;
+        BindTextureCmd v;
+        v.unit = c.u32();
+        v.id = c.u32();
+        v.sampler = readSampler(c);
+        cmd = v;
         break;
       }
       case 6:
-        cmd = SetDepthStencilCmd{readDepthStencil(in)};
+        cmd = SetDepthStencilCmd{readDepthStencil(c)};
         break;
       case 7:
-        cmd = SetBlendCmd{readBlend(in)};
+        cmd = SetBlendCmd{readBlend(c)};
         break;
       case 8:
-        cmd = SetCullModeCmd{static_cast<geom::CullMode>(in.u8())};
+        cmd = SetCullModeCmd{
+            c.enum8("CullMode", geom::CullMode::Front)};
         break;
       case 9: {
-        SetConstantCmd c;
-        c.kind = static_cast<shader::ProgramKind>(in.u8());
-        c.index = in.u32();
-        c.value = in.vec4();
-        cmd = c;
+        SetConstantCmd v;
+        v.kind = c.enum8("ProgramKind", shader::ProgramKind::Fragment);
+        v.index = c.u32();
+        v.value = c.vec4();
+        cmd = v;
         break;
       }
       case 10: {
-        ClearCmd c;
-        c.color = in.u8();
-        c.depth = in.u8();
-        c.stencil = in.u8();
-        c.colorValue = in.u32();
-        c.depthValue = in.f32();
-        c.stencilValue = in.u8();
-        cmd = c;
+        ClearCmd v;
+        v.color = c.boolean("clear color flag");
+        v.depth = c.boolean("clear depth flag");
+        v.stencil = c.boolean("clear stencil flag");
+        v.colorValue = c.u32();
+        v.depthValue = c.f32();
+        v.stencilValue = c.u8();
+        cmd = v;
         break;
       }
       case 11: {
-        DrawCmd c;
-        c.vertexBuffer = in.u32();
-        c.indexBuffer = in.u32();
-        c.firstIndex = in.u32();
-        c.indexCount = in.u32();
-        c.topology = static_cast<geom::PrimitiveType>(in.u8());
-        cmd = c;
+        DrawCmd v;
+        v.vertexBuffer = c.u32();
+        v.indexBuffer = c.u32();
+        v.firstIndex = c.u32();
+        v.indexCount = c.u32();
+        v.topology =
+            c.enum8("PrimitiveType", geom::PrimitiveType::TriangleFan);
+        cmd = v;
         break;
       }
       case 12:
         cmd = EndFrameCmd{};
         break;
       default:
-        warn("trace: unknown command tag %u", tag);
-        return std::nullopt;
+        // next() rejects unknown tags before decoding.
+        c.failAt(0, format("unknown command tag %u", tag));
+        break;
     }
-    if (in.failed)
-        return std::nullopt;
     return cmd;
 }
 
 } // namespace
 
+std::string
+TraceError::describe() const
+{
+    return format("byte %llu: %s",
+                  static_cast<unsigned long long>(offset),
+                  reason.c_str());
+}
+
 TraceWriter::TraceWriter(const std::string &path)
 {
     _file = std::fopen(path.c_str(), "wb");
-    if (!_file)
-        fatal("trace: cannot open '%s' for writing", path.c_str());
-    Out out{_file};
-    out.bytes(kMagic, sizeof(kMagic));
+    if (!_file) {
+        fail(0, format("cannot open '%s' for writing", path.c_str()));
+        return;
+    }
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), _file) !=
+        sizeof(kMagic)) {
+        fail(0, "short write on trace header");
+        return;
+    }
+    _offset = sizeof(kMagic);
 }
 
 TraceWriter::~TraceWriter()
@@ -484,34 +649,88 @@ TraceWriter::~TraceWriter()
 }
 
 void
-TraceWriter::write(const Command &cmd)
+TraceWriter::fail(std::uint64_t offset, std::string reason)
 {
-    WC3D_ASSERT(_file);
-    Out out{_file};
-    out.u8(static_cast<std::uint8_t>(cmd.index()));
-    std::visit(WriteVisitor{out}, cmd);
-    ++_count;
+    if (_error)
+        return;
+    _error = TraceError{offset, std::move(reason)};
+    warn("trace write failed at byte %llu: %s",
+         static_cast<unsigned long long>(offset),
+         _error->reason.c_str());
 }
 
-void
+bool
+TraceWriter::write(const Command &cmd)
+{
+    if (_error)
+        return false;
+    if (!_file) {
+        fail(_offset, "write after close");
+        return false;
+    }
+    std::string payload;
+    Out out{payload};
+    std::visit(WriteVisitor{out}, cmd);
+
+    std::uint8_t header[5] = {
+        static_cast<std::uint8_t>(cmd.index()),
+        static_cast<std::uint8_t>(payload.size()),
+        static_cast<std::uint8_t>(payload.size() >> 8),
+        static_cast<std::uint8_t>(payload.size() >> 16),
+        static_cast<std::uint8_t>(payload.size() >> 24)};
+    if (std::fwrite(header, 1, sizeof(header), _file) !=
+            sizeof(header) ||
+        std::fwrite(payload.data(), 1, payload.size(), _file) !=
+            payload.size()) {
+        fail(_offset, format("short write on %s record",
+                             commandName(cmd)));
+        return false;
+    }
+    _offset += sizeof(header) + payload.size();
+    ++_count;
+    return true;
+}
+
+bool
 TraceWriter::close()
 {
     if (_file) {
-        std::fclose(_file);
+        bool flushed = std::fclose(_file) == 0;
         _file = nullptr;
+        if (!flushed)
+            fail(_offset, "error flushing trace file on close");
     }
+    return !_error.has_value();
 }
 
 TraceReader::TraceReader(const std::string &path)
 {
     _file = std::fopen(path.c_str(), "rb");
-    if (!_file)
+    if (!_file) {
+        fail(0, format("cannot open '%s' for reading", path.c_str()));
         return;
-    char magic[8] = {};
-    if (std::fread(magic, 1, 8, _file) == 8 &&
-        std::memcmp(magic, kMagic, 8) == 0) {
-        _ok = true;
     }
+    if (std::fseek(_file, 0, SEEK_END) != 0) {
+        fail(0, "cannot determine trace file size");
+        return;
+    }
+    long end = std::ftell(_file);
+    if (end < 0 || std::fseek(_file, 0, SEEK_SET) != 0) {
+        fail(0, "cannot determine trace file size");
+        return;
+    }
+    _fileSize = static_cast<std::uint64_t>(end);
+
+    char magic[8] = {};
+    if (std::fread(magic, 1, sizeof(magic), _file) != sizeof(magic)) {
+        fail(0, "file too short for trace magic");
+        return;
+    }
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        fail(0, "bad trace magic (not a WC3DTRC2 trace)");
+        return;
+    }
+    _pos = sizeof(kMagic);
 }
 
 TraceReader::~TraceReader()
@@ -520,13 +739,77 @@ TraceReader::~TraceReader()
         std::fclose(_file);
 }
 
+void
+TraceReader::fail(std::uint64_t offset, std::string reason)
+{
+    if (!_error)
+        _error = TraceError{offset, std::move(reason)};
+}
+
 std::optional<Command>
 TraceReader::next()
 {
-    if (!_ok || !_file)
+    if (_error || _atEnd || !_file)
         return std::nullopt;
-    In in{_file};
-    return readCommand(in);
+
+    std::uint64_t record_start = _pos;
+    int tag_int = std::fgetc(_file);
+    if (tag_int == EOF) {
+        _atEnd = true;
+        return std::nullopt;
+    }
+    _pos += 1;
+    auto tag = static_cast<std::uint8_t>(tag_int);
+    if (tag > kMaxTag) {
+        fail(record_start, format("unknown command tag %u", tag));
+        return std::nullopt;
+    }
+
+    unsigned char lenb[4];
+    if (std::fread(lenb, 1, sizeof(lenb), _file) != sizeof(lenb)) {
+        fail(_pos, "truncated record header (payload length)");
+        return std::nullopt;
+    }
+    std::uint32_t len = static_cast<std::uint32_t>(lenb[0]) |
+                        (static_cast<std::uint32_t>(lenb[1]) << 8) |
+                        (static_cast<std::uint32_t>(lenb[2]) << 16) |
+                        (static_cast<std::uint32_t>(lenb[3]) << 24);
+    std::uint64_t len_at = _pos;
+    _pos += sizeof(lenb);
+    // Bounding the payload by the bytes actually present caps every
+    // allocation at the file size, so a corrupt ("lying") length can
+    // never over-allocate.
+    if (len > _fileSize - _pos) {
+        fail(len_at,
+             format("record length %u exceeds the %llu bytes left in "
+                    "the file",
+                    len,
+                    static_cast<unsigned long long>(_fileSize - _pos)));
+        return std::nullopt;
+    }
+
+    std::vector<unsigned char> payload(len);
+    if (len > 0 &&
+        std::fread(payload.data(), 1, len, _file) != len) {
+        fail(_pos, "unexpected EOF inside record payload");
+        return std::nullopt;
+    }
+
+    Cursor c{payload.data(), len, _pos, 0, std::nullopt};
+    Command cmd = readCommand(c, tag);
+    if (c.err) {
+        _error = c.err;
+        return std::nullopt;
+    }
+    if (c.pos != c.size) {
+        fail(_pos + c.pos,
+             format("%s record has %zu trailing payload bytes",
+                    commandName(cmd), c.size - c.pos));
+        return std::nullopt;
+    }
+    _pos += len;
+    ++_count;
+    return cmd;
 }
 
 std::uint64_t

@@ -346,13 +346,17 @@ TEST(Trace, BadFileRejected)
     std::fclose(fp);
     TraceReader reader(path);
     EXPECT_FALSE(reader.ok());
+    ASSERT_TRUE(reader.error().has_value());
+    EXPECT_EQ(reader.error()->offset, 0u);
+    EXPECT_FALSE(reader.error()->reason.empty());
     EXPECT_FALSE(reader.next().has_value());
     std::remove(path.c_str());
     TraceReader missing(::testing::TempDir() + "nonexistent.bin");
     EXPECT_FALSE(missing.ok());
+    ASSERT_TRUE(missing.error().has_value());
 }
 
-TEST(Trace, TruncatedStreamStopsCleanly)
+TEST(Trace, TruncatedStreamReportsStructuredError)
 {
     std::string path = ::testing::TempDir() + "wc3d_trunc_trace.bin";
     {
@@ -360,6 +364,7 @@ TEST(Trace, TruncatedStreamStopsCleanly)
         TraceWriter writer(path);
         dev.setRecorder(&writer);
         dev.createVertexBuffer(smallVb(100));
+        EXPECT_TRUE(writer.close());
     }
     // Truncate mid-payload.
     std::FILE *fp = std::fopen(path.c_str(), "rb+");
@@ -372,6 +377,34 @@ TEST(Trace, TruncatedStreamStopsCleanly)
     TraceReader reader(path);
     ASSERT_TRUE(reader.ok());
     EXPECT_FALSE(reader.next().has_value());
+    EXPECT_FALSE(reader.atEnd());
+    ASSERT_TRUE(reader.error().has_value());
+    EXPECT_FALSE(reader.error()->reason.empty());
+    EXPECT_LE(reader.error()->offset,
+              static_cast<std::uint64_t>(size / 2));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, WriterErrorStateInsteadOfFatal)
+{
+    // Unopenable path: the writer reports the error and stays inert.
+    TraceWriter bad(::testing::TempDir() +
+                    "no_such_dir/sub/trace.bin");
+    EXPECT_FALSE(bad.ok());
+    ASSERT_TRUE(bad.error().has_value());
+    EXPECT_FALSE(bad.error()->reason.empty());
+    EXPECT_FALSE(bad.write(Command{EndFrameCmd{}}));
+    EXPECT_EQ(bad.commandsWritten(), 0u);
+    EXPECT_FALSE(bad.close());
+
+    // Write-after-close is an error, not an assert/abort.
+    std::string path = ::testing::TempDir() + "wc3d_waclose.bin";
+    TraceWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.write(Command{EndFrameCmd{}}));
+    EXPECT_TRUE(writer.close());
+    EXPECT_FALSE(writer.write(Command{EndFrameCmd{}}));
+    EXPECT_FALSE(writer.ok());
     std::remove(path.c_str());
 }
 

@@ -164,6 +164,38 @@ TEST(Tables, ConfigMentionsR520Numbers)
     EXPECT_NE(s.find("2 triangles/cycle"), std::string::npos);
 }
 
+TEST(Tables, EmptyRunsFormatZeroNotNan)
+{
+    // Regression: a run with zero frames/triangles/accesses has every
+    // percentage denominator at zero; the tables must print 0.0, never
+    // "nan" or "inf".
+    EXPECT_DOUBLE_EQ(memsys::CacheStats{}.hitRate(), 0.0);
+
+    gpu::PipelineCounters zero;
+    EXPECT_DOUBLE_EQ(zero.pctClipped(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.pctCulled(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.pctQuadsRemovedHz(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.pctQuadsBlended(), 0.0);
+
+    MicroRun empty;
+    empty.id = "empty";
+    std::vector<MicroRun> runs = {empty};
+    gpu::GpuConfig config;
+    const std::string all =
+        tableClipCull(runs).toString() +
+        tableTriangleSize(runs).toString() +
+        tableQuadRemoval(runs).toString() +
+        tableQuadEfficiency(runs).toString() +
+        tableOverdraw(runs).toString() +
+        tableBilinears(runs).toString() +
+        tableCaches(runs, config).toString() +
+        tableMemoryBw(runs).toString() +
+        tableTrafficDistribution(runs).toString() +
+        tableBytesPerItem(runs).toString();
+    EXPECT_EQ(all.find("nan"), std::string::npos);
+    EXPECT_EQ(all.find("inf"), std::string::npos);
+}
+
 TEST(Buses, CatalogMatchesTableVI)
 {
     const auto &buses = busCatalog();
