@@ -13,12 +13,14 @@
  *
  * Environment: WC3D_FRAMES (microarch), WC3D_API_FRAMES (API tables),
  * WC3D_FIG_FRAMES (figure series), WC3D_NO_CACHE, WC3D_CACHE_DIR,
- * WC3D_FIG_DIR (CSV output directory, default "wc3d-figures").
+ * WC3D_FIG_DIR (CSV output directory, default "wc3d-figures"),
+ * WC3D_BENCH_JSON (perf-trajectory file, default "BENCH_speed.json").
  */
 
 #ifndef WC3D_BENCH_COMMON_HH
 #define WC3D_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <sys/stat.h>
@@ -26,6 +28,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/env.hh"
+#include "common/json.hh"
 #include "core/apilevel.hh"
 #include "core/buses.hh"
 #include "core/microarch.hh"
@@ -89,17 +92,114 @@ writeCsv(const std::string &name, const std::string &csv)
     }
 }
 
+/** Path of the shared perf-trajectory document. */
+inline std::string
+benchJsonPath()
+{
+    return envString("WC3D_BENCH_JSON", "BENCH_speed.json");
+}
+
+/**
+ * Load BENCH_speed.json, or a fresh skeleton when it is missing or
+ * unreadable (a corrupt file is replaced, never fatal for a bench).
+ */
+inline json::Value
+loadBenchJson()
+{
+    json::Value doc;
+    std::string error;
+    const json::Value *schema = nullptr;
+    if (json::parseFile(benchJsonPath(), doc, &error))
+        schema = doc.find("schema");
+    if (!schema || schema->asString() != "wc3d-bench-speed-v1") {
+        doc = json::Value::object();
+        doc.set("schema", json::Value::str("wc3d-bench-speed-v1"));
+        doc.set("benches", json::Value::object());
+    }
+    if (!doc.find("benches"))
+        doc.set("benches", json::Value::object());
+    return doc;
+}
+
+/** Atomically rewrite BENCH_speed.json with @p doc. */
+inline void
+storeBenchJson(const json::Value &doc)
+{
+    std::string error;
+    if (!json::writeFileAtomic(benchJsonPath(),
+                               doc.serialize(1) + "\n", &error)) {
+        std::fprintf(stderr, "bench: cannot write %s: %s\n",
+                     benchJsonPath().c_str(), error.c_str());
+    }
+}
+
+/**
+ * Record one whole-binary wall time under benches.<name>, bumping its
+ * cumulative run count, and report the previously recorded time.
+ */
+inline void
+recordBenchWallTime(const std::string &name, double seconds)
+{
+    json::Value doc = loadBenchJson();
+    json::Value benches = *doc.find("benches"); // copy; set() replaces
+    double previous = 0.0;
+    std::uint64_t runs = 0;
+    if (const json::Value *old = benches.find(name)) {
+        if (const json::Value *s = old->find("wall_seconds"))
+            previous = s->asDouble();
+        if (const json::Value *r = old->find("runs"))
+            runs = r->asU64();
+    }
+    json::Value entry = json::Value::object();
+    entry.set("wall_seconds", json::Value::number(seconds));
+    entry.set("runs", json::Value::number(runs + 1));
+    benches.set(name, std::move(entry));
+    doc.set("benches", std::move(benches));
+    storeBenchJson(doc);
+    if (previous > 0.0) {
+        std::printf("bench wall time: %.3fs (previous %.3fs, %+.1f%%) "
+                    "-> %s\n",
+                    seconds, previous,
+                    (seconds - previous) / previous * 100.0,
+                    benchJsonPath().c_str());
+    } else {
+        std::printf("bench wall time: %.3fs -> %s\n", seconds,
+                    benchJsonPath().c_str());
+    }
+    std::fflush(stdout);
+}
+
+/** argv[0] without directories — the benches.<name> key. */
+inline std::string
+benchName(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "bench";
+    std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name.empty() ? "bench" : name;
+}
+
 } // namespace wc3d::bench
 
-/** Standard main: print the deliverable first, then run benchmarks. */
+/**
+ * Standard main: print the deliverable first, then run benchmarks, and
+ * record the binary's wall clock in BENCH_speed.json.
+ */
 #define WC3D_BENCH_MAIN(print_fn)                                        \
     int                                                                  \
     main(int argc, char **argv)                                          \
     {                                                                    \
+        auto wc3d_bench_start = std::chrono::steady_clock::now();        \
         ::benchmark::Initialize(&argc, argv);                            \
         print_fn();                                                      \
         ::benchmark::RunSpecifiedBenchmarks();                           \
         ::benchmark::Shutdown();                                         \
+        std::chrono::duration<double> wc3d_bench_elapsed =               \
+            std::chrono::steady_clock::now() - wc3d_bench_start;         \
+        ::wc3d::bench::recordBenchWallTime(                              \
+            ::wc3d::bench::benchName(argc > 0 ? argv[0] : nullptr),      \
+            wc3d_bench_elapsed.count());                                 \
         return 0;                                                        \
     }
 

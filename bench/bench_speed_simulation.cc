@@ -10,7 +10,9 @@
  * sweep measures pure wall-clock scaling of the same work.
  *
  * Environment: WC3D_SPEED_FRAMES (default 2) and WC3D_SPEED_RES
- * ("WxH", default 512x384) size the timed runs.
+ * ("WxH", default 512x384) size the timed runs; the sweep results are
+ * also merged into WC3D_BENCH_JSON (default BENCH_speed.json) under
+ * "speed_simulation" so successive runs can be compared.
  */
 
 #include <algorithm>
@@ -100,25 +102,72 @@ SimulationSpeed(benchmark::State &state)
     state.counters["speedup_vs_1t"] = seconds > 0.0 ? base / seconds : 0.0;
 }
 
+/** Previously recorded sweep seconds for @p threads (0 when absent). */
+double
+previousSweepSeconds(const json::Value &doc, int threads)
+{
+    const json::Value *speed = doc.find("speed_simulation");
+    const json::Value *sweep = speed ? speed->find("sweep") : nullptr;
+    if (!sweep || !sweep->isArray())
+        return 0.0;
+    for (const json::Value &entry : sweep->items()) {
+        const json::Value *t = entry.find("threads");
+        const json::Value *s = entry.find("seconds");
+        if (t && s && t->asI64() == threads)
+            return s->asDouble();
+    }
+    return 0.0;
+}
+
 void
 printSweep()
 {
     int width, height;
     speedResolution(width, height);
+    json::Value doc = bench::loadBenchJson();
     std::printf("\n=== Simulation speed (%s, %d frames at %dx%d, "
                 "cold cache) ===\n",
                 kGameId, speedFrames(), width, height);
-    std::printf("%8s %12s %12s %10s\n", "threads", "seconds",
-                "frames/sec", "speedup");
+    std::printf("%8s %12s %12s %10s %12s\n", "threads", "seconds",
+                "frames/sec", "speedup", "previous");
     double base = 0.0;
+    json::Value sweep = json::Value::array();
     for (int threads : sweepThreadCounts()) {
         double seconds = timedRun(threads);
         if (threads == 1)
             base = seconds;
-        std::printf("%8d %12.3f %12.3f %9.2fx\n", threads, seconds,
-                    seconds > 0.0 ? speedFrames() / seconds : 0.0,
-                    seconds > 0.0 && base > 0.0 ? base / seconds : 0.0);
+        double prev = previousSweepSeconds(doc, threads);
+        if (prev > 0.0) {
+            std::printf("%8d %12.3f %12.3f %9.2fx %11.3fs\n", threads,
+                        seconds,
+                        seconds > 0.0 ? speedFrames() / seconds : 0.0,
+                        seconds > 0.0 && base > 0.0 ? base / seconds
+                                                    : 0.0,
+                        prev);
+        } else {
+            std::printf("%8d %12.3f %12.3f %9.2fx %12s\n", threads,
+                        seconds,
+                        seconds > 0.0 ? speedFrames() / seconds : 0.0,
+                        seconds > 0.0 && base > 0.0 ? base / seconds
+                                                    : 0.0,
+                        "-");
+        }
+        json::Value entry = json::Value::object();
+        entry.set("threads", json::Value::number(threads));
+        entry.set("seconds", json::Value::number(seconds));
+        entry.set("frames_per_sec",
+                  json::Value::number(
+                      seconds > 0.0 ? speedFrames() / seconds : 0.0));
+        sweep.push(std::move(entry));
     }
+    json::Value speed = json::Value::object();
+    speed.set("game", json::Value::str(kGameId));
+    speed.set("frames", json::Value::number(speedFrames()));
+    speed.set("width", json::Value::number(width));
+    speed.set("height", json::Value::number(height));
+    speed.set("sweep", std::move(sweep));
+    doc.set("speed_simulation", std::move(speed));
+    bench::storeBenchJson(doc);
     std::fflush(stdout);
 }
 

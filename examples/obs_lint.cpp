@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Validate observability artifacts: a Chrome trace written via
+ * WC3D_TRACE_OUT and/or a metrics manifest written via
+ * WC3D_METRICS_OUT. Used by CI after a traced simulation run.
+ *
+ *   obs_lint [--trace trace.json] [--metrics metrics.json]
+ *
+ * Exits 0 when every given file parses and passes structural
+ * validation (spans nest, schema present, counters numeric); exits 1
+ * with a diagnostic otherwise.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/json.hh"
+#include "common/prof.hh"
+#include "core/runmeta.hh"
+
+using namespace wc3d;
+
+namespace {
+
+bool
+lintTrace(const std::string &path)
+{
+    json::Value doc;
+    std::string error;
+    if (!json::parseFile(path, doc, &error)) {
+        std::fprintf(stderr, "obs_lint: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    std::size_t events = 0;
+    if (!prof::validateChromeTrace(doc, &error, &events)) {
+        std::fprintf(stderr, "obs_lint: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    std::printf("%s: valid Chrome trace, %zu span events\n",
+                path.c_str(), events);
+    return true;
+}
+
+bool
+lintMetrics(const std::string &path)
+{
+    json::Value doc;
+    std::string error;
+    if (!json::parseFile(path, doc, &error)) {
+        std::fprintf(stderr, "obs_lint: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    if (!core::validateMetrics(doc, &error)) {
+        std::fprintf(stderr, "obs_lint: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    const json::Value *runs = doc.find("runs");
+    const json::Value *reg = doc.find("registry");
+    const json::Value *counters = reg ? reg->find("counters") : nullptr;
+    std::printf("%s: valid metrics manifest, %zu runs, %zu counters\n",
+                path.c_str(), runs ? runs->size() : 0,
+                counters ? counters->members().size() : 0);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 &&
+                   i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: obs_lint [--trace file] "
+                         "[--metrics file]\n");
+            return 1;
+        }
+    }
+    if (trace_path.empty() && metrics_path.empty()) {
+        std::fprintf(stderr,
+                     "obs_lint: nothing to validate (pass --trace "
+                     "and/or --metrics)\n");
+        return 1;
+    }
+    bool ok = true;
+    if (!trace_path.empty())
+        ok = lintTrace(trace_path) && ok;
+    if (!metrics_path.empty())
+        ok = lintMetrics(metrics_path) && ok;
+    return ok ? 0 : 1;
+}

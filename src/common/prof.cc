@@ -1,0 +1,347 @@
+#include "common/prof.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/strutil.hh"
+
+namespace wc3d::prof {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+} // namespace detail
+
+namespace {
+
+/** One completed span. */
+struct Event
+{
+    std::string name;
+    int pid = 0;
+    std::uint64_t startNs = 0;
+    std::uint64_t durNs = 0;
+};
+
+/** A begun, not yet ended span (per-thread stack). */
+struct OpenSpan
+{
+    std::string name;
+    int pid = 0;
+    std::uint64_t startNs = 0;
+};
+
+/**
+ * Per-thread recording buffer. Only the owning thread appends; the
+ * writer drains all buffers under the registry mutex while no spans
+ * are in flight. Buffers are never destroyed (threads may outlive the
+ * buffer registry order), so Event appends stay lock-free.
+ */
+struct Buffer
+{
+    int tid = 0;
+    std::string threadName;
+    int currentPid = 0;
+    std::vector<OpenSpan> stack;
+    std::vector<Event> events;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    std::map<int, std::string> processNames;
+    std::chrono::steady_clock::time_point base =
+        std::chrono::steady_clock::now();
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry(); // never destroyed: threads may
+                                         // record until process exit
+    return *r;
+}
+
+thread_local Buffer *tlsBuffer = nullptr;
+
+Buffer &
+buffer()
+{
+    if (!tlsBuffer) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto buf = std::make_unique<Buffer>();
+        buf->tid = static_cast<int>(r.buffers.size());
+        tlsBuffer = buf.get();
+        r.buffers.push_back(std::move(buf));
+    }
+    return *tlsBuffer;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - registry().base)
+            .count());
+}
+
+void
+atexitFlush()
+{
+    std::string path = tracePath();
+    if (enabled() && !path.empty())
+        writeChromeTrace(path);
+}
+
+/** Reads WC3D_TRACE_OUT once at startup and arms the exit writer. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *v = std::getenv("WC3D_TRACE_OUT");
+        if (v && *v) {
+            detail::gEnabled.store(true, std::memory_order_relaxed);
+            std::atexit(atexitFlush);
+        }
+    }
+};
+
+EnvInit gEnvInit;
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+std::string
+tracePath()
+{
+    const char *v = std::getenv("WC3D_TRACE_OUT");
+    return (v && *v) ? std::string(v) : std::string();
+}
+
+void
+setThreadName(const std::string &name)
+{
+    buffer().threadName = name;
+}
+
+ScopedProcess::ScopedProcess(int pid, const std::string &name)
+{
+    Buffer &buf = buffer();
+    _prev = buf.currentPid;
+    buf.currentPid = pid;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.processNames[pid] = name;
+}
+
+ScopedProcess::~ScopedProcess()
+{
+    buffer().currentPid = _prev;
+}
+
+void
+Span::begin(const char *name, const std::string *detail)
+{
+    Buffer &buf = buffer();
+    OpenSpan open;
+    open.name = name;
+    if (detail) {
+        open.name += ':';
+        open.name += *detail;
+    }
+    open.pid = buf.currentPid;
+    open.startNs = nowNs();
+    buf.stack.push_back(std::move(open));
+    _live = true;
+}
+
+void
+Span::end()
+{
+    Buffer &buf = buffer();
+    if (buf.stack.empty())
+        return; // reset() raced a live span (tests only); drop it
+    OpenSpan open = std::move(buf.stack.back());
+    buf.stack.pop_back();
+    Event ev;
+    ev.name = std::move(open.name);
+    ev.pid = open.pid;
+    ev.startNs = open.startNs;
+    ev.durNs = nowNs() - open.startNs;
+    buf.events.push_back(std::move(ev));
+}
+
+std::size_t
+eventCount()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::size_t n = 0;
+    for (const auto &buf : r.buffers)
+        n += buf->events.size();
+    return n;
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto &buf : r.buffers) {
+        buf->events.clear();
+        buf->stack.clear();
+    }
+    r.processNames.clear();
+}
+
+bool
+writeChromeTrace(const std::string &path, std::string *error)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto append = [&](const std::string &line) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += line;
+    };
+
+    // Metadata: process names (one pid per game) and thread names.
+    for (const auto &kv : r.processNames) {
+        append(format("{\"ph\":\"M\",\"name\":\"process_name\","
+                      "\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                      kv.first, json::escape(kv.second).c_str()));
+    }
+    for (const auto &buf : r.buffers) {
+        if (buf->threadName.empty())
+            continue;
+        append(format("{\"ph\":\"M\",\"name\":\"thread_name\","
+                      "\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                      buf->tid,
+                      json::escape(buf->threadName).c_str()));
+    }
+
+    // Complete events; timestamps are microseconds with ns precision.
+    for (const auto &buf : r.buffers) {
+        for (const Event &ev : buf->events) {
+            append(format(
+                "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"wc3d\","
+                "\"pid\":%d,\"tid\":%d,\"ts\":%llu.%03llu,"
+                "\"dur\":%llu.%03llu}",
+                json::escape(ev.name).c_str(), ev.pid, buf->tid,
+                static_cast<unsigned long long>(ev.startNs / 1000),
+                static_cast<unsigned long long>(ev.startNs % 1000),
+                static_cast<unsigned long long>(ev.durNs / 1000),
+                static_cast<unsigned long long>(ev.durNs % 1000)));
+        }
+    }
+    out += "\n]}\n";
+    return json::writeFileAtomic(path, out, error);
+}
+
+bool
+validateChromeTrace(const json::Value &doc, std::string *error,
+                    std::size_t *events_out)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "chrome trace: " + why;
+        return false;
+    };
+
+    if (!doc.isObject())
+        return fail("document is not an object");
+    const json::Value *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("missing traceEvents array");
+
+    struct Lane
+    {
+        // (start, end) pairs in recorded order.
+        std::vector<std::pair<double, double>> spans;
+    };
+    std::map<std::pair<int, int>, Lane> lanes;
+
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const json::Value &ev = events->at(i);
+        if (!ev.isObject())
+            return fail(format("event %zu is not an object", i));
+        const json::Value *ph = ev.find("name");
+        const json::Value *phase = ev.find("ph");
+        if (!ph || !ph->isString() || ph->asString().empty())
+            return fail(format("event %zu has no name", i));
+        if (!phase || !phase->isString())
+            return fail(format("event %zu has no phase", i));
+        if (phase->asString() == "M")
+            continue;
+        if (phase->asString() != "X")
+            return fail(format("event %zu: unexpected phase '%s'", i,
+                               phase->asString().c_str()));
+        const json::Value *pid = ev.find("pid");
+        const json::Value *tid = ev.find("tid");
+        const json::Value *ts = ev.find("ts");
+        const json::Value *dur = ev.find("dur");
+        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
+            return fail(format("event %zu lacks pid/tid", i));
+        if (!ts || !ts->isNumber() || !dur || !dur->isNumber())
+            return fail(format("event %zu lacks ts/dur", i));
+        if (ts->asDouble() < 0.0)
+            return fail(format("event %zu has negative ts", i));
+        if (dur->asDouble() < 0.0)
+            return fail(format("event %zu has negative duration", i));
+        ++count;
+        auto key = std::make_pair(static_cast<int>(pid->asI64()),
+                                  static_cast<int>(tid->asI64()));
+        lanes[key].spans.emplace_back(
+            ts->asDouble(), ts->asDouble() + dur->asDouble());
+    }
+
+    // Within a lane, spans came from one thread's begin/end stack, so
+    // any two either nest or are disjoint; partial overlap means an
+    // unbalanced begin/end sequence.
+    for (auto &kv : lanes) {
+        auto &spans = kv.second.spans;
+        std::sort(spans.begin(), spans.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second > b.second; // parents first
+                  });
+        std::vector<double> stack; // enclosing span end times
+        for (const auto &span : spans) {
+            while (!stack.empty() && stack.back() <= span.first)
+                stack.pop_back();
+            if (!stack.empty() && span.second > stack.back()) {
+                return fail(format(
+                    "lane pid=%d tid=%d: span [%f, %f] partially "
+                    "overlaps an enclosing span ending at %f",
+                    kv.first.first, kv.first.second, span.first,
+                    span.second, stack.back()));
+            }
+            stack.push_back(span.second);
+        }
+    }
+
+    if (events_out)
+        *events_out = count;
+    return true;
+}
+
+} // namespace wc3d::prof

@@ -4,6 +4,8 @@
 
 #include "common/env.hh"
 #include "common/log.hh"
+#include "common/prof.hh"
+#include "common/strutil.hh"
 
 namespace wc3d {
 
@@ -97,7 +99,10 @@ ThreadPool::runOne(TaskGroup *group)
         task = std::move(*it);
         _queue.erase(it);
     }
-    task.fn();
+    {
+        WC3D_PROF_SCOPE("pool.task");
+        task.fn();
+    }
     task.group->taskDone();
     return true;
 }
@@ -106,6 +111,7 @@ void
 ThreadPool::workerLoop(int slot)
 {
     t_slot = slot;
+    prof::setThreadName(format("worker%d", slot));
     for (;;) {
         Task task;
         {
@@ -117,7 +123,10 @@ ThreadPool::workerLoop(int slot)
             task = std::move(_queue.front());
             _queue.pop_front();
         }
-        task.fn();
+        {
+            WC3D_PROF_SCOPE("pool.task");
+            task.fn();
+        }
         task.group->taskDone();
     }
 }

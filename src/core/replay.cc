@@ -6,6 +6,7 @@
 #include "api/trace.hh"
 #include "common/env.hh"
 #include "common/fs.hh"
+#include "common/prof.hh"
 #include "common/strutil.hh"
 #include "workloads/games.hh"
 
@@ -237,6 +238,7 @@ replayAndDiff(const std::string &id, int frames, int width, int height,
     // Live run, recording the trace while feeding the simulator.
     RunSnapshot live;
     {
+        WC3D_PROF_SCOPE("replay.record", id);
         gpu::GpuSimulator sim(config);
         api::Device device(workloads::gameProfile(id).apiKind);
         device.setSink(&sim);
@@ -262,6 +264,7 @@ replayAndDiff(const std::string &id, int frames, int width, int height,
     // Replay through a fresh device + simulator.
     RunSnapshot replayed;
     {
+        WC3D_PROF_SCOPE("replay.play", id);
         gpu::GpuSimulator sim(config);
         api::Device device(workloads::gameProfile(id).apiKind);
         device.setSink(&sim);

@@ -5,16 +5,40 @@
 #include <map>
 #include <unistd.h>
 
+#include <chrono>
+
 #include "common/env.hh"
 #include "common/fs.hh"
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "common/strutil.hh"
 #include "common/threadpool.hh"
+#include "core/runmeta.hh"
 #include "workloads/games.hh"
 
 namespace wc3d::core {
 
 namespace {
+
+/** Stable Chrome-trace pid of a timedemo (0 = the tool itself). */
+int
+tracePid(const std::string &id)
+{
+    auto ids = workloads::allTimedemoIds();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == id)
+            return static_cast<int>(i) + 1;
+    }
+    return 0;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 /** Bump when the simulator or workloads change behaviour. */
 constexpr int kCacheSchema = 4;
@@ -69,6 +93,10 @@ defaultApiFrames()
 ApiRun
 runApiLevel(const std::string &id, int frames)
 {
+    prof::ScopedProcess process(tracePid(id), id);
+    WC3D_PROF_SCOPE("run.api", id);
+    auto start = std::chrono::steady_clock::now();
+
     ApiRun run;
     run.id = id;
     run.frames = frames;
@@ -76,6 +104,9 @@ runApiLevel(const std::string &id, int frames)
     auto demo = workloads::makeTimedemo(id);
     demo->run(device, frames);
     run.stats = device.stats();
+
+    RunMeta::global().noteApiRun(run, secondsSince(start));
+    RunMeta::global().writeIfRequested();
     return run;
 }
 
@@ -284,6 +315,10 @@ MicroRun
 runMicroarch(const std::string &id, int frames, int width, int height,
              bool allow_cache)
 {
+    prof::ScopedProcess process(tracePid(id), id);
+    WC3D_PROF_SCOPE("run.sim", id);
+    auto start = std::chrono::steady_clock::now();
+
     bool cache_enabled =
         allow_cache && envInt("WC3D_NO_CACHE", 0) == 0;
     std::string path = cachePath(id, frames, width, height);
@@ -293,11 +328,19 @@ runMicroarch(const std::string &id, int frames, int width, int height,
     // so concurrent runners (threads or processes) need no lock — at
     // worst both simulate and one rename wins with identical content.
     MicroRun run;
-    if (cache_enabled && loadMicroRun(run, path) && run.id == id &&
-        run.frames == frames && run.width == width &&
-        run.height == height) {
-        return run;
+    {
+        WC3D_PROF_SCOPE("run.cache.load");
+        if (cache_enabled && loadMicroRun(run, path) && run.id == id &&
+            run.frames == frames && run.width == width &&
+            run.height == height) {
+            RunMeta::global().noteCacheLookup(true);
+            RunMeta::global().noteMicroRun(run, secondsSince(start),
+                                           /*from_cache=*/true);
+            RunMeta::global().writeIfRequested();
+            return run;
+        }
     }
+    RunMeta::global().noteCacheLookup(false);
 
     gpu::GpuConfig config;
     config.width = width;
@@ -323,10 +366,14 @@ runMicroarch(const std::string &id, int frames, int width, int height,
     run.series = sim.frameSeries();
 
     if (cache_enabled) {
+        WC3D_PROF_SCOPE("run.cache.save");
         std::string dir = envString("WC3D_CACHE_DIR", ".wc3d-cache");
         if (!makeDirs(dir) || !saveMicroRun(run, path))
             warn("could not write run cache '%s'", path.c_str());
     }
+    RunMeta::global().noteMicroRun(run, secondsSince(start),
+                                   /*from_cache=*/false);
+    RunMeta::global().writeIfRequested();
     return run;
 }
 
@@ -340,13 +387,19 @@ runSimulatedGames(int frames)
     // per-run statistics are untouched by the fan-out.
     auto ids = workloads::simulatedTimedemoIds();
     std::vector<MicroRun> runs(ids.size());
-    TaskGroup group;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-        group.run([&runs, &ids, i, frames] {
-            runs[i] = runMicroarch(ids[i], frames);
-        });
+    {
+        PhaseTimer phase("micro_runs");
+        WC3D_PROF_SCOPE("run.fanout.micro");
+        TaskGroup group;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            group.run([&runs, &ids, i, frames] {
+                runs[i] = runMicroarch(ids[i], frames);
+            });
+        }
+        group.wait();
     }
-    group.wait();
+    // Re-export so the manifest includes this phase's wall clock.
+    RunMeta::global().writeIfRequested();
     return runs;
 }
 
@@ -355,13 +408,18 @@ runAllGamesApi(int frames)
 {
     auto ids = workloads::allTimedemoIds();
     std::vector<ApiRun> runs(ids.size());
-    TaskGroup group;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-        group.run([&runs, &ids, i, frames] {
-            runs[i] = runApiLevel(ids[i], frames);
-        });
+    {
+        PhaseTimer phase("api_runs");
+        WC3D_PROF_SCOPE("run.fanout.api");
+        TaskGroup group;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            group.run([&runs, &ids, i, frames] {
+                runs[i] = runApiLevel(ids[i], frames);
+            });
+        }
+        group.wait();
     }
-    group.wait();
+    RunMeta::global().writeIfRequested();
     return runs;
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "memory/compression.hh"
 
 namespace wc3d::frag {
@@ -141,6 +142,7 @@ CachedSurface::accessQuadNoFetch(int x, int y)
 void
 CachedSurface::flushDirty()
 {
+    WC3D_PROF_SCOPE("memory.writeback");
     if (!_memory) {
         _cache.flushDirty([](std::uint64_t) {});
         return;

@@ -1,6 +1,7 @@
 #include "geom/assembly.hh"
 
 #include "common/log.hh"
+#include "common/prof.hh"
 
 namespace wc3d::geom {
 
@@ -35,6 +36,7 @@ void
 assembleTriangles(PrimitiveType type, int count,
                   std::vector<AssembledTriangle> &out)
 {
+    WC3D_PROF_SCOPE("geom.assembly");
     switch (type) {
       case PrimitiveType::TriangleList:
         for (int i = 0; i + 2 < count; i += 3) {

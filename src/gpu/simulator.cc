@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "common/threadpool.hh"
 #include "geom/assembly.hh"
 #include "geom/viewport.hh"
@@ -256,6 +257,7 @@ GpuSimulator::programCreated(std::uint32_t, const shader::Program &)
 void
 GpuSimulator::clear(const api::ClearCmd &cmd)
 {
+    WC3D_PROF_SCOPE("gpu.clear");
     _memory.read(memsys::Client::CommandProcessor,
                  static_cast<std::uint64_t>(_config.commandBytes));
     if (cmd.color)
@@ -290,6 +292,7 @@ GpuSimulator::clear(const api::ClearCmd &cmd)
 void
 GpuSimulator::shadeVerticesSerial(const api::DrawCall &call)
 {
+    WC3D_PROF_SCOPE("geom.vertex");
     const auto &vertices = call.vertices->vertices;
     int stride = call.vertices->strideBytes();
     int bytes_per_index = api::indexTypeBytes(call.indexData->type);
@@ -326,6 +329,7 @@ GpuSimulator::shadeVerticesSerial(const api::DrawCall &call)
 void
 GpuSimulator::shadeVerticesParallel(const api::DrawCall &call)
 {
+    WC3D_PROF_SCOPE("geom.vertex");
     const auto &vertices = call.vertices->vertices;
     int stride = call.vertices->strideBytes();
     int bytes_per_index = api::indexTypeBytes(call.indexData->type);
@@ -390,6 +394,7 @@ GpuSimulator::shadeVerticesParallel(const api::DrawCall &call)
 void
 GpuSimulator::draw(const api::DrawCall &call)
 {
+    WC3D_PROF_SCOPE("gpu.draw");
     WC3D_ASSERT(call.vertices && call.indexData && call.vertexProgram &&
                 call.fragmentProgram);
 
@@ -449,6 +454,7 @@ GpuSimulator::draw(const api::DrawCall &call)
     }
     int cur_tri = -1;
 
+    WC3D_PROF_SCOPE("raster.traverse");
     for (const geom::AssembledTriangle &tri : _assembled) {
         geom::TransformedVertex verts[3] = {_stream[tri.v[0]],
                                             _stream[tri.v[1]],
@@ -895,24 +901,33 @@ GpuSimulator::flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info)
     stats::ShardSet<ShadeWorker> workers(pool);
     for (int s = 0; s < workers.size(); ++s)
         workers.shard(s).begin(info.call);
-    parallelFor(pool, batch.quads.size(), [&](int slot, std::size_t i) {
-        PendingQuad &p = batch.quads[i];
-        if (p.action == PendingQuad::Action::MaskDrop)
-            return;
-        p.slot = static_cast<std::uint16_t>(slot);
-        shadeQuadWorker(workers.shard(slot), batch, p, info);
-    });
+    {
+        WC3D_PROF_SCOPE("fragment.shade");
+        parallelFor(pool, batch.quads.size(),
+                    [&](int slot, std::size_t i) {
+                        PendingQuad &p = batch.quads[i];
+                        if (p.action == PendingQuad::Action::MaskDrop)
+                            return;
+                        p.slot = static_cast<std::uint16_t>(slot);
+                        shadeQuadWorker(workers.shard(slot), batch, p,
+                                        info);
+                    });
+    }
 
     // Phase 2 (in order): fold worker results back into the shared
     // pipeline state in exact submission order.
-    for (PendingQuad &p : batch.quads)
-        resolvePendingQuad(workers.shard(p.slot), batch, p, info);
+    {
+        WC3D_PROF_SCOPE("fragment.resolve");
+        for (PendingQuad &p : batch.quads)
+            resolvePendingQuad(workers.shard(p.slot), batch, p, info);
+    }
     batch.quads.clear();
 }
 
 void
 GpuSimulator::endFrame()
 {
+    WC3D_PROF_SCOPE("gpu.endFrame");
     // Write back dirty framebuffer lines and scan the frame out.
     _depth.flushDirty();
     _color.flushDirty();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 
 namespace wc3d::raster {
 
@@ -23,6 +24,7 @@ HierarchicalZ::HierarchicalZ(int width, int height)
 void
 HierarchicalZ::clear(float depth)
 {
+    WC3D_PROF_SCOPE("hz.clear");
     std::fill(_tileMax.begin(), _tileMax.end(), depth);
     std::fill(_tileMin.begin(), _tileMin.end(), depth);
     std::fill(_tileDirty.begin(), _tileDirty.end(), false);

@@ -1,6 +1,7 @@
 #include "texture/texcache.hh"
 
 #include "common/log.hh"
+#include "common/prof.hh"
 
 namespace wc3d::tex {
 
@@ -60,6 +61,7 @@ TextureUnit::TextureUnit(const TexCacheConfig &config,
 void
 TextureUnit::bind(int unit, const Texture2D *texture, SamplerState state)
 {
+    WC3D_PROF_SCOPE("texture.bind");
     WC3D_ASSERT(unit >= 0 && unit < shader::kMaxSamplers);
     _bindings[static_cast<std::size_t>(unit)] = {texture, state};
 }

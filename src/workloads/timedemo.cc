@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/prof.hh"
+#include "common/strutil.hh"
 #include "workloads/shadowvolume.hh"
 
 namespace wc3d::workloads {
@@ -635,10 +637,14 @@ Timedemo::renderFrame(api::Device &device, int frame)
 void
 Timedemo::run(api::Device &device, int frames)
 {
-    if (!_isSetup)
+    if (!_isSetup) {
+        WC3D_PROF_SCOPE("timedemo.setup");
         setup(device);
-    for (int f = 0; f < frames; ++f)
+    }
+    for (int f = 0; f < frames; ++f) {
+        WC3D_PROF_SCOPE("frame", format("%d", f));
         renderFrame(device, f);
+    }
 }
 
 } // namespace wc3d::workloads

@@ -6,14 +6,18 @@
  * ApiStats, all PipelineCounters, cache models and per-frame series —
  * to be bit-identical, at WC3D_THREADS=1 and 4. This is the paper's
  * "replay exactly the same input several times" property, enforced.
+ * The same guarantee must hold with profiling spans recording
+ * (WC3D_TRACE_OUT): spans observe, never steer.
  */
 
 #include <cstdio>
 
 #include <gtest/gtest.h>
 
+#include "common/prof.hh"
 #include "common/threadpool.hh"
 #include "core/replay.hh"
+#include "core/runner.hh"
 #include "workloads/games.hh"
 
 using namespace wc3d;
@@ -54,6 +58,46 @@ TEST(Replay, AllTimedemosBitIdenticalSequential)
 TEST(Replay, AllTimedemosBitIdenticalFourThreads)
 {
     expectAllReplayIdentical(4);
+}
+
+TEST(Replay, AllTimedemosBitIdenticalWhileTraced)
+{
+    // Recording spans must not perturb replay determinism at any
+    // thread count.
+    bool was = prof::enabled();
+    prof::reset();
+    prof::setEnabled(true);
+    expectAllReplayIdentical(1);
+    expectAllReplayIdentical(4);
+    EXPECT_GT(prof::eventCount(), 0u);
+    prof::setEnabled(was);
+    prof::reset();
+}
+
+TEST(Replay, TracingDoesNotPerturbStatistics)
+{
+    // The same simulation with spans off and on: every statistic and
+    // the whole per-frame series must be bit-identical.
+    bool was = prof::enabled();
+    ThreadPool::setGlobalThreads(4);
+    prof::setEnabled(false);
+    MicroRun off = runMicroarch("doom3/trdemo2", kFrames, kWidth,
+                                kHeight, /*allow_cache=*/false);
+    prof::reset();
+    prof::setEnabled(true);
+    MicroRun on = runMicroarch("doom3/trdemo2", kFrames, kWidth,
+                               kHeight, /*allow_cache=*/false);
+    prof::setEnabled(was);
+    prof::reset();
+    ThreadPool::setGlobalThreads(1);
+
+    EXPECT_EQ(on.counters.indices, off.counters.indices);
+    EXPECT_EQ(on.counters.rasterFragments, off.counters.rasterFragments);
+    EXPECT_EQ(on.counters.shadedFragments, off.counters.shadedFragments);
+    EXPECT_EQ(on.counters.traffic.total(), off.counters.traffic.total());
+    EXPECT_EQ(on.zCache.hits, off.zCache.hits);
+    EXPECT_EQ(on.texL0.misses, off.texL0.misses);
+    EXPECT_EQ(on.series.toCsv(), off.series.toCsv());
 }
 
 TEST(Replay, ReportsFirstDivergentCounter)
