@@ -22,7 +22,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
+#include <thread>
+#include <vector>
 #include <sys/stat.h>
 
 #include <benchmark/benchmark.h>
@@ -90,6 +93,95 @@ writeCsv(const std::string &name, const std::string &csv)
         std::fclose(f);
         std::printf("series written to %s\n", path.c_str());
     }
+}
+
+/** Warm-up runs before any timed measurement (WC3D_BENCH_WARMUP). */
+inline int
+benchWarmupRuns()
+{
+    return envInt("WC3D_BENCH_WARMUP", 1);
+}
+
+/** Timed repetitions per measurement; the minimum is reported
+ *  (WC3D_BENCH_REPS). */
+inline int
+benchTimedRuns()
+{
+    return envInt("WC3D_BENCH_REPS", 3);
+}
+
+/**
+ * Stable wall-clock measurement for manually timed regions: run @p fn
+ * @p warmup times untimed (caches, allocator pools and the branch
+ * predictor settle), then @p reps times timed, and return the minimum.
+ * The minimum — not the mean — is the low-noise estimator for a
+ * deterministic workload: every source of variance (scheduling,
+ * frequency ramp, interrupts) only ever adds time.
+ *
+ * Defaults come from WC3D_BENCH_WARMUP / WC3D_BENCH_REPS so CI can
+ * trade precision for wall clock without code changes.
+ */
+template <typename Fn>
+inline double
+stableSeconds(Fn &&fn, int warmup = -1, int reps = -1)
+{
+    if (warmup < 0)
+        warmup = benchWarmupRuns();
+    if (reps < 1)
+        reps = benchTimedRuns();
+    for (int i = 0; i < warmup; ++i)
+        fn();
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        best = std::min(best, elapsed.count());
+    }
+    return best;
+}
+
+/** First "model name" line of /proc/cpuinfo, or "unknown". */
+inline std::string
+cpuModelName()
+{
+    std::FILE *f = std::fopen("/proc/cpuinfo", "r");
+    if (!f)
+        return "unknown";
+    char line[512];
+    std::string model = "unknown";
+    while (std::fgets(line, sizeof line, f)) {
+        std::string s = line;
+        if (s.rfind("model name", 0) == 0) {
+            std::size_t colon = s.find(':');
+            if (colon != std::string::npos) {
+                std::size_t begin = s.find_first_not_of(" \t", colon + 1);
+                std::size_t end = s.find_last_not_of(" \t\n");
+                if (begin != std::string::npos && end >= begin)
+                    model = s.substr(begin, end - begin + 1);
+            }
+            break;
+        }
+    }
+    std::fclose(f);
+    return model;
+}
+
+/**
+ * Host fingerprint stored alongside wall times so a comparison tool
+ * (examples/bench_gate.cpp) can tell whether absolute seconds from two
+ * documents are comparable at all.
+ */
+inline json::Value
+hostFingerprint()
+{
+    json::Value host = json::Value::object();
+    host.set("cpu", json::Value::str(cpuModelName()));
+    host.set("threads",
+             json::Value::number(static_cast<int>(
+                 std::thread::hardware_concurrency())));
+    return host;
 }
 
 /** Path of the shared perf-trajectory document. */
@@ -169,6 +261,32 @@ recordBenchWallTime(const std::string &name, double seconds)
     std::fflush(stdout);
 }
 
+/**
+ * Inject default google-benchmark flags — currently a warm-up period
+ * for every registered case — unless the caller supplied their own on
+ * the command line. Storage is static: call once from main().
+ */
+inline char **
+patchedBenchArgs(int *argc, char **argv)
+{
+    static std::vector<std::string> storage;
+    static std::vector<char *> ptrs;
+    storage.assign(argv, argv + *argc);
+    bool has_warmup = false;
+    for (const std::string &a : storage) {
+        if (a.rfind("--benchmark_min_warmup_time", 0) == 0)
+            has_warmup = true;
+    }
+    if (!has_warmup)
+        storage.push_back("--benchmark_min_warmup_time=0.05");
+    ptrs.clear();
+    for (std::string &s : storage)
+        ptrs.push_back(s.data());
+    *argc = static_cast<int>(ptrs.size());
+    ptrs.push_back(nullptr);
+    return ptrs.data();
+}
+
 /** argv[0] without directories — the benches.<name> key. */
 inline std::string
 benchName(const char *argv0)
@@ -183,15 +301,18 @@ benchName(const char *argv0)
 } // namespace wc3d::bench
 
 /**
- * Standard main: print the deliverable first, then run benchmarks, and
- * record the binary's wall clock in BENCH_speed.json.
+ * Standard main: print the deliverable first, then run benchmarks (with
+ * a default warm-up period injected for every case), and record the
+ * binary's wall clock in BENCH_speed.json.
  */
 #define WC3D_BENCH_MAIN(print_fn)                                        \
     int                                                                  \
     main(int argc, char **argv)                                          \
     {                                                                    \
         auto wc3d_bench_start = std::chrono::steady_clock::now();        \
-        ::benchmark::Initialize(&argc, argv);                            \
+        char **wc3d_bench_argv =                                         \
+            ::wc3d::bench::patchedBenchArgs(&argc, argv);                \
+        ::benchmark::Initialize(&argc, wc3d_bench_argv);                 \
         print_fn();                                                      \
         ::benchmark::RunSpecifiedBenchmarks();                           \
         ::benchmark::Shutdown();                                         \

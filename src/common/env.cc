@@ -17,6 +17,19 @@ envInt(const char *name, int fallback)
     return static_cast<int>(parsed);
 }
 
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v)
+        return fallback;
+    return parsed;
+}
+
 std::string
 envString(const char *name, const std::string &fallback)
 {

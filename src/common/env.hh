@@ -14,6 +14,9 @@ namespace wc3d {
 /** @return the integer value of env var @p name, or @p fallback. */
 int envInt(const char *name, int fallback);
 
+/** @return the floating-point value of env var @p name, or @p fallback. */
+double envDouble(const char *name, double fallback);
+
 /** @return the value of env var @p name, or @p fallback. */
 std::string envString(const char *name, const std::string &fallback);
 

@@ -8,28 +8,94 @@
 #include "common/threadpool.hh"
 #include "geom/assembly.hh"
 #include "geom/viewport.hh"
+#include "shader/decoded.hh"
 #include "stats/shard.hh"
 
 namespace wc3d::gpu {
 
 namespace {
 
-/** Quads staged before a parallel shade pass is launched. */
+/** Quads staged before a bulk shade pass is launched. */
 constexpr std::size_t kShadeChunk = 4096;
 
-/** Bitmask of fragment-program input registers actually read. */
-std::uint32_t
-inputReadMask(const shader::Program &program)
+/** Quads shaded per interpreter entry on the serial path. Kept small
+ *  enough that the QuadState arena (~2.6 KB per quad) stays cache
+ *  resident between the prepare, shade and resolve passes. */
+constexpr std::size_t kSerialShadeChunk = 256;
+
+/**
+ * Snapshot of the interpreter + sampler statistics a shading step is
+ * charged against. Capture before and after, subtract, and fold the
+ * difference into the pipeline counters (or a staged quad's outputs).
+ */
+struct SamplerStatsDelta
 {
-    std::uint32_t mask = 0;
-    for (const auto &instr : program.code()) {
-        int nsrc = shader::opcodeInfo(instr.op).numSrcs;
-        for (int s = 0; s < nsrc; ++s) {
-            if (instr.src[s].file == shader::RegFile::Input)
-                mask |= 1u << instr.src[s].index;
+    std::uint64_t instructions = 0;
+    std::uint64_t texInstructions = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t bilinears = 0;
+
+    static SamplerStatsDelta
+    capture(const shader::Interpreter &interp, const tex::Sampler &sampler)
+    {
+        SamplerStatsDelta d;
+        d.instructions = interp.stats().instructionsExecuted;
+        d.texInstructions = interp.stats().textureInstructions;
+        d.requests = sampler.stats().requests;
+        d.bilinears = sampler.stats().bilinearSamples;
+        return d;
+    }
+
+    /** Field-wise difference of this capture from @p before. */
+    SamplerStatsDelta
+    since(const SamplerStatsDelta &before) const
+    {
+        SamplerStatsDelta d;
+        d.instructions = instructions - before.instructions;
+        d.texInstructions = texInstructions - before.texInstructions;
+        d.requests = requests - before.requests;
+        d.bilinears = bilinears - before.bilinears;
+        return d;
+    }
+
+    void
+    chargeTo(PipelineCounters &counters) const
+    {
+        counters.fragmentInstructions += instructions;
+        counters.fragmentTexInstructions += texInstructions;
+        counters.textureRequests += requests;
+        counters.bilinearSamples += bilinears;
+    }
+};
+
+/**
+ * Ready @p qs for shading one quad: clear-plan reset of each lane (so a
+ * reused state behaves like a freshly zeroed one) plus interpolation of
+ * the fragment inputs the program actually reads, sharing one
+ * perspective basis per lane across all varying slots.
+ */
+void
+prepareQuadState(shader::QuadState &qs, const shader::DecodedProgram &dec,
+                 std::uint32_t fp_input_mask,
+                 const raster::TriangleSetup &setup,
+                 const raster::QuadRef &quad, std::uint8_t live)
+{
+    for (int l = 0; l < 4; ++l) {
+        qs.covered[l] = (live >> l) & 1;
+        shader::LaneState &lane = qs.lanes[l];
+        dec.prepareLane(lane);
+        raster::TriangleSetup::VaryingBasis basis =
+            setup.varyingBasis(quad.laneLambda(l));
+        std::uint32_t mask = fp_input_mask;
+        while (mask) {
+            int slot = std::countr_zero(mask);
+            mask &= mask - 1;
+            if (slot < geom::kMaxVaryings) {
+                lane.inputs[slot] =
+                    setup.interpolateVarying(basis, slot);
+            }
         }
     }
-    return mask;
 }
 
 /** May HZ cull quads under this depth/stencil state? */
@@ -60,12 +126,16 @@ hzUsable(const frag::DepthStencilState &ds)
     return true;
 }
 
-/** Run the vertex program on one fetched vertex (pure). */
+/**
+ * Run the vertex program on one fetched vertex (pure). @p lane is a
+ * reusable arena state: the clear plan of the pre-decoded program
+ * resets exactly the registers whose stale contents could be observed.
+ */
 geom::TransformedVertex
 shadeVertex(const shader::Program &vp, const api::VertexData &v,
-            shader::Interpreter &interp)
+            shader::Interpreter &interp, shader::LaneState &lane)
 {
-    shader::LaneState lane;
+    vp.decoded().prepareLane(lane);
     lane.inputs[0] = Vec4(v.position, 1.0f);
     lane.inputs[1] = Vec4(v.normal, 0.0f);
     lane.inputs[2] = {v.uv.x, v.uv.y, 0.0f, 1.0f};
@@ -84,7 +154,6 @@ shadeVertex(const shader::Program &vp, const api::VertexData &v,
 struct GpuSimulator::QuadContextInfo
 {
     const api::DrawCall *call = nullptr;
-    const raster::TriangleSetup *setup = nullptr;
     bool backFace = false;
     bool earlyZ = true;
     bool hzOk = true;
@@ -102,9 +171,11 @@ struct GpuSimulator::PendingTri
 };
 
 /**
- * A quad staged for the parallel shade pass. The in-order collection
- * phase fills the top group; a worker fills the outputs; the in-order
- * resolve phase consumes both.
+ * Per-quad metadata staged for a bulk shade pass; the quad's geometry
+ * (position, coverage, depths, barycentrics) lives at the same index in
+ * ShadeBatch::quads. The in-order collection phase fills the top group;
+ * the shade phase fills the outputs; the in-order resolve phase
+ * consumes both.
  */
 struct GpuSimulator::PendingQuad
 {
@@ -115,12 +186,11 @@ struct GpuSimulator::PendingQuad
         MaskDrop,  ///< colour-mask removal, kept for colour-order replay
     };
 
-    raster::RasterQuad quad;
     std::int32_t tri = 0;  ///< index into ShadeBatch::tris
     Action action = Action::Shade;
     std::uint8_t live = 0; ///< lanes alive entering the shade stage
 
-    /** @name Worker outputs */
+    /** @name Worker outputs (parallel path only) */
     /// @{
     std::uint8_t killMask = 0;
     std::uint16_t slot = 0;       ///< worker shard holding our blocks
@@ -134,11 +204,16 @@ struct GpuSimulator::PendingQuad
     /// @}
 };
 
-/** In-order staging area for one draw (flushed in chunks). */
+/**
+ * In-order staging area for one draw (flushed in chunks at triangle
+ * boundaries). quads and meta grow in lockstep: index i of one matches
+ * index i of the other. Both keep their capacity across draws.
+ */
 struct GpuSimulator::ShadeBatch
 {
     std::vector<PendingTri> tris;
-    std::vector<PendingQuad> quads;
+    raster::QuadBatch quads;        ///< SoA quad geometry
+    std::vector<PendingQuad> meta;  ///< actions + shade outputs
 };
 
 /**
@@ -164,6 +239,7 @@ struct GpuSimulator::ShadeWorker final : shader::TextureSampleHandler,
     tex::Sampler sampler;
     const api::DrawCall *call = nullptr;
     std::vector<Block> blocks;
+    shader::QuadState quad; ///< reusable shading state (clear-plan reset)
 
     ShadeWorker() { sampler.setListener(this); }
 
@@ -297,6 +373,7 @@ GpuSimulator::shadeVerticesSerial(const api::DrawCall &call)
     int stride = call.vertices->strideBytes();
     int bytes_per_index = api::indexTypeBytes(call.indexData->type);
     const shader::Program &vp = *call.vertexProgram;
+    shader::LaneState lane; // reused across the draw's vertices
 
     for (std::uint32_t i = 0; i < call.indexCount; ++i) {
         std::uint32_t index =
@@ -317,7 +394,7 @@ GpuSimulator::shadeVerticesSerial(const api::DrawCall &call)
         _memory.read(memsys::Client::Vertex,
                      static_cast<std::uint64_t>(stride));
         geom::TransformedVertex tv = shadeVertex(vp, vertices[index],
-                                                 _interp);
+                                                 _interp, lane);
         _counters.vertexInstructions +=
             static_cast<std::uint64_t>(vp.instructionCount());
         slot = _vertexCache.insert(index);
@@ -380,9 +457,10 @@ GpuSimulator::shadeVerticesParallel(const api::DrawCall &call)
         ThreadPool::global(), job_vertex.size(),
         [&](int, std::size_t begin, std::size_t end) {
             shader::Interpreter interp;
+            shader::LaneState lane;
             for (std::size_t j = begin; j < end; ++j) {
                 shaded[j] = shadeVertex(
-                    vp, vertices[job_vertex[j]], interp);
+                    vp, vertices[job_vertex[j]], interp, lane);
             }
         });
 
@@ -410,6 +488,12 @@ GpuSimulator::draw(const api::DrawCall &call)
 
     const bool parallel = ThreadPool::global().threads() > 1;
 
+    // Pre-decode both bound programs on the submitting thread, before
+    // any worker can race the lazily cached decode (the pool's queue
+    // provides the happens-before for the read-only accesses after).
+    call.vertexProgram->decoded();
+    const shader::DecodedProgram &fp_dec = call.fragmentProgram->decoded();
+
     // --- Vertex stage -----------------------------------------------
     _vertexCache.invalidate(); // indices are batch-relative
     _stream.resize(call.indexCount);
@@ -433,7 +517,7 @@ GpuSimulator::draw(const api::DrawCall &call)
     info.zsEnabled = ds.depthTest || ds.stencilTest;
     info.hzOk = _config.hzEnabled && hzUsable(ds);
     info.colorMaskOff = !call.state.blend.colorWriteMask;
-    info.fpInputMask = inputReadMask(*call.fragmentProgram);
+    info.fpInputMask = fp_dec.inputReadMask();
 
     // Bind this draw's textures into the texture unit.
     for (int u = 0; u < shader::kMaxSamplers; ++u) {
@@ -446,13 +530,18 @@ GpuSimulator::draw(const api::DrawCall &call)
 
     geom::Viewport vp_rect{0, 0, _config.width, _config.height};
 
-    if (parallel && !_batch)
+    // Serial late-z (KIL) draws are the one flow that cannot defer
+    // shading: each quad's late z&stencil writes feed the HZ tests of
+    // the quads after it, and an HZ-culled quad must never touch the
+    // texture cache. Everything else stages quads into the batch and
+    // shades them in bulk.
+    const bool late_serial = !parallel && !info.earlyZ;
+
+    if (!_batch)
         _batch = std::make_unique<ShadeBatch>();
-    if (parallel) {
-        _batch->tris.clear();
-        _batch->quads.clear();
-    }
-    int cur_tri = -1;
+    _batch->tris.clear();
+    _batch->quads.clear();
+    _batch->meta.clear();
 
     WC3D_PROF_SCOPE("raster.traverse");
     for (const geom::AssembledTriangle &tri : _assembled) {
@@ -487,38 +576,30 @@ GpuSimulator::draw(const api::DrawCall &call)
                 screen, _config.width, _config.height);
             if (!setup.valid)
                 continue;
-            if (!parallel) {
-                info.setup = &setup;
-                _rasterizer.rasterize(
-                    setup, [this, &info](const raster::RasterQuad &quad) {
-                        shadeAndResolveQuad(quad, *info.setup, info);
-                    });
+            _triQuads.clear();
+            _rasterizer.rasterize(setup, _triQuads);
+            if (late_serial) {
+                for (std::size_t q = 0; q < _triQuads.size(); ++q)
+                    shadeAndResolveQuad(_triQuads.ref(q), setup, info);
                 continue;
             }
             _batch->tris.push_back({setup, info.backFace});
-            cur_tri = static_cast<int>(_batch->tris.size()) - 1;
-            _rasterizer.rasterize(
-                setup,
-                [this, &info, &setup, &cur_tri](
-                    const raster::RasterQuad &quad) {
-                    collectQuad(*_batch, quad, cur_tri, info);
-                    if (_batch->quads.size() >= kShadeChunk) {
-                        flushShadeBatch(*_batch, info);
-                        // Keep only the triangle still being traversed.
-                        _batch->tris.clear();
-                        _batch->tris.push_back({setup, info.backFace});
-                        cur_tri = 0;
-                    }
-                });
+            int cur_tri = static_cast<int>(_batch->tris.size()) - 1;
+            for (std::size_t q = 0; q < _triQuads.size(); ++q)
+                collectQuad(*_batch, _triQuads.ref(q), cur_tri, info);
+            if (_batch->meta.size() >= kShadeChunk) {
+                flushShadeBatch(*_batch, info, parallel);
+                _batch->tris.clear();
+            }
         }
     }
-    if (parallel)
-        flushShadeBatch(*_batch, info);
+    if (!late_serial)
+        flushShadeBatch(*_batch, info, parallel);
 }
 
 GpuSimulator::HzOutcome
 GpuSimulator::hzTestQuad(const QuadContextInfo &info,
-                         const raster::RasterQuad &quad)
+                         const raster::QuadRef &quad)
 {
     if (!info.hzOk)
         return HzOutcome::Pass;
@@ -556,7 +637,7 @@ GpuSimulator::hzTestQuad(const QuadContextInfo &info,
 
 bool
 GpuSimulator::zStencilQuad(const QuadContextInfo &info,
-                           const raster::RasterQuad &quad,
+                           const raster::QuadRef &quad,
                            std::uint8_t &mask, bool hz_accepted)
 {
     const auto &ds = info.call->state.depthStencil;
@@ -592,7 +673,7 @@ GpuSimulator::zStencilQuad(const QuadContextInfo &info,
 }
 
 void
-GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
+GpuSimulator::shadeAndResolveQuad(const raster::QuadRef &quad,
                                   const raster::TriangleSetup &setup,
                                   const QuadContextInfo &info)
 {
@@ -648,34 +729,15 @@ GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
     _counters.shadedFragments +=
         static_cast<std::uint64_t>(std::popcount(live));
 
-    shader::QuadState qs;
-    for (int l = 0; l < 4; ++l) {
-        qs.covered[l] = (live >> l) & 1;
-        std::uint32_t mask = info.fpInputMask;
-        while (mask) {
-            int slot = std::countr_zero(mask);
-            mask &= mask - 1;
-            if (slot < geom::kMaxVaryings) {
-                qs.lanes[l].inputs[slot] =
-                    setup.interpolateVarying(quad.lambda[l], slot);
-            }
-        }
-    }
+    shader::QuadState &qs = _serialQuad;
+    prepareQuadState(qs, call.fragmentProgram->decoded(), info.fpInputMask,
+                     setup, quad, live);
 
-    auto interp_before = _interp.stats();
-    auto sampler_before = _texUnit.sampler().stats();
+    auto before = SamplerStatsDelta::capture(_interp, _texUnit.sampler());
     _interp.runQuad(*call.fragmentProgram, qs, &_texUnit);
-    auto interp_after = _interp.stats();
-    auto sampler_after = _texUnit.sampler().stats();
-
-    _counters.fragmentInstructions +=
-        interp_after.instructionsExecuted - interp_before.instructionsExecuted;
-    _counters.fragmentTexInstructions +=
-        interp_after.textureInstructions - interp_before.textureInstructions;
-    _counters.textureRequests +=
-        sampler_after.requests - sampler_before.requests;
-    _counters.bilinearSamples +=
-        sampler_after.bilinearSamples - sampler_before.bilinearSamples;
+    SamplerStatsDelta::capture(_interp, _texUnit.sampler())
+        .since(before)
+        .chargeTo(_counters);
 
     // --- Alpha test (shader KIL, as in ATTILA) -----------------------
     for (int l = 0; l < 4; ++l) {
@@ -711,7 +773,7 @@ GpuSimulator::shadeAndResolveQuad(const raster::RasterQuad &quad,
 }
 
 void
-GpuSimulator::collectQuad(ShadeBatch &batch, const raster::RasterQuad &quad,
+GpuSimulator::collectQuad(ShadeBatch &batch, const raster::QuadRef &quad,
                           int tri, const QuadContextInfo &info)
 {
     ++_counters.rasterQuads;
@@ -721,7 +783,6 @@ GpuSimulator::collectQuad(ShadeBatch &batch, const raster::RasterQuad &quad,
         static_cast<std::uint64_t>(quad.coveredCount());
 
     PendingQuad p;
-    p.quad = quad;
     p.tri = tri;
 
     if (!info.earlyZ) {
@@ -731,7 +792,8 @@ GpuSimulator::collectQuad(ShadeBatch &batch, const raster::RasterQuad &quad,
         // shading is speculative (pure, so discarding is free).
         p.action = PendingQuad::Action::ShadeLate;
         p.live = quad.coverage;
-        batch.quads.push_back(p);
+        batch.quads.append(quad);
+        batch.meta.push_back(p);
         return;
     }
 
@@ -759,55 +821,44 @@ GpuSimulator::collectQuad(ShadeBatch &batch, const raster::RasterQuad &quad,
         // at this quad's position in the colour stream: stage it.
         p.action = PendingQuad::Action::MaskDrop;
         p.live = live;
-        batch.quads.push_back(p);
+        batch.quads.append(quad);
+        batch.meta.push_back(p);
         return;
     }
     p.action = PendingQuad::Action::Shade;
     p.live = live;
-    batch.quads.push_back(p);
+    batch.quads.append(quad);
+    batch.meta.push_back(p);
 }
 
 void
 GpuSimulator::shadeQuadWorker(ShadeWorker &worker, const ShadeBatch &batch,
                               PendingQuad &pending,
+                              const raster::QuadRef &quad,
                               const QuadContextInfo &info)
 {
     const api::DrawCall &call = *info.call;
     const raster::TriangleSetup &setup =
         batch.tris[static_cast<std::size_t>(pending.tri)].setup;
 
-    shader::QuadState qs;
-    for (int l = 0; l < 4; ++l) {
-        qs.covered[l] = (pending.live >> l) & 1;
-        std::uint32_t mask = info.fpInputMask;
-        while (mask) {
-            int slot = std::countr_zero(mask);
-            mask &= mask - 1;
-            if (slot < geom::kMaxVaryings) {
-                qs.lanes[l].inputs[slot] = setup.interpolateVarying(
-                    pending.quad.lambda[l], slot);
-            }
-        }
-    }
+    shader::QuadState &qs = worker.quad;
+    prepareQuadState(qs, call.fragmentProgram->decoded(), info.fpInputMask,
+                     setup, quad, pending.live);
 
-    auto interp_before = worker.interp.stats();
-    auto sampler_before = worker.sampler.stats();
+    auto before = SamplerStatsDelta::capture(worker.interp, worker.sampler);
     pending.blockBegin = static_cast<std::uint32_t>(worker.blocks.size());
     worker.interp.runQuad(*call.fragmentProgram, qs, &worker);
     pending.blockCount =
         static_cast<std::uint32_t>(worker.blocks.size()) -
         pending.blockBegin;
-    auto interp_after = worker.interp.stats();
-    auto sampler_after = worker.sampler.stats();
+    SamplerStatsDelta d =
+        SamplerStatsDelta::capture(worker.interp, worker.sampler)
+            .since(before);
 
-    pending.instructions = interp_after.instructionsExecuted -
-                           interp_before.instructionsExecuted;
-    pending.texInstructions = interp_after.textureInstructions -
-                              interp_before.textureInstructions;
-    pending.texRequests =
-        sampler_after.requests - sampler_before.requests;
-    pending.bilinears =
-        sampler_after.bilinearSamples - sampler_before.bilinearSamples;
+    pending.instructions = d.instructions;
+    pending.texInstructions = d.texInstructions;
+    pending.texRequests = d.requests;
+    pending.bilinears = d.bilinears;
 
     pending.killMask = 0;
     for (int l = 0; l < 4; ++l) {
@@ -821,10 +872,10 @@ void
 GpuSimulator::resolvePendingQuad(const ShadeWorker &worker,
                                  const ShadeBatch &batch,
                                  PendingQuad &pending,
+                                 const raster::QuadRef &quad,
                                  QuadContextInfo &info)
 {
     const api::DrawCall &call = *info.call;
-    const raster::RasterQuad &quad = pending.quad;
     info.backFace =
         batch.tris[static_cast<std::size_t>(pending.tri)].backFace;
 
@@ -888,10 +939,17 @@ GpuSimulator::resolvePendingQuad(const ShadeWorker &worker,
 }
 
 void
-GpuSimulator::flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info)
+GpuSimulator::flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info,
+                              bool parallel)
 {
-    if (batch.quads.empty())
+    if (batch.meta.empty()) {
+        batch.quads.clear();
         return;
+    }
+    if (!parallel) {
+        flushShadeBatchSerial(batch, info);
+        return;
+    }
     ThreadPool &pool = ThreadPool::global();
 
     // Phase 1 (parallel): run the pure shading work. Each worker slot
@@ -903,14 +961,14 @@ GpuSimulator::flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info)
         workers.shard(s).begin(info.call);
     {
         WC3D_PROF_SCOPE("fragment.shade");
-        parallelFor(pool, batch.quads.size(),
+        parallelFor(pool, batch.meta.size(),
                     [&](int slot, std::size_t i) {
-                        PendingQuad &p = batch.quads[i];
+                        PendingQuad &p = batch.meta[i];
                         if (p.action == PendingQuad::Action::MaskDrop)
                             return;
                         p.slot = static_cast<std::uint16_t>(slot);
                         shadeQuadWorker(workers.shard(slot), batch, p,
-                                        info);
+                                        batch.quads.ref(i), info);
                     });
     }
 
@@ -918,10 +976,102 @@ GpuSimulator::flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info)
     // pipeline state in exact submission order.
     {
         WC3D_PROF_SCOPE("fragment.resolve");
-        for (PendingQuad &p : batch.quads)
-            resolvePendingQuad(workers.shard(p.slot), batch, p, info);
+        for (std::size_t i = 0; i < batch.meta.size(); ++i) {
+            PendingQuad &p = batch.meta[i];
+            resolvePendingQuad(workers.shard(p.slot), batch, p,
+                               batch.quads.ref(i), info);
+        }
     }
     batch.quads.clear();
+    batch.meta.clear();
+}
+
+void
+GpuSimulator::flushShadeBatchSerial(ShadeBatch &batch, QuadContextInfo &info)
+{
+    // Single-thread bulk shading. Only early-z draws reach this path
+    // (serial late-z draws interleave strictly, see draw()), so every
+    // staged Shade quad has already survived HZ and z&stencil: its
+    // texture accesses definitely happen, in staging order, which keeps
+    // the texture-cache stream identical to per-quad execution. Colour
+    // writes (blend and MaskDrop) are replayed in staging order too.
+    const api::DrawCall &call = *info.call;
+    const shader::Program &fp = *call.fragmentProgram;
+    const shader::DecodedProgram &dec = fp.decoded();
+
+    if (_quadArena.size() < kSerialShadeChunk)
+        _quadArena.resize(kSerialShadeChunk);
+
+    std::size_t next = 0;    // next meta index to resolve
+    std::size_t filled = 0;  // arena states prepared but not yet shaded
+
+    // Shade the prepared arena states in one interpreter entry, then
+    // resolve every staged quad up to and including @p upto in order.
+    auto shadeAndResolveUpTo = [&](std::size_t upto) {
+        if (filled > 0) {
+            WC3D_PROF_SCOPE("fragment.shade");
+            auto before =
+                SamplerStatsDelta::capture(_interp, _texUnit.sampler());
+            _interp.runQuads(fp, _quadArena.data(), filled, &_texUnit);
+            SamplerStatsDelta::capture(_interp, _texUnit.sampler())
+                .since(before)
+                .chargeTo(_counters);
+        }
+        std::size_t k = 0; // arena cursor: k-th Shade quad in the chunk
+        for (; next <= upto; ++next) {
+            PendingQuad &p = batch.meta[next];
+            raster::QuadRef quad = batch.quads.ref(next);
+            if (p.action == PendingQuad::Action::MaskDrop) {
+                Vec4 dummy[4] = {};
+                _colorUnit.writeQuad(call.state.blend, quad.x, quad.y,
+                                     dummy, p.live);
+                ++_counters.quadsRemovedColorMask;
+                continue;
+            }
+            const shader::QuadState &qs = _quadArena[k++];
+            ++_counters.shadedQuads;
+            _counters.shadedFragments +=
+                static_cast<std::uint64_t>(std::popcount(p.live));
+            std::uint8_t live = p.live;
+            for (int l = 0; l < 4; ++l) {
+                if (qs.lanes[l].killed)
+                    live &= static_cast<std::uint8_t>(~(1u << l));
+            }
+            if (live == 0) {
+                ++_counters.quadsRemovedAlpha;
+                continue;
+            }
+            Vec4 colors[4];
+            for (int l = 0; l < 4; ++l)
+                colors[l] = qs.lanes[l].outputs[0];
+            bool updated = _colorUnit.writeQuad(call.state.blend, quad.x,
+                                                quad.y, colors, live);
+            if (updated) {
+                ++_counters.quadsBlended;
+                _counters.blendedFragments +=
+                    static_cast<std::uint64_t>(std::popcount(live));
+            } else {
+                ++_counters.quadsRemovedColorMask;
+            }
+        }
+        filled = 0;
+    };
+
+    for (std::size_t i = 0; i < batch.meta.size(); ++i) {
+        const PendingQuad &p = batch.meta[i];
+        if (p.action != PendingQuad::Action::Shade)
+            continue;
+        const raster::TriangleSetup &setup =
+            batch.tris[static_cast<std::size_t>(p.tri)].setup;
+        prepareQuadState(_quadArena[filled++], dec, info.fpInputMask,
+                         setup, batch.quads.ref(i), p.live);
+        if (filled == kSerialShadeChunk)
+            shadeAndResolveUpTo(i);
+    }
+    shadeAndResolveUpTo(batch.meta.size() - 1);
+
+    batch.quads.clear();
+    batch.meta.clear();
 }
 
 void

@@ -108,7 +108,7 @@ class GpuSimulator : public api::DrawSink
   private:
     struct QuadContextInfo;
     struct PendingTri;   ///< setup + facing kept alive for a shade batch
-    struct PendingQuad;  ///< one quad awaiting parallel shading/resolve
+    struct PendingQuad;  ///< one staged quad's action + worker outputs
     struct ShadeBatch;   ///< in-order quad/triangle staging area
     struct ShadeWorker;  ///< per-slot interpreter/sampler/recorder shard
 
@@ -118,32 +118,36 @@ class GpuSimulator : public api::DrawSink
     /** @name Stages shared by the serial and parallel paths */
     /// @{
     HzOutcome hzTestQuad(const QuadContextInfo &info,
-                         const raster::RasterQuad &quad);
+                         const raster::QuadRef &quad);
     bool zStencilQuad(const QuadContextInfo &info,
-                      const raster::RasterQuad &quad, std::uint8_t &mask,
+                      const raster::QuadRef &quad, std::uint8_t &mask,
                       bool hz_accepted);
     /// @}
 
     /** @name Serial (WC3D_THREADS=1) path */
     /// @{
     void shadeVerticesSerial(const api::DrawCall &call);
-    void shadeAndResolveQuad(const raster::RasterQuad &quad,
+    void shadeAndResolveQuad(const raster::QuadRef &quad,
                              const raster::TriangleSetup &setup,
                              const QuadContextInfo &info);
     /// @}
 
-    /** @name Parallel path (pure work sharded, state replayed in order) */
+    /** @name Batched fragment path (staged in order, shaded in bulk) */
     /// @{
     void shadeVerticesParallel(const api::DrawCall &call);
-    void collectQuad(ShadeBatch &batch, const raster::RasterQuad &quad,
+    void collectQuad(ShadeBatch &batch, const raster::QuadRef &quad,
                      int tri, const QuadContextInfo &info);
     static void shadeQuadWorker(ShadeWorker &worker, const ShadeBatch &batch,
                                 PendingQuad &pending,
+                                const raster::QuadRef &quad,
                                 const QuadContextInfo &info);
     void resolvePendingQuad(const ShadeWorker &worker,
                             const ShadeBatch &batch, PendingQuad &pending,
+                            const raster::QuadRef &quad,
                             QuadContextInfo &info);
-    void flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info);
+    void flushShadeBatch(ShadeBatch &batch, QuadContextInfo &info,
+                         bool parallel);
+    void flushShadeBatchSerial(ShadeBatch &batch, QuadContextInfo &info);
     /// @}
 
     void recordFrame();
@@ -171,7 +175,10 @@ class GpuSimulator : public api::DrawSink
     std::vector<geom::TransformedVertex> _stream;
     std::vector<geom::AssembledTriangle> _assembled;
     std::vector<std::array<geom::TransformedVertex, 3>> _clippedTris;
-    std::unique_ptr<ShadeBatch> _batch; ///< parallel-path staging, reused
+    std::unique_ptr<ShadeBatch> _batch; ///< fragment staging, reused
+    raster::QuadBatch _triQuads;        ///< per-triangle traversal arena
+    shader::QuadState _serialQuad;      ///< late-z per-quad shading state
+    std::vector<shader::QuadState> _quadArena; ///< serial bulk-shade states
 };
 
 } // namespace wc3d::gpu

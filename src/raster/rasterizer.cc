@@ -19,6 +19,12 @@ Rasterizer::Rasterizer(int width, int height)
     WC3D_ASSERT(width > 0 && height > 0);
 }
 
+void
+Rasterizer::rasterize(const TriangleSetup &tri, QuadBatch &out)
+{
+    rasterize(tri, [&out](const RasterQuad &q) { out.append(q); });
+}
+
 bool
 Rasterizer::tileOverlaps(const TriangleSetup &tri, int x, int y, int size)
 {

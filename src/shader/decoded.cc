@@ -1,0 +1,137 @@
+#include "shader/decoded.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+#include "shader/interp.hh"
+
+namespace wc3d::shader {
+
+namespace {
+
+DecodedSrc
+decodeSrc(const SrcOperand &src)
+{
+    DecodedSrc d;
+    d.file = static_cast<std::uint8_t>(src.file);
+    d.index = src.index;
+    for (int i = 0; i < 4; ++i)
+        d.comps[i] = swizzleComp(src.swizzle, i);
+    if (src.swizzle != kSwizzleXYZW)
+        d.flags |= kSrcSwizzled;
+    if (src.absolute)
+        d.flags |= kSrcAbsolute;
+    if (src.negate)
+        d.flags |= kSrcNegate;
+    return d;
+}
+
+/** Component bits (kMaskX..kMaskW) a decoded source reads of its
+ *  register, i.e. the set selected by its swizzle. */
+std::uint8_t
+srcComponentBits(const DecodedSrc &src)
+{
+    std::uint8_t bits = 0;
+    for (int i = 0; i < 4; ++i)
+        bits |= static_cast<std::uint8_t>(1u << src.comps[i]);
+    return bits;
+}
+
+} // namespace
+
+DecodedProgram::DecodedProgram(const Program &program)
+{
+    _ops.reserve(program.code().size());
+
+    // Per-register component-written masks for the clear plan.
+    std::uint8_t written_temp[kMaxTemps] = {};
+    std::uint8_t written_out[kMaxOutputs] = {};
+
+    for (const Instruction &in : program.code()) {
+        const OpcodeInfo &info = opcodeInfo(in.op);
+        DecodedOp op;
+        op.op = in.op;
+        op.sampler = in.sampler;
+        _hasTexture = _hasTexture || info.isTexture;
+
+        for (int s = 0; s < info.numSrcs; ++s) {
+            op.src[s] = decodeSrc(in.src[s]);
+            const DecodedSrc &src = op.src[s];
+            std::uint8_t reads = srcComponentBits(src);
+            switch (in.src[s].file) {
+              case RegFile::Input:
+                _inputReadMask |= 1u << src.index;
+                break;
+              case RegFile::Temp:
+                if (reads & static_cast<std::uint8_t>(
+                                ~written_temp[src.index]))
+                    _tempClearMask |= 1u << src.index;
+                break;
+              case RegFile::Output:
+                if (reads & static_cast<std::uint8_t>(
+                                ~written_out[src.index]))
+                    _outputClearMask |= 1u << src.index;
+                break;
+              case RegFile::Const:
+                break;
+            }
+        }
+
+        if (info.hasDst) {
+            if (in.dst.file != RegFile::Temp &&
+                in.dst.file != RegFile::Output) {
+                panic("shader: write to read-only register file");
+            }
+            op.dstFile = static_cast<std::uint8_t>(in.dst.file);
+            op.dstIndex = in.dst.index;
+            op.writeMask = in.dst.writeMask;
+            if (in.dst.saturate)
+                op.dstFlags |= kDstSaturate;
+            if (in.dst.writeMask != kMaskXYZW)
+                op.dstFlags |= kDstPartial;
+            if (in.dst.file == RegFile::Temp)
+                written_temp[in.dst.index] |= in.dst.writeMask;
+            else
+                written_out[in.dst.index] |= in.dst.writeMask;
+        }
+        _ops.push_back(op);
+    }
+
+    // Outputs are read externally (clip position, varyings, colour) in
+    // all four components: any output not fully written must start at
+    // zero for reuse to match a fresh LaneState.
+    for (int o = 0; o < kMaxOutputs; ++o) {
+        if (written_out[o] != kMaskXYZW)
+            _outputClearMask |= 1u << o;
+    }
+}
+
+void
+DecodedProgram::prepareLane(LaneState &lane) const
+{
+    for (std::uint32_t m = _tempClearMask; m;) {
+        int i = std::countr_zero(m);
+        m &= m - 1;
+        lane.temps[i] = Vec4();
+    }
+    for (std::uint32_t m = _outputClearMask; m;) {
+        int i = std::countr_zero(m);
+        m &= m - 1;
+        lane.outputs[i] = Vec4();
+    }
+    lane.killed = false;
+}
+
+const DecodedProgram &
+Program::decoded() const
+{
+    // Lazy, non-atomic cache: decoding happens on the thread that owns
+    // the program (the simulator pre-decodes at the top of each draw,
+    // before any worker is enqueued, which establishes the necessary
+    // happens-before for the read-only accesses that follow).
+    if (!_decoded)
+        _decoded = std::make_shared<const DecodedProgram>(*this);
+    return *_decoded;
+}
+
+} // namespace wc3d::shader

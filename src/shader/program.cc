@@ -66,6 +66,9 @@ Program &
 Program::emit(const Instruction &instr)
 {
     _code.push_back(instr);
+    if (opcodeInfo(instr.op).isTexture)
+        ++_texCount;
+    _decoded.reset(); // decoded form is stale; rebuilt on next use
     return *this;
 }
 
@@ -178,15 +181,6 @@ Program::kil(SrcOperand a)
     i.op = Opcode::KIL;
     i.src[0] = a;
     return emit(i);
-}
-
-int
-Program::textureInstructionCount() const
-{
-    int n = 0;
-    for (const auto &i : _code)
-        n += opcodeInfo(i.op).isTexture ? 1 : 0;
-    return n;
 }
 
 double

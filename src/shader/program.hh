@@ -8,6 +8,7 @@
 #ifndef WC3D_SHADER_PROGRAM_HH
 #define WC3D_SHADER_PROGRAM_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "shader/isa.hh"
 
 namespace wc3d::shader {
+
+class DecodedProgram;
 
 /** Kind of pipeline stage a program targets. */
 enum class ProgramKind
@@ -91,8 +94,9 @@ class Program
     /** Total static instruction count. */
     int instructionCount() const { return static_cast<int>(_code.size()); }
 
-    /** Static count of texture instructions (TEX/TXP/TXB). */
-    int textureInstructionCount() const;
+    /** Static count of texture instructions (TEX/TXP/TXB), maintained
+     *  by emit() so the per-draw statistics path is O(1). */
+    int textureInstructionCount() const { return _texCount; }
 
     /** Static count of non-texture instructions. */
     int aluInstructionCount() const
@@ -115,11 +119,22 @@ class Program
     /** Render the program as assembly text (re-parseable). */
     std::string disassemble() const;
 
+    /**
+     * The pre-decoded execution form (see shader/decoded.hh), built on
+     * first use and cached until the next emit(). Not synchronized:
+     * trigger the first decode on one thread before sharing (the GPU
+     * simulator pre-decodes bound programs at the top of each draw);
+     * afterwards concurrent readers are safe.
+     */
+    const DecodedProgram &decoded() const;
+
   private:
     ProgramKind _kind = ProgramKind::Vertex;
     std::string _name;
     std::vector<Instruction> _code;
     std::vector<Vec4> _constants = std::vector<Vec4>(kMaxConsts);
+    int _texCount = 0;
+    mutable std::shared_ptr<const DecodedProgram> _decoded;
 };
 
 /** Render one instruction as text ("MAD r0.xyz, v1, c2, -r3;"). */

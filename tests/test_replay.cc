@@ -33,10 +33,16 @@ constexpr int kHeight = 120;
 void
 expectAllReplayIdentical(int threads)
 {
+    // The trace file name carries the current test's name: ctest runs
+    // each test as its own process, and parallel runs would otherwise
+    // race on a shared file and corrupt each other's traces.
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string tag = info ? info->name() : "unknown";
     ThreadPool::setGlobalThreads(threads);
     for (const auto &id : workloads::allTimedemoIds()) {
-        std::string path = ::testing::TempDir() + "wc3d_replay_t" +
-                           std::to_string(threads) + ".trc";
+        std::string path = ::testing::TempDir() + "wc3d_replay_" + tag +
+                           "_t" + std::to_string(threads) + ".trc";
         ReplayReport r =
             replayAndDiff(id, kFrames, kWidth, kHeight, path);
         EXPECT_TRUE(r.ok())

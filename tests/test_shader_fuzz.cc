@@ -77,6 +77,49 @@ TEST_P(SynthFuzz, SynthesizedProgramsExecuteFinite)
     }
 }
 
+TEST_P(SynthFuzz, DecodedMatchesLegacyOnSynthPrograms)
+{
+    // Differential fuzz over the whole synthesizable program space:
+    // the pre-decoded quad path and the legacy reference must agree
+    // bit-for-bit on outputs, kill flags and statistics.
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    auto specs = planMaterialMix(16, 4.0 + 20.0 * rng.nextFloat(),
+                                 4.0 * rng.nextFloat(),
+                                 rng.nextFloat() * 0.5, rng);
+    Interpreter decoded, legacy;
+    HashTexture tex;
+    for (const auto &spec : specs) {
+        auto fp = assemble(synthFragmentProgram(spec));
+        ASSERT_TRUE(fp.ok) << fp.error;
+        QuadState hot, ref;
+        for (int l = 0; l < 4; ++l) {
+            hot.covered[l] = ref.covered[l] = (rng.nextFloat() < 0.8f);
+            hot.lanes[l].inputs[0] = {rng.nextRange(-4, 4),
+                                      rng.nextRange(-4, 4), 0, 1};
+            hot.lanes[l].inputs[1] = {rng.nextFloat(), rng.nextFloat(),
+                                      rng.nextFloat(), rng.nextFloat()};
+            ref.lanes[l].inputs[0] = hot.lanes[l].inputs[0];
+            ref.lanes[l].inputs[1] = hot.lanes[l].inputs[1];
+        }
+        decoded.runQuad(fp.program, hot, &tex);
+        legacy.runQuadLegacy(fp.program, ref, &tex);
+        for (int l = 0; l < 4; ++l) {
+            for (int k = 0; k < 4; ++k)
+                EXPECT_EQ(hot.lanes[l].outputs[0][k],
+                          ref.lanes[l].outputs[0][k])
+                    << fp.program.disassemble();
+            EXPECT_EQ(hot.lanes[l].killed, ref.lanes[l].killed)
+                << fp.program.disassemble();
+        }
+    }
+    EXPECT_EQ(decoded.stats().instructionsExecuted,
+              legacy.stats().instructionsExecuted);
+    EXPECT_EQ(decoded.stats().textureInstructions,
+              legacy.stats().textureInstructions);
+    EXPECT_EQ(decoded.stats().killsTaken, legacy.stats().killsTaken);
+    EXPECT_EQ(decoded.stats().programsRun, legacy.stats().programsRun);
+}
+
 TEST_P(SynthFuzz, VertexProgramsExecuteFinite)
 {
     Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
