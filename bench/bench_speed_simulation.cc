@@ -193,6 +193,13 @@ printSweep()
         entry.set("frames_per_sec",
                   json::Value::number(
                       seconds > 0.0 ? speedFrames() / seconds : 0.0));
+        // Hardware threads of the measuring host, recorded per entry so
+        // the parallel-speedup gate can tell a genuine scaling
+        // regression from a sweep taken on a small machine (where >1
+        // simulation threads merely time-slice one core).
+        entry.set("host_threads",
+                  json::Value::number(static_cast<int>(std::max(
+                      1u, std::thread::hardware_concurrency()))));
         sweep.push(std::move(entry));
     }
     json::Value speed = json::Value::object();

@@ -11,7 +11,16 @@
  *    2.0); the other profiles must not fall below 1.0 (the decoded
  *    path must never lose to the legacy reference).
  *
- * 2. Wall-time gates, applied only against a baseline document
+ * 2. The parallel-speedup gate: the thread sweep's 4-thread point must
+ *    be at least WC3D_GATE_MIN_PARALLEL_SPEEDUP (default 1.4) times
+ *    faster than its 1-thread point. Like the interpreter ratios this
+ *    compares two measurements from the same binary and host, so it is
+ *    machine-independent — but it is only meaningful when the sweep was
+ *    taken on a host with >= 4 hardware threads (each entry records
+ *    host_threads). On smaller hosts the gate is skipped with a logged
+ *    warning, never passed silently.
+ *
+ * 3. Wall-time gates, applied only against a baseline document
  *    (--baseline <path>) whose host fingerprint (cpu model + hardware
  *    threads) matches the current document's. Each hot-path timedemo
  *    and thread-sweep point must stay within WC3D_GATE_THRESHOLD
@@ -25,6 +34,7 @@
  * Exits 0 when every applied gate passes, 1 otherwise.
  */
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -133,6 +143,57 @@ gateInterpRatios(const json::Value &doc, double min_fragment)
 }
 
 void
+gateParallelSpeedup(const json::Value &doc, double min_speedup)
+{
+    const json::Value *speed = doc.find("speed_simulation");
+    const json::Value *sweep = speed ? speed->find("sweep") : nullptr;
+    if (!sweep || !sweep->isArray()) {
+        fail("speed_simulation.sweep missing (parallel-speedup gate)");
+        return;
+    }
+    double s1 = 0.0;
+    double s4 = 0.0;
+    int host_threads = 0;
+    for (const json::Value &entry : sweep->items()) {
+        int threads = static_cast<int>(numberAt(&entry, "threads"));
+        if (threads == 1)
+            s1 = numberAt(&entry, "seconds");
+        if (threads == 4)
+            s4 = numberAt(&entry, "seconds");
+        host_threads = std::max(
+            host_threads,
+            static_cast<int>(numberAt(&entry, "host_threads")));
+    }
+    if (host_threads <= 0) {
+        // Sweeps recorded before per-entry host_threads: fall back to
+        // the document-level host fingerprint.
+        host_threads =
+            static_cast<int>(numberAt(doc.find("host"), "threads"));
+    }
+    if (host_threads < 4) {
+        std::printf("  SKIP parallel speedup gate: sweep host has %d "
+                    "hardware thread(s), need >= 4 for a meaningful "
+                    "4-thread measurement\n",
+                    host_threads);
+        return;
+    }
+    if (s1 <= 0.0 || s4 <= 0.0) {
+        fail("parallel speedup: sweep lacks 1- or 4-thread point "
+             "(1t %.3fs, 4t %.3fs)",
+             s1, s4);
+        return;
+    }
+    double speedup = s1 / s4;
+    if (speedup >= min_speedup) {
+        pass("parallel speedup 4t vs 1t %.2fx (floor %.2fx)", speedup,
+             min_speedup);
+    } else {
+        fail("parallel speedup 4t vs 1t %.2fx below floor %.2fx",
+             speedup, min_speedup);
+    }
+}
+
+void
 gateSeconds(const char *what, const std::string &name, double current,
             double baseline, double threshold)
 {
@@ -228,11 +289,13 @@ main(int argc, char **argv)
         return 1;
 
     double min_fragment = envDouble("WC3D_GATE_MIN_SPEEDUP", 2.0);
+    double min_parallel = envDouble("WC3D_GATE_MIN_PARALLEL_SPEEDUP", 1.4);
     double threshold = envDouble("WC3D_GATE_THRESHOLD", 0.20);
 
     std::printf("bench_gate: %s (host %s)\n", current_path.c_str(),
                 hostSummary(doc).c_str());
     gateInterpRatios(doc, min_fragment);
+    gateParallelSpeedup(doc, min_parallel);
 
     if (!baseline_path.empty()) {
         json::Value base;

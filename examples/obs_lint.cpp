@@ -5,15 +5,23 @@
  * WC3D_METRICS_OUT. Used by CI after a traced simulation run.
  *
  *   obs_lint [--trace trace.json] [--metrics metrics.json]
+ *            [--expect-span NAME]...
+ *
+ * --expect-span asserts the trace contains at least one complete span
+ * with the given name (repeatable). CI uses it to prove the pipeline
+ * phases it cares about — e.g. the tile-parallel back-end's raster.bin
+ * / raster.tile / raster.merge — actually emitted spans, instead of
+ * silently validating a trace that no longer covers them.
  *
  * Exits 0 when every given file parses and passes structural
- * validation (spans nest, schema present, counters numeric); exits 1
- * with a diagnostic otherwise.
+ * validation (spans nest, schema present, counters numeric, expected
+ * spans present); exits 1 with a diagnostic otherwise.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/prof.hh"
@@ -23,8 +31,28 @@ using namespace wc3d;
 
 namespace {
 
+/** Count complete ("ph":"X") span events named @p name. */
+std::size_t
+countSpans(const json::Value &doc, const std::string &name)
+{
+    const json::Value *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return 0;
+    std::size_t n = 0;
+    for (const json::Value &event : events->items()) {
+        const json::Value *ph = event.find("ph");
+        const json::Value *ev_name = event.find("name");
+        if (ph && ev_name && ph->asString() == "X" &&
+            ev_name->asString() == name) {
+            ++n;
+        }
+    }
+    return n;
+}
+
 bool
-lintTrace(const std::string &path)
+lintTrace(const std::string &path,
+          const std::vector<std::string> &expect_spans)
 {
     json::Value doc;
     std::string error;
@@ -41,7 +69,20 @@ lintTrace(const std::string &path)
     }
     std::printf("%s: valid Chrome trace, %zu span events\n",
                 path.c_str(), events);
-    return true;
+    bool ok = true;
+    for (const std::string &name : expect_spans) {
+        std::size_t n = countSpans(doc, name);
+        if (n == 0) {
+            std::fprintf(stderr,
+                         "obs_lint: %s: expected span '%s' not found\n",
+                         path.c_str(), name.c_str());
+            ok = false;
+        } else {
+            std::printf("%s: span '%s' present (%zu events)\n",
+                        path.c_str(), name.c_str(), n);
+        }
+    }
+    return ok;
 }
 
 bool
@@ -75,16 +116,20 @@ main(int argc, char **argv)
 {
     std::string trace_path;
     std::string metrics_path;
+    std::vector<std::string> expect_spans;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics") == 0 &&
                    i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--expect-span") == 0 &&
+                   i + 1 < argc) {
+            expect_spans.push_back(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: obs_lint [--trace file] "
-                         "[--metrics file]\n");
+                         "[--metrics file] [--expect-span NAME]...\n");
             return 1;
         }
     }
@@ -94,9 +139,14 @@ main(int argc, char **argv)
                      "and/or --metrics)\n");
         return 1;
     }
+    if (trace_path.empty() && !expect_spans.empty()) {
+        std::fprintf(stderr,
+                     "obs_lint: --expect-span requires --trace\n");
+        return 1;
+    }
     bool ok = true;
     if (!trace_path.empty())
-        ok = lintTrace(trace_path) && ok;
+        ok = lintTrace(trace_path, expect_spans) && ok;
     if (!metrics_path.empty())
         ok = lintMetrics(metrics_path) && ok;
     return ok ? 0 : 1;

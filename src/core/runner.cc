@@ -41,7 +41,7 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 /** Bump when the simulator or workloads change behaviour. */
-constexpr int kCacheSchema = 4;
+constexpr int kCacheSchema = 5;
 
 /** Trailing marker proving a cache file was written out completely. */
 constexpr const char *kEndMarker = "#end";
@@ -114,8 +114,14 @@ std::string
 cachePath(const std::string &id, int frames, int width, int height)
 {
     std::string dir = envString("WC3D_CACHE_DIR", ".wc3d-cache");
-    return format("%s/%s_f%d_%dx%d_v%d.txt", dir.c_str(),
-                  sanitize(id).c_str(), frames, width, height,
+    // The legacy (WC3D_TILED=0) back-end orders framebuffer writebacks
+    // differently, so its traffic bytes may legitimately differ from
+    // the tiled default; keep the two result sets apart. Tile size and
+    // thread count do NOT key the cache: results are bit-identical
+    // across both by construction.
+    const char *backend = envInt("WC3D_TILED", 1) != 0 ? "" : "_legacy";
+    return format("%s/%s_f%d_%dx%d%s_v%d.txt", dir.c_str(),
+                  sanitize(id).c_str(), frames, width, height, backend,
                   kCacheSchema);
 }
 

@@ -48,6 +48,30 @@ enum class SurfaceKind
 };
 
 /**
+ * Deferral hook for surface-cache accesses. The cache model and the
+ * memory controller behind a CachedSurface are order-sensitive shared
+ * state, so tile-parallel workers must not touch them; a unit with a
+ * sink installed performs its word reads/writes directly (the pixels
+ * are tile-exclusive) but reports each would-be accessQuad /
+ * accessQuadNoFetch here instead. The submitting thread later replays
+ * the logged accesses into the real surface in reconstructed
+ * submission order (see DESIGN.md "Tile-parallel pipeline").
+ */
+class SurfaceAccessSink
+{
+  public:
+    virtual ~SurfaceAccessSink() = default;
+
+    /**
+     * One deferred quad access at (@p x, @p y).
+     * @param is_write  the access dirties the line
+     * @param no_fetch  write-install semantics (accessQuadNoFetch)
+     */
+    virtual void surfaceAccess(int x, int y, bool is_write,
+                               bool no_fetch) = 0;
+};
+
+/**
  * One cached surface of 32-bit words.
  *
  * For depth/stencil the word layout is depth[31:8] | stencil[7:0];

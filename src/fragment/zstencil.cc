@@ -123,7 +123,10 @@ ZStencilUnit::testQuadEx(const DepthStencilState &state, bool back_face,
     bool will_write =
         (state.depthTest && state.depthWrite) ||
         (state.stencilTest && DepthStencilState::faceWritesStencil(face));
-    _surface->accessQuad(x, y, will_write);
+    if (_sink)
+        _sink->surfaceAccess(x, y, will_write, /*no_fetch=*/false);
+    else
+        _surface->accessQuad(x, y, will_write);
 
     static const int offs[4][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
     std::uint8_t passed = 0;
@@ -218,8 +221,12 @@ ZStencilUnit::acceptQuad(const DepthStencilState &state, int x, int y,
 
     static const int offs[4][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
     bool writes = state.depthTest && state.depthWrite;
-    if (writes)
-        _surface->accessQuadNoFetch(x, y);
+    if (writes) {
+        if (_sink)
+            _sink->surfaceAccess(x, y, /*is_write=*/true, /*no_fetch=*/true);
+        else
+            _surface->accessQuadNoFetch(x, y);
+    }
 
     float max_stored = 0.0f;
     float min_stored = 1.0f;

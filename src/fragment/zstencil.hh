@@ -145,8 +145,28 @@ class ZStencilUnit
     const ZStencilStats &stats() const { return _stats; }
     void resetStats() { _stats = ZStencilStats(); }
 
+    /** Fold a worker-private unit's statistics into this one's. */
+    void
+    mergeStats(const ZStencilStats &s)
+    {
+        _stats.quadsIn += s.quadsIn;
+        _stats.quadsRemoved += s.quadsRemoved;
+        _stats.fragmentsIn += s.fragmentsIn;
+        _stats.fragmentsPassed += s.fragmentsPassed;
+        _stats.fullQuadsIn += s.fullQuadsIn;
+    }
+
+    /**
+     * Defer surface-cache accesses to @p sink (null restores direct
+     * access). Word reads/writes still hit the surface immediately —
+     * only the cache/traffic accounting is rerouted, for tile workers
+     * whose accesses are replayed in submission order afterwards.
+     */
+    void setAccessSink(SurfaceAccessSink *sink) { _sink = sink; }
+
   private:
     CachedSurface *_surface;
+    SurfaceAccessSink *_sink = nullptr;
     ZStencilStats _stats;
 };
 

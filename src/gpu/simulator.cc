@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "common/prof.hh"
 #include "common/threadpool.hh"
@@ -278,6 +279,187 @@ struct GpuSimulator::ShadeWorker final : shader::TextureSampleHandler,
     }
 };
 
+/**
+ * One binned post-geometry triangle, in draw order. seq (its index in
+ * _tiledTris) plus the traversal key of a quad totally orders the
+ * draw's quad stream; the inclusive tile range records which bins the
+ * triangle was appended to, so the merge can walk them back.
+ */
+struct GpuSimulator::TiledTri
+{
+    raster::TriangleSetup setup;
+    bool backFace = false;
+    std::uint16_t tx0 = 0;
+    std::uint16_t ty0 = 0;
+    std::uint16_t tx1 = 0;
+    std::uint16_t ty1 = 0;
+};
+
+/**
+ * Everything a tile worker produces that the submitting thread must
+ * consume: the deferred cache-access logs and the per-quad records that
+ * anchor them to positions in the global quad stream. Counters and
+ * statistics are NOT here — they are order-insensitive sums kept in the
+ * per-slot TileExec shards.
+ */
+struct GpuSimulator::TileOutput
+{
+    /** One deferred framebuffer-cache access. */
+    struct SurfEvent
+    {
+        std::int32_t x = 0;
+        std::int32_t y = 0;
+        std::uint8_t surface = 0; ///< 0 depth/stencil, 1 colour
+        std::uint8_t kind = 0;    ///< 0 read, 1 write, 2 no-fetch write
+    };
+
+    /** One deferred texture-cache block access. */
+    struct TexEvent
+    {
+        const tex::Texture2D *texture = nullptr;
+        std::int32_t level = 0;
+        std::int32_t bx = 0;
+        std::int32_t by = 0;
+        std::int32_t refs = 0;
+    };
+
+    /**
+     * One processed quad that logged at least one deferred access. Per
+     * (triangle, tile) the records are appended in traversal order, so
+     * their keys ascend — the merge phase k-way-merges the per-tile
+     * runs of one triangle by key to recover the full traversal order.
+     */
+    struct QuadRec
+    {
+        std::uint32_t key = 0; ///< raster::traversalKey(x, y)
+        std::uint32_t surfBegin = 0;
+        std::uint32_t surfCount = 0;
+        std::uint32_t texBegin = 0;
+        std::uint32_t texCount = 0;
+    };
+
+    /** Record range produced for one bin entry (one triangle). */
+    struct TileRun
+    {
+        std::uint32_t recBegin = 0;
+        std::uint32_t recCount = 0;
+    };
+
+    std::vector<std::uint32_t> bin; ///< triangle seqs, draw order
+    std::vector<TileRun> runs;      ///< parallel to bin (filled by worker)
+    std::vector<QuadRec> recs;
+    std::vector<SurfEvent> surf;
+    std::vector<TexEvent> tex;
+    std::uint32_t cursor = 0;       ///< merge-phase run cursor
+
+    bool empty() const { return bin.empty(); }
+
+    void
+    clearDraw()
+    {
+        bin.clear();
+        runs.clear();
+        recs.clear();
+        surf.clear();
+        tex.clear();
+        cursor = 0;
+    }
+};
+
+/**
+ * Per-worker-slot execution state for tile work items. Mirrors
+ * ShadeWorker (private interpreter + sampler + texture-block recording)
+ * and adds private z/colour units whose cache accesses are rerouted to
+ * the current tile's log, private stats shards for every statistic a
+ * tile touches, and a private rasterizer for the tile-clipped walk.
+ * The word reads/writes the units perform hit the shared surfaces
+ * directly — safe, because a tile's pixels belong to exactly one work
+ * item and a slot runs one work item at a time.
+ */
+struct GpuSimulator::TileExec final : shader::TextureSampleHandler,
+                                      tex::TexelAccessListener
+{
+    struct DepthSink final : frag::SurfaceAccessSink
+    {
+        TileExec *exec = nullptr;
+        void
+        surfaceAccess(int x, int y, bool is_write, bool no_fetch) override
+        {
+            exec->logSurf(0, x, y, is_write, no_fetch);
+        }
+    };
+
+    struct ColorSink final : frag::SurfaceAccessSink
+    {
+        TileExec *exec = nullptr;
+        void
+        surfaceAccess(int x, int y, bool is_write, bool no_fetch) override
+        {
+            exec->logSurf(1, x, y, is_write, no_fetch);
+        }
+    };
+
+    shader::Interpreter interp;
+    tex::Sampler sampler;
+    shader::QuadState quad;        ///< reusable shading state
+    raster::QuadBatch quads;       ///< per-(triangle, tile) arena
+    raster::Rasterizer raster;     ///< tile-clipped traversal + stats
+    frag::ZStencilUnit zUnit;
+    frag::ColorUnit colorUnit;
+    DepthSink depthSink;
+    ColorSink colorSink;
+    PipelineCounters counters;     ///< fragment-stage counter shard
+    raster::HzStats hzStats;
+    const api::DrawCall *call = nullptr;
+    TileOutput *out = nullptr;     ///< current work item's log
+
+    explicit TileExec(GpuSimulator &sim)
+        : raster(sim._config.width, sim._config.height),
+          zUnit(&sim._depth), colorUnit(&sim._color)
+    {
+        sampler.setListener(this);
+        depthSink.exec = this;
+        colorSink.exec = this;
+        zUnit.setAccessSink(&depthSink);
+        colorUnit.setAccessSink(&colorSink);
+    }
+
+    void
+    logSurf(std::uint8_t surface, int x, int y, bool is_write,
+            bool no_fetch)
+    {
+        out->surf.push_back(
+            {x, y, surface,
+             static_cast<std::uint8_t>(no_fetch ? 2 : (is_write ? 1 : 0))});
+    }
+
+    /** Mirror of TextureUnit::sampleQuad over the draw's bindings. */
+    void
+    sampleQuad(int unit, const Vec4 coords[4], float lod_bias,
+               Vec4 out_colors[4]) override
+    {
+        WC3D_ASSERT(unit >= 0 && unit < shader::kMaxSamplers);
+        const tex::Texture2D *texture =
+            call->textures[static_cast<std::size_t>(unit)];
+        if (!texture) {
+            for (int l = 0; l < 4; ++l)
+                out_colors[l] = {0.0f, 0.0f, 0.0f, 1.0f};
+            return;
+        }
+        sampler.sampleQuad(*texture,
+                           call->state.samplers[static_cast<std::size_t>(
+                               unit)],
+                           coords, lod_bias, out_colors);
+    }
+
+    void
+    blockAccess(const tex::Texture2D &texture, int level, int bx, int by,
+                int refs) override
+    {
+        out->tex.push_back({&texture, level, bx, by, refs});
+    }
+};
+
 GpuSimulator::GpuSimulator(const GpuConfig &config)
     : _config(config),
       _depth(frag::SurfaceKind::DepthStencil, memsys::Client::ZStencil,
@@ -286,6 +468,9 @@ GpuSimulator::GpuSimulator(const GpuConfig &config)
              config.height, config.colorCache, &_memory),
       _hz(config.width, config.height),
       _rasterizer(config.width, config.height),
+      _tileGrid(config.width, config.height,
+                raster::resolveTileSize(config.tileSize)),
+      _tiled(envInt("WC3D_TILED", 1) != 0),
       _vertexCache(config.vertexCacheEntries),
       _vertexCacheData(static_cast<std::size_t>(config.vertexCacheEntries)),
       _texUnit(config.textureCache, &_memory),
@@ -530,6 +715,12 @@ GpuSimulator::draw(const api::DrawCall &call)
 
     geom::Viewport vp_rect{0, 0, _config.width, _config.height};
 
+    if (_tiled) {
+        drawTiled(call, info);
+        return;
+    }
+
+    // Legacy (WC3D_TILED=0) per-draw shard-and-resolve back-end.
     // Serial late-z (KIL) draws are the one flow that cannot defer
     // shading: each quad's late z&stencil writes feed the HZ tests of
     // the quads after it, and an HZ-culled quad must never touch the
@@ -597,9 +788,364 @@ GpuSimulator::draw(const api::DrawCall &call)
         flushShadeBatch(*_batch, info, parallel);
 }
 
+void
+GpuSimulator::drawTiled(const api::DrawCall &call, QuadContextInfo &info)
+{
+    geom::Viewport vp_rect{0, 0, _config.width, _config.height};
+    if (_tileOut.size() < static_cast<std::size_t>(_tileGrid.tiles()))
+        _tileOut.resize(static_cast<std::size_t>(_tileGrid.tiles()));
+
+    // --- Binning: walk the post-geometry primitives once, in draw
+    // order, appending each set-up triangle to the bins of the screen
+    // tiles its scissored bounding box overlaps. ----------------------
+    {
+        WC3D_PROF_SCOPE("raster.bin");
+        _tiledTris.clear();
+        for (const geom::AssembledTriangle &tri : _assembled) {
+            geom::TransformedVertex verts[3] = {_stream[tri.v[0]],
+                                                _stream[tri.v[1]],
+                                                _stream[tri.v[2]]};
+            _clippedTris.clear();
+            geom::TriangleFate fate = _clipCull.process(
+                verts, call.state.cullMode, _clippedTris);
+            switch (fate) {
+              case geom::TriangleFate::Clipped:
+                ++_counters.trianglesClipped;
+                continue;
+              case geom::TriangleFate::Culled:
+                ++_counters.trianglesCulled;
+                continue;
+              case geom::TriangleFate::Traversed:
+                ++_counters.trianglesTraversed;
+                break;
+            }
+
+            for (const auto &clip_tri : _clippedTris) {
+                float area = geom::projectedSignedArea(
+                    clip_tri[0].clip, clip_tri[1].clip, clip_tri[2].clip);
+                geom::ScreenTriangle screen =
+                    geom::toScreenTriangle(clip_tri, vp_rect);
+                raster::TriangleSetup setup = raster::setupTriangle(
+                    screen, _config.width, _config.height);
+                if (!setup.valid)
+                    continue;
+                raster::TileGrid::BinRange range = _tileGrid.binRange(
+                    setup.minX, setup.minY, setup.maxX, setup.maxY);
+                TiledTri tt;
+                tt.setup = setup;
+                tt.backFace = area < 0.0f;
+                tt.tx0 = static_cast<std::uint16_t>(range.tx0);
+                tt.ty0 = static_cast<std::uint16_t>(range.ty0);
+                tt.tx1 = static_cast<std::uint16_t>(range.tx1);
+                tt.ty1 = static_cast<std::uint16_t>(range.ty1);
+                auto seq = static_cast<std::uint32_t>(_tiledTris.size());
+                _tiledTris.push_back(tt);
+                for (int ty = range.ty0; ty <= range.ty1; ++ty) {
+                    for (int tx = range.tx0; tx <= range.tx1; ++tx) {
+                        int t = _tileGrid.index(tx, ty);
+                        TileOutput &out =
+                            _tileOut[static_cast<std::size_t>(t)];
+                        if (out.empty()) {
+                            _activeTiles.push_back(
+                                static_cast<std::uint32_t>(t));
+                        }
+                        out.bin.push_back(seq);
+                    }
+                }
+            }
+        }
+        _rasterizer.noteTriangles(_tiledTris.size());
+    }
+
+    if (_activeTiles.empty()) {
+        _tiledTris.clear();
+        return;
+    }
+    // Work items are dispatched in ascending tile index: a fixed order
+    // that keeps the 1-thread pool (which runs tasks inline at submit)
+    // on one canonical schedule.
+    std::sort(_activeTiles.begin(), _activeTiles.end());
+
+    // --- Tile phase: per-tile work items run raster + HZ + z&stencil +
+    // shade + ROP end to end with zero cross-tile synchronization. ----
+    {
+        ThreadPool &pool = ThreadPool::global();
+        while (_tileExec.size() < static_cast<std::size_t>(pool.threads()))
+            _tileExec.push_back(std::make_unique<TileExec>(*this));
+        TaskGroup group(pool);
+        for (std::uint32_t t : _activeTiles) {
+            group.run([this, t, &info] {
+                WC3D_PROF_SCOPE("raster.tile");
+                auto slot = static_cast<std::size_t>(
+                    ThreadPool::currentSlot());
+                TileExec &exec = *_tileExec[slot];
+                TileOutput &out = _tileOut[t];
+                exec.call = info.call;
+                exec.out = &out;
+                processTile(exec, out, _tileGrid.rect(static_cast<int>(t)),
+                            info);
+                exec.out = nullptr;
+            });
+        }
+        group.wait();
+    }
+
+    // --- Merge: fold the stat shards and replay the deferred cache
+    // accesses into the shared models in submission order. ------------
+    {
+        WC3D_PROF_SCOPE("raster.merge");
+        mergeTileResults();
+    }
+}
+
+void
+GpuSimulator::processTile(TileExec &exec, TileOutput &out,
+                          const raster::TileRect &rect,
+                          const QuadContextInfo &base_info)
+{
+    out.runs.reserve(out.bin.size());
+    for (std::uint32_t seq : out.bin) {
+        const TiledTri &tt =
+            _tiledTris[static_cast<std::size_t>(seq)];
+        QuadContextInfo info = base_info;
+        info.backFace = tt.backFace;
+        TileOutput::TileRun run;
+        run.recBegin = static_cast<std::uint32_t>(out.recs.size());
+        exec.quads.clear();
+        exec.raster.rasterizeTile(tt.setup, rect.x0, rect.y0, rect.x1,
+                                  rect.y1, exec.quads);
+        for (std::size_t q = 0; q < exec.quads.size(); ++q)
+            processTileQuad(exec, out, info, tt.setup, exec.quads.ref(q));
+        run.recCount =
+            static_cast<std::uint32_t>(out.recs.size()) - run.recBegin;
+        out.runs.push_back(run);
+    }
+}
+
+void
+GpuSimulator::processTileQuad(TileExec &exec, TileOutput &out,
+                              const QuadContextInfo &info,
+                              const raster::TriangleSetup &setup,
+                              const raster::QuadRef &quad)
+{
+    const api::DrawCall &call = *info.call;
+    PipelineCounters &ctr = exec.counters;
+
+    ++ctr.rasterQuads;
+    if (quad.full())
+        ++ctr.rasterFullQuads;
+    ctr.rasterFragments += static_cast<std::uint64_t>(quad.coveredCount());
+
+    auto surf_begin = static_cast<std::uint32_t>(out.surf.size());
+    auto tex_begin = static_cast<std::uint32_t>(out.tex.size());
+    // Anchor whatever accesses this quad logged to its position in the
+    // global quad stream; quads that logged nothing need no record.
+    auto push_rec = [&] {
+        auto surf_count =
+            static_cast<std::uint32_t>(out.surf.size()) - surf_begin;
+        auto tex_count =
+            static_cast<std::uint32_t>(out.tex.size()) - tex_begin;
+        if (surf_count == 0 && tex_count == 0)
+            return;
+        out.recs.push_back({raster::traversalKey(quad.x, quad.y),
+                            surf_begin, surf_count, tex_begin, tex_count});
+    };
+
+    std::uint8_t live = quad.coverage;
+
+    // --- Hierarchical Z (the shared arrays are tile-exclusive) -------
+    bool hz_accepted = false;
+    switch (hzTestQuad(info, quad, &exec.hzStats)) {
+      case HzOutcome::Culled:
+        ++ctr.quadsRemovedHz;
+        return;
+      case HzOutcome::Accepted:
+        hz_accepted = true;
+        break;
+      case HzOutcome::Pass:
+        break;
+    }
+
+    bool z_applied = false;
+
+    // --- Early z & stencil -------------------------------------------
+    if (info.earlyZ) {
+        z_applied = true;
+        if (!zStencilQuad(info, quad, live, hz_accepted, exec.zUnit,
+                          ctr)) {
+            ++ctr.quadsRemovedZStencil;
+            push_rec();
+            return;
+        }
+    }
+
+    // --- Colour-mask shortcut ----------------------------------------
+    if (info.colorMaskOff && !info.usesKill) {
+        Vec4 dummy[4] = {};
+        exec.colorUnit.writeQuad(call.state.blend, quad.x, quad.y, dummy,
+                                 live);
+        ++ctr.quadsRemovedColorMask;
+        push_rec();
+        return;
+    }
+
+    // --- Fragment shading --------------------------------------------
+    ++ctr.shadedQuads;
+    ctr.shadedFragments += static_cast<std::uint64_t>(std::popcount(live));
+
+    shader::QuadState &qs = exec.quad;
+    prepareQuadState(qs, call.fragmentProgram->decoded(), info.fpInputMask,
+                     setup, quad, live);
+    auto before = SamplerStatsDelta::capture(exec.interp, exec.sampler);
+    exec.interp.runQuad(*call.fragmentProgram, qs, &exec);
+    SamplerStatsDelta::capture(exec.interp, exec.sampler)
+        .since(before)
+        .chargeTo(ctr);
+
+    // --- Alpha test (shader KIL) -------------------------------------
+    for (int l = 0; l < 4; ++l) {
+        if (qs.lanes[l].killed)
+            live &= static_cast<std::uint8_t>(~(1u << l));
+    }
+    if (live == 0) {
+        ++ctr.quadsRemovedAlpha;
+        push_rec();
+        return;
+    }
+
+    // --- Late z & stencil --------------------------------------------
+    if (!z_applied) {
+        if (!zStencilQuad(info, quad, live, false, exec.zUnit, ctr)) {
+            ++ctr.quadsRemovedZStencil;
+            push_rec();
+            return;
+        }
+    }
+
+    // --- Colour write / blend ----------------------------------------
+    Vec4 colors[4];
+    for (int l = 0; l < 4; ++l)
+        colors[l] = qs.lanes[l].outputs[0];
+    bool updated = exec.colorUnit.writeQuad(call.state.blend, quad.x,
+                                            quad.y, colors, live);
+    if (updated) {
+        ++ctr.quadsBlended;
+        ctr.blendedFragments +=
+            static_cast<std::uint64_t>(std::popcount(live));
+    } else {
+        ++ctr.quadsRemovedColorMask;
+    }
+    push_rec();
+}
+
+void
+GpuSimulator::mergeTileResults()
+{
+    // Statistic shards are order-insensitive sums; fold them in
+    // ascending slot order.
+    for (auto &exec_ptr : _tileExec) {
+        TileExec &exec = *exec_ptr;
+        _counters.add(exec.counters);
+        exec.counters = PipelineCounters{};
+        _hz.mergeStats(exec.hzStats);
+        exec.hzStats = raster::HzStats{};
+        _rasterizer.mergeStats(exec.raster.stats());
+        exec.raster.resetStats();
+        _zUnit.mergeStats(exec.zUnit.stats());
+        exec.zUnit.resetStats();
+        _colorUnit.mergeStats(exec.colorUnit.stats());
+        exec.colorUnit.resetStats();
+    }
+
+    // Replay the deferred cache accesses in reconstructed submission
+    // order: primitives in draw order; within one primitive, its
+    // per-tile record runs merged by traversal key (each run is already
+    // ascending). The shared models and the memory controller therefore
+    // see the exact sequential access stream, independent of thread
+    // count and tile size.
+    struct MergeCursor
+    {
+        std::uint32_t key;
+        std::uint32_t rec;
+        std::uint32_t end;
+        TileOutput *out;
+    };
+    auto later = [](const MergeCursor &a, const MergeCursor &b) {
+        return a.key > b.key; // min-heap on key
+    };
+    std::vector<MergeCursor> cursors;
+
+    for (std::size_t seq = 0; seq < _tiledTris.size(); ++seq) {
+        const TiledTri &tt = _tiledTris[seq];
+        cursors.clear();
+        for (int ty = tt.ty0; ty <= tt.ty1; ++ty) {
+            for (int tx = tt.tx0; tx <= tt.tx1; ++tx) {
+                TileOutput &out = _tileOut[static_cast<std::size_t>(
+                    _tileGrid.index(tx, ty))];
+                // Bins were appended in this same order, so the tile's
+                // next unconsumed run belongs to this primitive.
+                TileOutput::TileRun run =
+                    out.runs[static_cast<std::size_t>(out.cursor++)];
+                if (run.recCount == 0)
+                    continue;
+                cursors.push_back({out.recs[run.recBegin].key,
+                                   run.recBegin,
+                                   run.recBegin + run.recCount, &out});
+            }
+        }
+        if (cursors.empty())
+            continue;
+        if (cursors.size() == 1) {
+            // The common case: the primitive only produced records in
+            // one tile, already in traversal order.
+            const MergeCursor &c = cursors.front();
+            for (std::uint32_t r = c.rec; r < c.end; ++r)
+                replayQuadRec(*c.out, r);
+            continue;
+        }
+        std::make_heap(cursors.begin(), cursors.end(), later);
+        while (!cursors.empty()) {
+            std::pop_heap(cursors.begin(), cursors.end(), later);
+            MergeCursor c = cursors.back();
+            cursors.pop_back();
+            replayQuadRec(*c.out, c.rec);
+            if (++c.rec < c.end) {
+                c.key = c.out->recs[c.rec].key;
+                cursors.push_back(c);
+                std::push_heap(cursors.begin(), cursors.end(), later);
+            }
+        }
+    }
+
+    for (std::uint32_t t : _activeTiles)
+        _tileOut[t].clearDraw();
+    _activeTiles.clear();
+    _tiledTris.clear();
+}
+
+void
+GpuSimulator::replayQuadRec(const TileOutput &out, std::size_t rec)
+{
+    const TileOutput::QuadRec &r = out.recs[rec];
+    for (std::uint32_t i = 0; i < r.surfCount; ++i) {
+        const TileOutput::SurfEvent &e = out.surf[r.surfBegin + i];
+        frag::CachedSurface &surface = e.surface ? _color : _depth;
+        if (e.kind == 2)
+            surface.accessQuadNoFetch(e.x, e.y);
+        else
+            surface.accessQuad(e.x, e.y, e.kind == 1);
+    }
+    for (std::uint32_t i = 0; i < r.texCount; ++i) {
+        const TileOutput::TexEvent &e = out.tex[r.texBegin + i];
+        _texUnit.cache().blockAccess(*e.texture, e.level, e.bx, e.by,
+                                     e.refs);
+    }
+}
+
 GpuSimulator::HzOutcome
 GpuSimulator::hzTestQuad(const QuadContextInfo &info,
-                         const raster::QuadRef &quad)
+                         const raster::QuadRef &quad,
+                         raster::HzStats *hz_stats)
 {
     if (!info.hzOk)
         return HzOutcome::Pass;
@@ -621,7 +1167,11 @@ GpuSimulator::hzTestQuad(const QuadContextInfo &info,
         (ds.depthFunc == frag::CompareFunc::Less ||
          ds.depthFunc == frag::CompareFunc::LEqual);
     if (accept_ok) {
-        switch (_hz.testQuadRange(quad.x, quad.y, zmin, zmax)) {
+        raster::HzResult r =
+            hz_stats
+                ? _hz.testQuadRange(quad.x, quad.y, zmin, zmax, *hz_stats)
+                : _hz.testQuadRange(quad.x, quad.y, zmin, zmax);
+        switch (r) {
           case raster::HzResult::Culled:
             return HzOutcome::Culled;
           case raster::HzResult::Accepted:
@@ -630,7 +1180,10 @@ GpuSimulator::hzTestQuad(const QuadContextInfo &info,
             return HzOutcome::Pass;
         }
     }
-    if (!_hz.testQuad(quad.x, quad.y, zmin))
+    bool may_pass = hz_stats
+                        ? _hz.testQuad(quad.x, quad.y, zmin, *hz_stats)
+                        : _hz.testQuad(quad.x, quad.y, zmin);
+    if (!may_pass)
         return HzOutcome::Culled;
     return HzOutcome::Pass;
 }
@@ -638,15 +1191,17 @@ GpuSimulator::hzTestQuad(const QuadContextInfo &info,
 bool
 GpuSimulator::zStencilQuad(const QuadContextInfo &info,
                            const raster::QuadRef &quad,
-                           std::uint8_t &mask, bool hz_accepted)
+                           std::uint8_t &mask, bool hz_accepted,
+                           frag::ZStencilUnit &z_unit,
+                           PipelineCounters &counters)
 {
     const auto &ds = info.call->state.depthStencil;
     bool depth_writes = ds.depthTest && ds.depthWrite;
 
-    ++_counters.zStencilQuads;
+    ++counters.zStencilQuads;
     if (mask == 0xf)
-        ++_counters.zStencilFullQuads;
-    _counters.zStencilFragments +=
+        ++counters.zStencilFullQuads;
+    counters.zStencilFragments +=
         static_cast<std::uint64_t>(std::popcount(mask));
     if (!info.zsEnabled)
         return true; // bypass: fragments flow through untested
@@ -654,12 +1209,12 @@ GpuSimulator::zStencilQuad(const QuadContextInfo &info,
     float quad_z_max = 0.0f;
     bool any;
     if (hz_accepted) {
-        auto range = _zUnit.acceptQuad(ds, quad.x, quad.y, quad.z, mask);
+        auto range = z_unit.acceptQuad(ds, quad.x, quad.y, quad.z, mask);
         quad_z_min = range.first;
         quad_z_max = range.second;
         any = mask != 0;
     } else {
-        any = _zUnit.testQuadEx(ds, info.backFace, quad.x, quad.y,
+        any = z_unit.testQuadEx(ds, info.backFace, quad.x, quad.y,
                                 quad.z, mask, quad_z_min, quad_z_max);
     }
     if (depth_writes && _config.hzEnabled) {

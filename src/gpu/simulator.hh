@@ -16,15 +16,21 @@
  * so a functional model executing the real algorithms yields the same
  * statistics a cycle-accurate simulator would (see DESIGN.md).
  *
- * Threading: when the global ThreadPool (WC3D_THREADS) has more than
- * one thread, the pure parts of a draw — vertex shading and fragment
- * shading/sampling math — are sharded across workers while every
- * stateful structure (vertex cache, Hierarchical Z, z/colour surfaces
- * and their caches, the texture cache, the memory controller) is only
- * touched on the submitting thread in exact submission order; texture
- * cache accesses are recorded by workers and replayed sequentially.
- * Counters, cache statistics and traffic bytes are therefore
- * bit-identical to WC3D_THREADS=1 (see DESIGN.md "Threading model").
+ * Threading: the back half of the pipeline is tile-parallel. A binning
+ * pass appends each post-geometry triangle (in draw order) to the bins
+ * of the screen tiles its bounding box overlaps; per-tile work items on
+ * the global ThreadPool (WC3D_THREADS) then run rasterization, HZ,
+ * z & stencil, fragment shading and blending end to end, each worker
+ * owning its tile's framebuffer words, HZ entries and depth/blend state
+ * exclusively (tiles are multiples of the 16x16 traversal tile, so
+ * every lower structure nests inside exactly one screen tile). Accesses
+ * to the order-sensitive shared cache models (z, colour, texture) and
+ * the memory controller are logged per quad and replayed on the
+ * submitting thread in reconstructed submission order, making counters,
+ * cache statistics and traffic bytes bit-identical at every thread
+ * count and tile size (see DESIGN.md "Tile-parallel pipeline").
+ * WC3D_TILED=0 falls back to the former per-draw shard-and-resolve
+ * scheme. Vertex shading is sharded across workers as before.
  */
 
 #ifndef WC3D_GPU_SIMULATOR_HH
@@ -41,6 +47,7 @@
 #include "gpu/pipeline.hh"
 #include "raster/hz.hh"
 #include "raster/rasterizer.hh"
+#include "raster/tilegrid.hh"
 #include "shader/interp.hh"
 #include "stats/series.hh"
 
@@ -111,17 +118,43 @@ class GpuSimulator : public api::DrawSink
     struct PendingQuad;  ///< one staged quad's action + worker outputs
     struct ShadeBatch;   ///< in-order quad/triangle staging area
     struct ShadeWorker;  ///< per-slot interpreter/sampler/recorder shard
+    struct TiledTri;     ///< binned triangle (setup + facing + tile range)
+    struct TileOutput;   ///< per-tile quad stream + deferred access logs
+    struct TileExec;     ///< per-slot tile-worker execution state
 
     /** Outcome of the Hierarchical-Z stage for one quad. */
     enum class HzOutcome : std::uint8_t { Culled, Accepted, Pass };
 
-    /** @name Stages shared by the serial and parallel paths */
+    /** @name Stages shared by all fragment paths. Tile workers pass
+     *  their private stats shard / unit / counters; the defaults are
+     *  the submit-thread members. */
     /// @{
     HzOutcome hzTestQuad(const QuadContextInfo &info,
-                         const raster::QuadRef &quad);
+                         const raster::QuadRef &quad,
+                         raster::HzStats *hz_stats = nullptr);
     bool zStencilQuad(const QuadContextInfo &info,
                       const raster::QuadRef &quad, std::uint8_t &mask,
-                      bool hz_accepted);
+                      bool hz_accepted)
+    { return zStencilQuad(info, quad, mask, hz_accepted, _zUnit,
+                          _counters); }
+    bool zStencilQuad(const QuadContextInfo &info,
+                      const raster::QuadRef &quad, std::uint8_t &mask,
+                      bool hz_accepted, frag::ZStencilUnit &z_unit,
+                      PipelineCounters &counters);
+    /// @}
+
+    /** @name Tile-parallel back-end (the default raster/shade/ROP path) */
+    /// @{
+    void drawTiled(const api::DrawCall &call, QuadContextInfo &info);
+    void processTile(TileExec &exec, TileOutput &out,
+                     const raster::TileRect &rect,
+                     const QuadContextInfo &base_info);
+    void processTileQuad(TileExec &exec, TileOutput &out,
+                         const QuadContextInfo &info,
+                         const raster::TriangleSetup &setup,
+                         const raster::QuadRef &quad);
+    void mergeTileResults();
+    void replayQuadRec(const TileOutput &out, std::size_t rec);
     /// @}
 
     /** @name Serial (WC3D_THREADS=1) path */
@@ -158,6 +191,8 @@ class GpuSimulator : public api::DrawSink
     frag::CachedSurface _color;
     raster::HierarchicalZ _hz;
     raster::Rasterizer _rasterizer;
+    raster::TileGrid _tileGrid;
+    bool _tiled; ///< tile-parallel back-end on (WC3D_TILED, default 1)
     geom::ClipCull _clipCull;
     geom::VertexCache _vertexCache;
     std::vector<geom::TransformedVertex> _vertexCacheData;
@@ -179,6 +214,12 @@ class GpuSimulator : public api::DrawSink
     raster::QuadBatch _triQuads;        ///< per-triangle traversal arena
     shader::QuadState _serialQuad;      ///< late-z per-quad shading state
     std::vector<shader::QuadState> _quadArena; ///< serial bulk-shade states
+
+    // Tile-parallel per-draw state, reused across draws.
+    std::vector<TiledTri> _tiledTris;   ///< binned triangles, draw order
+    std::vector<TileOutput> _tileOut;   ///< one per screen tile (lazy)
+    std::vector<std::uint32_t> _activeTiles; ///< non-empty bins, ascending
+    std::vector<std::unique_ptr<TileExec>> _tileExec; ///< per worker slot
 };
 
 } // namespace wc3d::gpu

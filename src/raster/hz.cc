@@ -14,7 +14,7 @@ HierarchicalZ::HierarchicalZ(int width, int height)
       _quadsX((width + 1) / 2), _quadsY((height + 1) / 2),
       _tileMax(static_cast<std::size_t>(_tilesX) * _tilesY, 1.0f),
       _tileMin(static_cast<std::size_t>(_tilesX) * _tilesY, 1.0f),
-      _tileDirty(static_cast<std::size_t>(_tilesX) * _tilesY, false),
+      _tileDirty(static_cast<std::size_t>(_tilesX) * _tilesY, 0),
       _quadMax(static_cast<std::size_t>(_quadsX) * _quadsY, 1.0f),
       _quadMin(static_cast<std::size_t>(_quadsX) * _quadsY, 1.0f)
 {
@@ -27,7 +27,7 @@ HierarchicalZ::clear(float depth)
     WC3D_PROF_SCOPE("hz.clear");
     std::fill(_tileMax.begin(), _tileMax.end(), depth);
     std::fill(_tileMin.begin(), _tileMin.end(), depth);
-    std::fill(_tileDirty.begin(), _tileDirty.end(), false);
+    std::fill(_tileDirty.begin(), _tileDirty.end(), 0);
     std::fill(_quadMax.begin(), _quadMax.end(), depth);
     std::fill(_quadMin.begin(), _quadMin.end(), depth);
 }
@@ -68,7 +68,7 @@ HierarchicalZ::refreshTile(int tile, int tx, int ty)
     }
     _tileMax[static_cast<std::size_t>(tile)] = tile_max;
     _tileMin[static_cast<std::size_t>(tile)] = tile_min;
-    _tileDirty[static_cast<std::size_t>(tile)] = false;
+    _tileDirty[static_cast<std::size_t>(tile)] = 0;
 }
 
 float
@@ -81,11 +81,11 @@ HierarchicalZ::tileMax(int x, int y)
 }
 
 bool
-HierarchicalZ::testQuad(int x, int y, float quad_z_min)
+HierarchicalZ::testQuad(int x, int y, float quad_z_min, HzStats &stats)
 {
-    ++_stats.quadsTested;
+    ++stats.quadsTested;
     if (quad_z_min > tileMax(x, y)) {
-        ++_stats.quadsCulled;
+        ++stats.quadsCulled;
         return false;
     }
     return true;
@@ -102,15 +102,15 @@ HierarchicalZ::tileMin(int x, int y)
 
 HzResult
 HierarchicalZ::testQuadRange(int x, int y, float quad_z_min,
-                             float quad_z_max)
+                             float quad_z_max, HzStats &stats)
 {
-    ++_stats.quadsTested;
+    ++stats.quadsTested;
     if (quad_z_min > tileMax(x, y)) {
-        ++_stats.quadsCulled;
+        ++stats.quadsCulled;
         return HzResult::Culled;
     }
     if (quad_z_max < tileMin(x, y)) {
-        ++_stats.quadsAccepted;
+        ++stats.quadsAccepted;
         return HzResult::Accepted;
     }
     return HzResult::Ambiguous;
@@ -122,7 +122,7 @@ HierarchicalZ::updateQuad(int x, int y, float quad_z_max)
     std::size_t qi = static_cast<std::size_t>(quadIndex(x, y));
     if (_quadMax[qi] != quad_z_max) {
         _quadMax[qi] = quad_z_max;
-        _tileDirty[static_cast<std::size_t>(tileIndex(x, y))] = true;
+        _tileDirty[static_cast<std::size_t>(tileIndex(x, y))] = 1;
     }
 }
 
@@ -134,7 +134,7 @@ HierarchicalZ::updateQuadRange(int x, int y, float quad_z_min,
     if (_quadMax[qi] != quad_z_max || _quadMin[qi] != quad_z_min) {
         _quadMax[qi] = quad_z_max;
         _quadMin[qi] = std::min(_quadMin[qi], quad_z_min);
-        _tileDirty[static_cast<std::size_t>(tileIndex(x, y))] = true;
+        _tileDirty[static_cast<std::size_t>(tileIndex(x, y))] = 1;
     }
 }
 

@@ -69,7 +69,16 @@ class HierarchicalZ
      * @return true when the quad may be visible (must continue);
      *         false when it is guaranteed occluded (stats updated).
      */
-    bool testQuad(int x, int y, float quad_z_min);
+    bool testQuad(int x, int y, float quad_z_min)
+    { return testQuad(x, y, quad_z_min, _stats); }
+
+    /**
+     * As above, charging @p stats instead of the member statistics.
+     * Tile-parallel workers pass a private HzStats (merged after the
+     * join): the depth arrays they touch are exclusively theirs by
+     * screen-tile ownership, but the counters are not.
+     */
+    bool testQuad(int x, int y, float quad_z_min, HzStats &stats);
 
     /**
      * Min/max test (the paper's "HZ storing maximum and minimum
@@ -78,7 +87,12 @@ class HierarchicalZ
      * read entirely.
      */
     HzResult testQuadRange(int x, int y, float quad_z_min,
-                           float quad_z_max);
+                           float quad_z_max)
+    { return testQuadRange(x, y, quad_z_min, quad_z_max, _stats); }
+
+    /** Stats-parameterised variant (see testQuad overload). */
+    HzResult testQuadRange(int x, int y, float quad_z_min,
+                           float quad_z_max, HzStats &stats);
 
     /**
      * Depth-write feedback from the z-stencil stage: the quad at
@@ -99,6 +113,15 @@ class HierarchicalZ
     const HzStats &stats() const { return _stats; }
     void resetStats() { _stats = HzStats(); }
 
+    /** Fold a worker-private stats shard into the member statistics. */
+    void
+    mergeStats(const HzStats &s)
+    {
+        _stats.quadsTested += s.quadsTested;
+        _stats.quadsCulled += s.quadsCulled;
+        _stats.quadsAccepted += s.quadsAccepted;
+    }
+
     /** On-die storage footprint in bytes (for reporting). */
     std::uint64_t storageBytes() const;
 
@@ -115,7 +138,10 @@ class HierarchicalZ
     int _quadsY;
     std::vector<float> _tileMax;   ///< per 8x8 tile
     std::vector<float> _tileMin;
-    std::vector<bool> _tileDirty;
+    /// One byte per tile, not vector<bool>: tile-parallel workers set
+    /// flags for the (disjoint) tiles they own, which bit-packing would
+    /// turn into a data race on the shared words.
+    std::vector<std::uint8_t> _tileDirty;
     std::vector<float> _quadMax;   ///< per 2x2 quad (feedback store)
     std::vector<float> _quadMin;
     HzStats _stats;

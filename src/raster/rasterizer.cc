@@ -25,6 +25,14 @@ Rasterizer::rasterize(const TriangleSetup &tri, QuadBatch &out)
     rasterize(tri, [&out](const RasterQuad &q) { out.append(q); });
 }
 
+void
+Rasterizer::rasterizeTile(const TriangleSetup &tri, int x0, int y0,
+                          int x1, int y1, QuadBatch &out)
+{
+    rasterizeTile(tri, x0, y0, x1, y1,
+                  [&out](const RasterQuad &q) { out.append(q); });
+}
+
 bool
 Rasterizer::tileOverlaps(const TriangleSetup &tri, int x, int y, int size)
 {

@@ -57,6 +57,18 @@ struct RasterStats
     {
         return quads ? static_cast<double>(fullQuads) / quads : 0.0;
     }
+
+    RasterStats &
+    operator+=(const RasterStats &o)
+    {
+        triangles += o.triangles;
+        upperTiles += o.upperTiles;
+        lowerTiles += o.lowerTiles;
+        quads += o.quads;
+        fullQuads += o.fullQuads;
+        fragments += o.fragments;
+        return *this;
+    }
 };
 
 /**
@@ -191,8 +203,51 @@ class Rasterizer
      */
     void rasterize(const TriangleSetup &tri, QuadBatch &out);
 
+    /**
+     * Traverse the part of one set-up triangle inside the screen tile
+     * [@p x0, @p x1) x [@p y0, @p y1). The tile bounds must be multiples
+     * of kUpperTile, so the 16x16 traversal tiles of the full rasterize()
+     * walk partition exactly across screen tiles: running rasterizeTile
+     * over a disjoint tile cover visits every upper/lower tile and emits
+     * every quad of the full walk exactly once, and summing the
+     * per-tile statistics reproduces rasterize()'s counts — except
+     * `triangles`, which tile traversal never bumps (a triangle spans
+     * many tiles; the binning pass counts it once via noteTriangles()).
+     */
+    template <typename Fn>
+    void
+    rasterizeTile(const TriangleSetup &tri, int x0, int y0, int x1,
+                  int y1, Fn &&emit)
+    {
+        if (!tri.valid)
+            return;
+        // max() of two kUpperTile multiples keeps the walk aligned.
+        int tile_min_x = std::max((tri.minX / kUpperTile) * kUpperTile, x0);
+        int tile_min_y = std::max((tri.minY / kUpperTile) * kUpperTile, y0);
+        int max_x = std::min(tri.maxX, x1 - 1);
+        int max_y = std::min(tri.maxY, y1 - 1);
+        for (int ty = tile_min_y; ty <= max_y; ty += kUpperTile) {
+            for (int tx = tile_min_x; tx <= max_x; tx += kUpperTile) {
+                if (!tileOverlaps(tri, tx, ty, kUpperTile))
+                    continue;
+                ++_stats.upperTiles;
+                traverseLower(tri, tx, ty, emit);
+            }
+        }
+    }
+
+    /** Batch-appending variant of the tile-clipped traversal. */
+    void rasterizeTile(const TriangleSetup &tri, int x0, int y0, int x1,
+                       int y1, QuadBatch &out);
+
     const RasterStats &stats() const { return _stats; }
     void resetStats() { _stats = RasterStats(); }
+
+    /** Fold a tile worker's traversal statistics into this one's. */
+    void mergeStats(const RasterStats &s) { _stats += s; }
+
+    /** Count triangles binned for tile traversal (see rasterizeTile). */
+    void noteTriangles(std::uint64_t n) { _stats.triangles += n; }
 
     int width() const { return _width; }
     int height() const { return _height; }

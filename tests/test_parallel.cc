@@ -7,7 +7,9 @@
  */
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -108,7 +110,7 @@ simulateAt(int threads)
 
 void
 expectCacheEqual(const memsys::CacheStats &a, const memsys::CacheStats &b,
-                 const char *which)
+                 const std::string &which)
 {
     EXPECT_EQ(a.accesses, b.accesses) << which;
     EXPECT_EQ(a.hits, b.hits) << which;
@@ -116,15 +118,19 @@ expectCacheEqual(const memsys::CacheStats &a, const memsys::CacheStats &b,
     EXPECT_EQ(a.writebacks, b.writebacks) << which;
 }
 
-} // namespace
-
-TEST(Determinism, ParallelRunIsBitIdenticalToSequential)
+/**
+ * Assert two runs of the same workload are bit-identical: every
+ * counter, every cache model, and (when @p compare_traffic) every
+ * per-client traffic byte and per-frame series sample.
+ */
+void
+expectRunsBitIdentical(const MicroRun &run, const MicroRun &ref,
+                       const std::string &label,
+                       bool compare_traffic = true)
 {
-    MicroRun serial = simulateAt(1);
-    MicroRun parallel = simulateAt(4);
-
-    const gpu::PipelineCounters &a = parallel.counters;
-    const gpu::PipelineCounters &b = serial.counters;
+    SCOPED_TRACE(label);
+    const gpu::PipelineCounters &a = run.counters;
+    const gpu::PipelineCounters &b = ref.counters;
     EXPECT_EQ(a.indices, b.indices);
     EXPECT_EQ(a.vertexCacheHits, b.vertexCacheHits);
     EXPECT_EQ(a.vertexCacheMisses, b.vertexCacheMisses);
@@ -152,6 +158,15 @@ TEST(Determinism, ParallelRunIsBitIdenticalToSequential)
     EXPECT_EQ(a.textureRequests, b.textureRequests);
     EXPECT_EQ(a.bilinearSamples, b.bilinearSamples);
 
+    // All four cache models saw the identical access stream.
+    expectCacheEqual(run.zCache, ref.zCache, "z cache");
+    expectCacheEqual(run.colorCache, ref.colorCache, "color cache");
+    expectCacheEqual(run.texL0, ref.texL0, "tex L0");
+    expectCacheEqual(run.texL1, ref.texL1, "tex L1");
+
+    if (!compare_traffic)
+        return;
+
     // Per-client memory traffic, byte for byte.
     for (int i = 0; i < memsys::kNumClients; ++i) {
         EXPECT_EQ(a.traffic.readBytes[i], b.traffic.readBytes[i])
@@ -160,22 +175,73 @@ TEST(Determinism, ParallelRunIsBitIdenticalToSequential)
             << "write client " << i;
     }
 
-    // All four cache models saw the identical access stream.
-    expectCacheEqual(parallel.zCache, serial.zCache, "z cache");
-    expectCacheEqual(parallel.colorCache, serial.colorCache,
-                     "color cache");
-    expectCacheEqual(parallel.texL0, serial.texL0, "tex L0");
-    expectCacheEqual(parallel.texL1, serial.texL1, "tex L1");
-
     // Per-frame series line up too (same values, frame by frame).
-    ASSERT_EQ(parallel.series.frames(), serial.series.frames());
-    for (const auto &name : serial.series.names()) {
-        const auto &sa = parallel.series.series(name);
-        const auto &sb = serial.series.series(name);
+    ASSERT_EQ(run.series.frames(), ref.series.frames());
+    for (const auto &name : ref.series.names()) {
+        const auto &sa = run.series.series(name);
+        const auto &sb = ref.series.series(name);
         ASSERT_EQ(sa.size(), sb.size()) << name;
         for (std::size_t i = 0; i < sb.size(); ++i)
             EXPECT_EQ(sa[i], sb[i]) << name << " frame " << i;
     }
+}
+
+} // namespace
+
+TEST(Determinism, ParallelRunIsBitIdenticalToSequential)
+{
+    MicroRun serial = simulateAt(1);
+    MicroRun parallel = simulateAt(4);
+    expectRunsBitIdentical(parallel, serial, "4 threads vs 1 thread");
+}
+
+TEST(Determinism, TiledBitIdenticalAcrossThreadsAndTileSizes)
+{
+    // The tile-parallel back-end's headline contract: statistics are
+    // bit-identical at every thread count AND every tile size. The
+    // reference is the default configuration (1 thread, 32-px tiles).
+    MicroRun ref = simulateAt(1);
+
+    struct Config
+    {
+        int threads;
+        int tile;
+    };
+    const Config configs[] = {{2, 32}, {4, 32}, {8, 32}, {1, 16},
+                              {4, 16}, {4, 64}};
+    for (const Config &c : configs) {
+        setenv("WC3D_TILE_SIZE", std::to_string(c.tile).c_str(), 1);
+        MicroRun run = simulateAt(c.threads);
+        unsetenv("WC3D_TILE_SIZE");
+        expectRunsBitIdentical(run, ref,
+                               "threads=" + std::to_string(c.threads) +
+                                   " tile=" + std::to_string(c.tile));
+    }
+}
+
+TEST(Determinism, TiledMatchesLegacyBackEndEventCounts)
+{
+    // The legacy shard-and-resolve back-end must agree with the tiled
+    // one on every event count and cache hit/miss stream. Traffic
+    // BYTES are excluded: the tiled path analyses writeback
+    // compressibility at end-of-draw word state, the legacy path
+    // mid-draw, so block encodings (not event counts) can differ.
+    MicroRun tiled = simulateAt(1);
+    setenv("WC3D_TILED", "0", 1);
+    MicroRun legacy = simulateAt(1);
+    unsetenv("WC3D_TILED");
+    expectRunsBitIdentical(tiled, legacy, "tiled vs legacy back-end",
+                           /*compare_traffic=*/false);
+}
+
+TEST(Determinism, LegacyRunIsBitIdenticalToSequential)
+{
+    setenv("WC3D_TILED", "0", 1);
+    MicroRun serial = simulateAt(1);
+    MicroRun parallel = simulateAt(4);
+    unsetenv("WC3D_TILED");
+    expectRunsBitIdentical(parallel, serial,
+                           "legacy 4 threads vs 1 thread");
 }
 
 TEST(Determinism, FanOutMatchesSerialLoop)

@@ -5,14 +5,19 @@
  * statistics.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
 #include "raster/rasterizer.hh"
+#include "raster/tilegrid.hh"
 
 using namespace wc3d;
 using namespace wc3d::geom;
@@ -410,4 +415,184 @@ TEST(RasterProperty, RectangleDecompositionExact)
         EXPECT_EQ(c1.size() + c2.size(),
                   static_cast<std::size_t>(w) * h);
     }
+}
+
+// ---------------------------------------------------------------------
+// Screen-space tile partition (the tile-parallel back-end's foundation)
+// ---------------------------------------------------------------------
+
+TEST(TileGrid, ResolveTileSizeClampsAndRounds)
+{
+    unsetenv("WC3D_TILE_SIZE");
+    EXPECT_EQ(resolveTileSize(32), 32);
+    EXPECT_EQ(resolveTileSize(48), 48);
+    EXPECT_EQ(resolveTileSize(20), 32);  // rounds up to a 16 multiple
+    EXPECT_EQ(resolveTileSize(8), 16);   // clamps to the upper tile
+    EXPECT_EQ(resolveTileSize(0), 32);   // env default
+    setenv("WC3D_TILE_SIZE", "64", 1);
+    EXPECT_EQ(resolveTileSize(0), 64);
+    setenv("WC3D_TILE_SIZE", "24", 1);
+    EXPECT_EQ(resolveTileSize(0), 32);
+    unsetenv("WC3D_TILE_SIZE");
+}
+
+TEST(TileGrid, BinRangeAndRectsCoverScreen)
+{
+    TileGrid grid(1024, 768, 32);
+    EXPECT_EQ(grid.tilesX(), 32);
+    EXPECT_EQ(grid.tilesY(), 24);
+    auto r = grid.binRange(0, 0, 31, 31);
+    EXPECT_EQ(r.tx0, 0);
+    EXPECT_EQ(r.ty0, 0);
+    EXPECT_EQ(r.tx1, 0);
+    EXPECT_EQ(r.ty1, 0);
+    r = grid.binRange(31, 31, 32, 32);
+    EXPECT_EQ(r.tx1, 1);
+    EXPECT_EQ(r.ty1, 1);
+    // Tile rects are disjoint and their union covers the screen.
+    TileRect first = grid.rect(0);
+    EXPECT_EQ(first.x0, 0);
+    EXPECT_EQ(first.x1, 32);
+    TileRect last = grid.rect(grid.tiles() - 1);
+    EXPECT_EQ(last.x1, 1024);
+    EXPECT_EQ(last.y1, 768);
+}
+
+namespace {
+
+struct EmittedQuad
+{
+    int x;
+    int y;
+    std::uint8_t coverage;
+
+    bool
+    operator<(const EmittedQuad &o) const
+    {
+        return std::tie(y, x, coverage) < std::tie(o.y, o.x, o.coverage);
+    }
+    bool
+    operator==(const EmittedQuad &o) const
+    {
+        return x == o.x && y == o.y && coverage == o.coverage;
+    }
+};
+
+/**
+ * Check the partition property for one triangle: running rasterizeTile
+ * over every tile of @p grid emits exactly the quads of the full
+ * rasterize() walk (each exactly once, inside its owning tile, with
+ * per-tile traversal keys ascending), and the summed per-tile
+ * statistics match the full walk's (minus `triangles`).
+ */
+void
+expectTilePartitionMatchesFull(const ScreenTriangle &t, int w, int h,
+                               int tile_size)
+{
+    SCOPED_TRACE("tile_size=" + std::to_string(tile_size));
+    TriangleSetup setup = setupTriangle(t, w, h);
+    ASSERT_TRUE(setup.valid);
+
+    Rasterizer full(w, h);
+    std::vector<EmittedQuad> full_quads;
+    full.rasterize(setup, [&](const RasterQuad &q) {
+        full_quads.push_back({q.x, q.y, q.coverage});
+    });
+
+    TileGrid grid(w, h, tile_size);
+    Rasterizer tiled(w, h);
+    std::vector<EmittedQuad> tile_quads;
+    for (int tile = 0; tile < grid.tiles(); ++tile) {
+        TileRect rect = grid.rect(tile);
+        std::uint32_t prev_key = 0;
+        bool first = true;
+        tiled.rasterizeTile(
+            setup, rect.x0, rect.y0, rect.x1, rect.y1,
+            [&](const RasterQuad &q) {
+                // Exclusive ownership: the quad nests in this tile.
+                EXPECT_GE(q.x, rect.x0);
+                EXPECT_LT(q.x, rect.x1);
+                EXPECT_GE(q.y, rect.y0);
+                EXPECT_LT(q.y, rect.y1);
+                // Per-tile emission order follows the traversal key.
+                std::uint32_t key = traversalKey(q.x, q.y);
+                if (!first)
+                    EXPECT_GT(key, prev_key);
+                prev_key = key;
+                first = false;
+                tile_quads.push_back({q.x, q.y, q.coverage});
+            });
+    }
+
+    // Same quads, each exactly once.
+    std::vector<EmittedQuad> a = full_quads;
+    std::vector<EmittedQuad> b = tile_quads;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+
+    // Same traversal work (the partition visits no tile twice).
+    const RasterStats &fs = full.stats();
+    const RasterStats &ts = tiled.stats();
+    EXPECT_EQ(ts.upperTiles, fs.upperTiles);
+    EXPECT_EQ(ts.lowerTiles, fs.lowerTiles);
+    EXPECT_EQ(ts.quads, fs.quads);
+    EXPECT_EQ(ts.fullQuads, fs.fullQuads);
+    EXPECT_EQ(ts.fragments, fs.fragments);
+    EXPECT_EQ(ts.triangles, 0u) << "tile traversal must not count tris";
+}
+
+} // namespace
+
+TEST(TileRaster, PartitionMatchesFullTraversal)
+{
+    const int w = 256, h = 192;
+    struct Case
+    {
+        const char *name;
+        ScreenTriangle tri;
+    };
+    const Case cases[] = {
+        // Axis-aligned triangle whose edges lie exactly on tile bounds.
+        {"tile-aligned", tri(sv(0, 0), sv(128, 0), sv(0, 128))},
+        // Right angle exactly at an interior tile corner.
+        {"corner-at-boundary", tri(sv(32, 32), sv(96, 32), sv(32, 96))},
+        // Long thin sliver spanning many tiles horizontally.
+        {"horizontal-sliver", tri(sv(2, 50.2f), sv(250, 51.1f),
+                                  sv(3, 51.4f))},
+        // Diagonal sliver crossing tile rows and columns.
+        {"diagonal-sliver", tri(sv(5, 5), sv(240, 180), sv(7.5f, 6))},
+        // Sub-pixel triangle covering a single pixel center.
+        {"one-pixel", tri(sv(65.2f, 65.2f), sv(66.4f, 65.4f),
+                          sv(65.4f, 66.6f))},
+        // Triangle overhanging every screen edge (scissor clipping).
+        {"overhangs-screen", tri(sv(-300, -200), sv(600, -100),
+                                 sv(100, 500))},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.name);
+        for (int tile_size : {16, 32, 64})
+            expectTilePartitionMatchesFull(c.tri, w, h, tile_size);
+    }
+}
+
+TEST(TileRaster, FullTraversalKeysAscendGlobally)
+{
+    // The merge phase reconstructs submission order by sorting records
+    // on traversalKey, which is valid only if the full rasterize() walk
+    // itself emits quads in globally ascending key order.
+    Rasterizer r(256, 192);
+    TriangleSetup setup = setupTriangle(
+        tri(sv(-10, -10), sv(500, 0), sv(0, 400)), 256, 192);
+    ASSERT_TRUE(setup.valid);
+    bool first = true;
+    std::uint32_t prev = 0;
+    r.rasterize(setup, [&](const RasterQuad &q) {
+        std::uint32_t key = traversalKey(q.x, q.y);
+        if (!first)
+            EXPECT_GT(key, prev) << "at quad (" << q.x << "," << q.y << ")";
+        prev = key;
+        first = false;
+    });
+    EXPECT_FALSE(first);
 }

@@ -196,7 +196,7 @@ TEST(RunnerCache, LoadRejectsSchemaMismatch)
 
     // The simulator schema version is part of the cache key, so a
     // schema bump can never serve stale files.
-    EXPECT_NE(cachePath("doom3/trdemo1", 3, 320, 240).find("_v4"),
+    EXPECT_NE(cachePath("doom3/trdemo1", 3, 320, 240).find("_v5"),
               std::string::npos);
 }
 
