@@ -16,9 +16,11 @@
  *    faster than its 1-thread point. Like the interpreter ratios this
  *    compares two measurements from the same binary and host, so it is
  *    machine-independent — but it is only meaningful when the sweep was
- *    taken on a host with >= 4 hardware threads (each entry records
- *    host_threads). On smaller hosts the gate is skipped with a logged
- *    warning, never passed silently.
+ *    taken on one host with >= 4 hardware threads (each entry records
+ *    host_threads). On smaller hosts, on sweeps stitched together from
+ *    mismatched hosts, and on sweeps lacking a 1- or 4-thread point,
+ *    the gate is skipped with a logged warning, never gated and never
+ *    passed silently (see core/benchgate.hh).
  *
  * 3. Wall-time gates, applied only against a baseline document
  *    (--baseline <path>) whose host fingerprint (cpu model + hardware
@@ -43,6 +45,7 @@
 
 #include "common/env.hh"
 #include "common/json.hh"
+#include "core/benchgate.hh"
 
 using namespace wc3d;
 
@@ -145,51 +148,19 @@ gateInterpRatios(const json::Value &doc, double min_fragment)
 void
 gateParallelSpeedup(const json::Value &doc, double min_speedup)
 {
-    const json::Value *speed = doc.find("speed_simulation");
-    const json::Value *sweep = speed ? speed->find("sweep") : nullptr;
-    if (!sweep || !sweep->isArray()) {
-        fail("speed_simulation.sweep missing (parallel-speedup gate)");
-        return;
-    }
-    double s1 = 0.0;
-    double s4 = 0.0;
-    int host_threads = 0;
-    for (const json::Value &entry : sweep->items()) {
-        int threads = static_cast<int>(numberAt(&entry, "threads"));
-        if (threads == 1)
-            s1 = numberAt(&entry, "seconds");
-        if (threads == 4)
-            s4 = numberAt(&entry, "seconds");
-        host_threads = std::max(
-            host_threads,
-            static_cast<int>(numberAt(&entry, "host_threads")));
-    }
-    if (host_threads <= 0) {
-        // Sweeps recorded before per-entry host_threads: fall back to
-        // the document-level host fingerprint.
-        host_threads =
-            static_cast<int>(numberAt(doc.find("host"), "threads"));
-    }
-    if (host_threads < 4) {
-        std::printf("  SKIP parallel speedup gate: sweep host has %d "
-                    "hardware thread(s), need >= 4 for a meaningful "
-                    "4-thread measurement\n",
-                    host_threads);
-        return;
-    }
-    if (s1 <= 0.0 || s4 <= 0.0) {
-        fail("parallel speedup: sweep lacks 1- or 4-thread point "
-             "(1t %.3fs, 4t %.3fs)",
-             s1, s4);
-        return;
-    }
-    double speedup = s1 / s4;
-    if (speedup >= min_speedup) {
-        pass("parallel speedup 4t vs 1t %.2fx (floor %.2fx)", speedup,
-             min_speedup);
-    } else {
-        fail("parallel speedup 4t vs 1t %.2fx below floor %.2fx",
-             speedup, min_speedup);
+    // Shared with tests/test_benchgate.cc: mixed-host sweeps and
+    // missing sweep points skip (with an explanation), never gate.
+    core::GateResult r = core::evalParallelSpeedupGate(doc, min_speedup);
+    switch (r.outcome) {
+    case core::GateOutcome::Pass:
+        pass("%s", r.message.c_str());
+        break;
+    case core::GateOutcome::Fail:
+        fail("%s", r.message.c_str());
+        break;
+    case core::GateOutcome::Skip:
+        std::printf("  SKIP %s\n", r.message.c_str());
+        break;
     }
 }
 

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * wc3d-serve-client: command-line client for wc3d-served.
+ *
+ *     ./wc3d-serve-client [--socket PATH] submit DEMO
+ *           [--frames N] [--frame-begin N] [--size WxH] [--no-hz]
+ *           [--timeout-ms N] [--out PATH]
+ *     ./wc3d-serve-client [--socket PATH] status
+ *     ./wc3d-serve-client [--socket PATH] drain
+ *     ./wc3d-serve-client [--socket PATH] kill-worker
+ *
+ * submit queues one job, streams its progress, and exits 0 when the
+ * job completes (writing the result document to --out when given) or
+ * 1 when it fails. status/drain/kill-worker are thin admin wrappers.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/env.hh"
+#include "serve/client.hh"
+
+using namespace wc3d;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket PATH] submit DEMO [--frames N] "
+        "[--frame-begin N] [--size WxH] [--no-hz] [--timeout-ms N] "
+        "[--out PATH]\n"
+        "       %s [--socket PATH] status|drain|kill-worker\n",
+        argv0, argv0);
+    return 2;
+}
+
+int
+awaitJob(serve::ServeClient &client, std::uint64_t job_id,
+         const std::string &out_path)
+{
+    for (;;) {
+        auto msg = client.next(-1);
+        if (!msg) {
+            std::fprintf(stderr, "error: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        if (const auto *p = std::get_if<serve::ProgressMsg>(&*msg)) {
+            if (p->jobId == job_id)
+                std::printf("job %llu: frame %u/%u\n",
+                            static_cast<unsigned long long>(p->jobId),
+                            p->framesDone, p->framesTotal);
+            continue;
+        }
+        if (const auto *d = std::get_if<serve::DoneMsg>(&*msg)) {
+            if (d->jobId != job_id)
+                continue;
+            std::printf("job %llu: done (%s, %u attempt(s), %zu "
+                        "result bytes)\n",
+                        static_cast<unsigned long long>(d->jobId),
+                        d->fromCache ? "from cache" : "simulated",
+                        static_cast<unsigned>(d->attempts),
+                        d->result.size());
+            if (!out_path.empty()) {
+                std::FILE *f = std::fopen(out_path.c_str(), "wb");
+                if (!f) {
+                    std::fprintf(stderr, "error: cannot write %s\n",
+                                 out_path.c_str());
+                    return 1;
+                }
+                std::fwrite(d->result.data(), 1, d->result.size(), f);
+                std::fclose(f);
+            }
+            return 0;
+        }
+        if (const auto *fm = std::get_if<serve::FailedMsg>(&*msg)) {
+            if (fm->jobId != job_id)
+                continue;
+            std::fprintf(stderr,
+                         "job %llu: failed after %u attempt(s): %s\n",
+                         static_cast<unsigned long long>(fm->jobId),
+                         static_cast<unsigned>(fm->attempts),
+                         fm->reason.c_str());
+            return 1;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path =
+        envString("WC3D_SERVE_SOCKET", "wc3d-served.sock");
+    int i = 1;
+    if (i + 1 < argc && std::strcmp(argv[i], "--socket") == 0) {
+        socket_path = argv[i + 1];
+        i += 2;
+    }
+    if (i >= argc)
+        return usage(argv[0]);
+    std::string cmd = argv[i++];
+
+    serve::ServeClient client;
+    if (!client.connect(socket_path)) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return 1;
+    }
+
+    if (cmd == "status") {
+        if (!client.requestStatus())
+            return 1;
+        auto msg = client.next(5000);
+        const auto *status =
+            msg ? std::get_if<serve::StatusMsg>(&*msg) : nullptr;
+        if (!status) {
+            std::fprintf(stderr, "error: no status reply\n");
+            return 1;
+        }
+        std::printf("queued=%u running=%u done=%u failed=%u "
+                    "workers=%u draining=%u\n",
+                    status->queued, status->running, status->done,
+                    status->failed, status->workers,
+                    status->draining);
+        return 0;
+    }
+    if (cmd == "drain")
+        return client.requestDrain() ? 0 : 1;
+    if (cmd == "kill-worker")
+        return client.requestKillWorker() ? 0 : 1;
+    if (cmd != "submit" || i >= argc)
+        return usage(argv[0]);
+
+    serve::JobSpec spec;
+    spec.demo = argv[i++];
+    spec.width = 256;
+    spec.height = 192;
+    std::string out_path;
+    for (; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(arg, "--frames") == 0 && val) {
+            spec.frames = static_cast<std::uint32_t>(std::atoi(val));
+            ++i;
+        } else if (std::strcmp(arg, "--frame-begin") == 0 && val) {
+            spec.frameBegin =
+                static_cast<std::uint32_t>(std::atoi(val));
+            ++i;
+        } else if (std::strcmp(arg, "--size") == 0 && val) {
+            unsigned w = 0, h = 0;
+            if (std::sscanf(val, "%ux%u", &w, &h) != 2)
+                return usage(argv[0]);
+            spec.width = w;
+            spec.height = h;
+            ++i;
+        } else if (std::strcmp(arg, "--no-hz") == 0) {
+            spec.hzEnabled = 0;
+        } else if (std::strcmp(arg, "--timeout-ms") == 0 && val) {
+            spec.timeoutMs =
+                static_cast<std::uint32_t>(std::atoi(val));
+            ++i;
+        } else if (std::strcmp(arg, "--out") == 0 && val) {
+            out_path = val;
+            ++i;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::string why;
+    std::uint64_t job_id = client.submit(spec, &why);
+    if (job_id == 0) {
+        std::fprintf(stderr, "rejected: %s\n", why.c_str());
+        return 1;
+    }
+    std::printf("job %llu: accepted\n",
+                static_cast<unsigned long long>(job_id));
+    return awaitJob(client, job_id, out_path);
+}

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * serve_soak: load generator and fault-injection soak for wc3d-served.
+ *
+ * Forks a daemon (library call), floods it with jobs — duplicates for
+ * cache dedupe, crash-once jobs, poison jobs, timeout jobs, slow jobs,
+ * an unknown-demo job — while SIGKILLing workers mid-run, then asserts
+ * the fault-tolerance contract:
+ *
+ *   - zero lost jobs: every accepted job reaches exactly one terminal
+ *     state (Done or Failed);
+ *   - crash-once jobs succeed on a retry (attempts >= 2);
+ *   - poison and always-timeout jobs fail with the poison-cap reason;
+ *   - the unknown-demo job fails non-retryably on its first attempt;
+ *   - every completed job's statistics document is bit-identical to a
+ *     direct core::runMicroarch() execution of the same spec;
+ *   - drain exits 0 and the wc3d-serve-metrics-v1 manifest agrees
+ *     with the client's view of the run.
+ *
+ *     ./serve_soak [--jobs N] [--shapes N] [--workers N] [--kill N]
+ *                  [--crash-jobs N] [--poison-jobs N]
+ *                  [--timeout-jobs N] [--slow-jobs N]
+ *                  [--unknown-jobs N] [--socket PATH] [--metrics PATH]
+ *
+ * Exits 0 when every assertion holds. Registered in ctest as
+ * ServeSoak at reduced scale; CI also runs a larger standalone pass.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/strutil.hh"
+#include "core/runner.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "workloads/games.hh"
+
+using namespace wc3d;
+
+namespace {
+
+int g_failures = 0;
+
+void
+pass(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::printf("  PASS ");
+    std::vprintf(fmt, args);
+    std::printf("\n");
+    va_end(args);
+}
+
+void
+fail(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::printf("  FAIL ");
+    std::vprintf(fmt, args);
+    std::printf("\n");
+    va_end(args);
+    ++g_failures;
+}
+
+/** What the soak expects a submitted job to do. */
+enum class JobClass
+{
+    Success,   ///< plain job (duplicates exercise cache dedupe)
+    CrashOnce, ///< worker _exit()s on attempt 1, succeeds on retry
+    Poison,    ///< crashes every attempt -> Failed at the retry cap
+    Timeout,   ///< sleeps past its deadline every attempt -> Failed
+    Slow,      ///< sleeps, then succeeds within the deadline
+    Unknown,   ///< demo id does not exist -> non-retryable Failed
+};
+
+const char *
+className(JobClass c)
+{
+    switch (c) {
+    case JobClass::Success: return "success";
+    case JobClass::CrashOnce: return "crash-once";
+    case JobClass::Poison: return "poison";
+    case JobClass::Timeout: return "timeout";
+    case JobClass::Slow: return "slow";
+    case JobClass::Unknown: return "unknown-demo";
+    }
+    return "?";
+}
+
+/** Cache-key identity of a spec (debug knobs excluded on purpose:
+ *  a crash-once job must verify against the same plain simulation). */
+std::string
+specKey(const serve::JobSpec &spec)
+{
+    return format("%s_fb%u_f%u_%ux%u_hz%u", spec.demo.c_str(),
+                  spec.frameBegin, spec.frames, spec.width,
+                  spec.height, spec.hzEnabled);
+}
+
+struct Submitted
+{
+    JobClass cls;
+    serve::JobSpec spec;
+};
+
+struct Terminal
+{
+    bool done = false;
+    std::uint8_t attempts = 0;
+    bool fromCache = false;
+    std::string result; ///< Done: encodeMicroRun document
+    std::string reason; ///< Failed
+    int count = 0;      ///< terminal messages seen (must end at 1)
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = 120, shapes = 24, workers = 3, kills = 2;
+    int crash_jobs = 6, poison_jobs = 2, timeout_jobs = 2;
+    int slow_jobs = 4, unknown_jobs = 1;
+    int pid = static_cast<int>(::getpid());
+    std::string socket_path = format("wc3d-soak-%d.sock", pid);
+    std::string metrics_path = format("wc3d-soak-metrics-%d.json", pid);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        auto intArg = [&](const char *name, int *out) {
+            if (std::strcmp(arg, name) != 0 || !val)
+                return false;
+            *out = std::atoi(val);
+            ++i;
+            return true;
+        };
+        if (intArg("--jobs", &jobs) || intArg("--shapes", &shapes) ||
+            intArg("--workers", &workers) || intArg("--kill", &kills) ||
+            intArg("--crash-jobs", &crash_jobs) ||
+            intArg("--poison-jobs", &poison_jobs) ||
+            intArg("--timeout-jobs", &timeout_jobs) ||
+            intArg("--slow-jobs", &slow_jobs) ||
+            intArg("--unknown-jobs", &unknown_jobs))
+            continue;
+        if (std::strcmp(arg, "--socket") == 0 && val) {
+            socket_path = val;
+            ++i;
+        } else if (std::strcmp(arg, "--metrics") == 0 && val) {
+            metrics_path = val;
+            ++i;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg);
+            return 2;
+        }
+    }
+
+    // A private run cache: dedupe behaviour must not depend on what
+    // earlier tool invocations left behind.
+    std::string cache_dir = format(".wc3d-soak-cache-%d", pid);
+    ::setenv("WC3D_CACHE_DIR", cache_dir.c_str(), 1);
+    ::unsetenv("WC3D_METRICS_OUT"); // daemon metrics only
+
+    serve::DaemonOptions opts;
+    opts.socketPath = socket_path;
+    opts.workers = workers;
+    opts.queueBound = static_cast<std::size_t>(jobs) + 64;
+    // Attempt budget: one injected crash plus every admin kill could
+    // land on the same job; retryable jobs must still have one clean
+    // attempt left, while always-failing jobs stay bounded.
+    opts.policy.maxAttempts = 2 + kills + 1;
+    opts.policy.timeoutMs = 60000;
+    opts.policy.backoffBaseMs = 25;
+    opts.policy.backoffCapMs = 200;
+    opts.metricsPath = metrics_path;
+
+    pid_t daemon_pid = ::fork();
+    if (daemon_pid < 0) {
+        std::fprintf(stderr, "fork(): %s\n", std::strerror(errno));
+        return 1;
+    }
+    if (daemon_pid == 0) {
+        // exit(), not _exit(): the daemon child should run atexit
+        // handlers (trace flush) like a standalone wc3d-served would.
+        std::exit(serve::runDaemon(opts));
+    }
+
+    serve::ServeClient client;
+    bool connected = false;
+    for (int i = 0; i < 100 && !connected; ++i) {
+        connected = client.connect(socket_path);
+        if (!connected)
+            ::usleep(50 * 1000);
+    }
+    if (!connected) {
+        std::fprintf(stderr, "cannot reach daemon: %s\n",
+                     client.lastError().c_str());
+        ::kill(daemon_pid, SIGKILL);
+        return 1;
+    }
+    std::printf("soak: %d jobs over %d shapes, %d workers, %d "
+                "kill(s), %d crash / %d poison / %d timeout / %d "
+                "slow / %d unknown\n",
+                jobs, shapes, workers, kills, crash_jobs, poison_jobs,
+                timeout_jobs, slow_jobs, unknown_jobs);
+
+    // The shape pool: unique (demo, frames, size, hz) combinations.
+    std::vector<serve::JobSpec> pool;
+    for (const auto &demo : workloads::simulatedTimedemoIds()) {
+        for (std::uint32_t frames : {1u, 2u}) {
+            for (auto size : {std::pair<int, int>{192, 144},
+                              std::pair<int, int>{256, 192}}) {
+                for (std::uint8_t hz : {1, 0}) {
+                    serve::JobSpec spec;
+                    spec.demo = demo;
+                    spec.frames = frames;
+                    spec.width = static_cast<std::uint32_t>(size.first);
+                    spec.height =
+                        static_cast<std::uint32_t>(size.second);
+                    spec.hzEnabled = hz;
+                    pool.push_back(spec);
+                }
+            }
+        }
+    }
+    if (shapes > 0 && static_cast<std::size_t>(shapes) < pool.size())
+        pool.resize(static_cast<std::size_t>(shapes));
+
+    // Build the whole workload up front, faults interleaved.
+    std::vector<Submitted> plan;
+    for (int i = 0; i < jobs; ++i) {
+        Submitted s;
+        s.cls = JobClass::Success;
+        s.spec = pool[static_cast<std::size_t>(i) % pool.size()];
+        plan.push_back(std::move(s));
+    }
+    int fault_seq = 0;
+    auto faultSpec = [&fault_seq, &pool]() {
+        // A frame window nothing else uses, so the run cache can
+        // never answer the job before the fault fires.
+        serve::JobSpec spec;
+        spec.demo = pool[0].demo;
+        spec.frames = 1;
+        spec.width = 192;
+        spec.height = 144;
+        spec.frameBegin = 1000 + static_cast<std::uint32_t>(fault_seq++);
+        return spec;
+    };
+    auto interleave = [&plan](Submitted s, int slot) {
+        std::size_t at = plan.empty()
+                             ? 0
+                             : static_cast<std::size_t>(slot) *
+                                   7919 % plan.size();
+        plan.insert(plan.begin() + static_cast<long>(at),
+                    std::move(s));
+    };
+    int slot = 0;
+    for (int i = 0; i < crash_jobs; ++i) {
+        Submitted s;
+        s.cls = JobClass::CrashOnce;
+        s.spec = faultSpec();
+        s.spec.debugCrashAttempts = 1;
+        interleave(std::move(s), slot++);
+    }
+    for (int i = 0; i < poison_jobs; ++i) {
+        Submitted s;
+        s.cls = JobClass::Poison;
+        s.spec = faultSpec();
+        s.spec.debugCrashAttempts = 255;
+        interleave(std::move(s), slot++);
+    }
+    for (int i = 0; i < timeout_jobs; ++i) {
+        Submitted s;
+        s.cls = JobClass::Timeout;
+        s.spec = faultSpec();
+        s.spec.timeoutMs = 250;
+        s.spec.debugSleepMs = 5000;
+        interleave(std::move(s), slot++);
+    }
+    for (int i = 0; i < slow_jobs; ++i) {
+        Submitted s;
+        s.cls = JobClass::Slow;
+        s.spec = pool[static_cast<std::size_t>(i) % pool.size()];
+        s.spec.debugSleepMs = 150;
+        interleave(std::move(s), slot++);
+    }
+    for (int i = 0; i < unknown_jobs; ++i) {
+        Submitted s;
+        s.cls = JobClass::Unknown;
+        s.spec = faultSpec();
+        s.spec.demo = "no-such-demo";
+        interleave(std::move(s), slot++);
+    }
+
+    // Submit everything; the daemon queues and shards as it goes.
+    std::map<std::uint64_t, Submitted> submitted;
+    for (auto &s : plan) {
+        std::string why;
+        std::uint64_t id = client.submit(s.spec, &why);
+        if (id == 0) {
+            fail("job rejected unexpectedly: %s", why.c_str());
+            continue;
+        }
+        submitted.emplace(id, s);
+    }
+    if (submitted.size() == plan.size())
+        pass("all %zu jobs accepted", plan.size());
+    else
+        fail("only %zu of %zu jobs accepted", submitted.size(),
+             plan.size());
+
+    // Await every terminal message, injecting worker kills while the
+    // run is in full swing (spaced by completed-job count).
+    std::map<std::uint64_t, Terminal> terminal;
+    int kills_left = kills;
+    std::size_t next_kill_at = submitted.size() / 4 + 1;
+    int idle_waits = 0;
+    while (terminal.size() < submitted.size()) {
+        auto msg = client.next(2000);
+        if (!msg) {
+            if (!client.ok()) {
+                fail("client stream died: %s",
+                     client.lastError().c_str());
+                break;
+            }
+            if (++idle_waits > 90) {
+                fail("soak stalled: %zu of %zu jobs terminal",
+                     terminal.size(), submitted.size());
+                break;
+            }
+            continue;
+        }
+        idle_waits = 0;
+        if (const auto *d = std::get_if<serve::DoneMsg>(&*msg)) {
+            Terminal &t = terminal[d->jobId];
+            t.done = true;
+            t.attempts = d->attempts;
+            t.fromCache = d->fromCache != 0;
+            t.result = d->result;
+            ++t.count;
+        } else if (const auto *f =
+                       std::get_if<serve::FailedMsg>(&*msg)) {
+            Terminal &t = terminal[f->jobId];
+            t.done = false;
+            t.attempts = f->attempts;
+            t.reason = f->reason;
+            ++t.count;
+        }
+        if (kills_left > 0 && terminal.size() >= next_kill_at) {
+            client.requestKillWorker();
+            --kills_left;
+            next_kill_at =
+                terminal.size() + submitted.size() / 4 + 1;
+        }
+    }
+
+    // Contract: zero lost jobs, exactly one terminal state each.
+    std::size_t lost = 0, duplicated = 0;
+    for (const auto &kv : submitted) {
+        auto it = terminal.find(kv.first);
+        if (it == terminal.end())
+            ++lost;
+        else if (it->second.count != 1)
+            ++duplicated;
+    }
+    if (lost == 0 && duplicated == 0)
+        pass("zero lost jobs (%zu accepted, %zu terminal)",
+             submitted.size(), terminal.size());
+    else
+        fail("%zu lost job(s), %zu duplicated terminal state(s)",
+             lost, duplicated);
+
+    // Per-class expectations.
+    std::map<JobClass, std::pair<int, int>> tally; // class -> ok/bad
+    for (const auto &kv : submitted) {
+        auto it = terminal.find(kv.first);
+        if (it == terminal.end())
+            continue;
+        const Terminal &t = it->second;
+        bool ok = false;
+        switch (kv.second.cls) {
+        case JobClass::Success:
+        case JobClass::Slow:
+            ok = t.done;
+            break;
+        case JobClass::CrashOnce:
+            ok = t.done && t.attempts >= 2;
+            break;
+        case JobClass::Poison:
+            ok = !t.done &&
+                 t.reason.find("poison job") != std::string::npos &&
+                 t.reason.find("status 70") != std::string::npos;
+            break;
+        case JobClass::Timeout:
+            ok = !t.done &&
+                 t.reason.find("poison job") != std::string::npos &&
+                 t.reason.find("timed out") != std::string::npos;
+            break;
+        case JobClass::Unknown:
+            // Non-retryable, so normally attempts == 1 — but an admin
+            // kill can race the worker's verdict and cost one retry.
+            ok = !t.done &&
+                 t.reason.find("unknown timedemo id") !=
+                     std::string::npos;
+            break;
+        }
+        auto &counts = tally[kv.second.cls];
+        if (ok)
+            ++counts.first;
+        else {
+            ++counts.second;
+            fail("%s job %llu: done=%d attempts=%u reason='%s'",
+                 className(kv.second.cls),
+                 static_cast<unsigned long long>(kv.first), t.done,
+                 static_cast<unsigned>(t.attempts),
+                 t.reason.c_str());
+        }
+    }
+    for (const auto &kv : tally) {
+        if (kv.second.second == 0)
+            pass("%d %s job(s) behaved as expected", kv.second.first,
+                 className(kv.first));
+    }
+
+    // Bit-identity: each unique completed spec against a direct,
+    // cache-free core/runner execution.
+    std::map<std::string, std::string> unique_results;
+    for (const auto &kv : submitted) {
+        auto it = terminal.find(kv.first);
+        if (it == terminal.end() || !it->second.done)
+            continue;
+        unique_results.emplace(specKey(kv.second.spec),
+                               it->second.result);
+    }
+    int identical = 0, divergent = 0;
+    for (const auto &kv : submitted) {
+        auto it = unique_results.find(specKey(kv.second.spec));
+        if (it == unique_results.end() || it->second.empty())
+            continue;
+        core::MicroRun direct = core::runMicroarch(
+            kv.second.spec.toMicroSpec(), /*allow_cache=*/false);
+        if (core::encodeMicroRun(direct) == it->second)
+            ++identical;
+        else {
+            ++divergent;
+            fail("result for %s diverges from direct execution",
+                 it->first.c_str());
+        }
+        it->second.clear(); // verify each unique spec once
+    }
+    if (divergent == 0)
+        pass("%d unique result(s) bit-identical to direct runs",
+             identical);
+
+    // Graceful drain: daemon must exit 0 and leave a manifest that
+    // agrees with what the client observed.
+    client.requestDrain();
+    client.close();
+    int status = 0;
+    pid_t waited = 0;
+    for (int i = 0; i < 300; ++i) {
+        waited = ::waitpid(daemon_pid, &status, WNOHANG);
+        if (waited == daemon_pid)
+            break;
+        ::usleep(100 * 1000);
+    }
+    if (waited != daemon_pid) {
+        fail("daemon did not exit within 30 s of drain");
+        ::kill(daemon_pid, SIGKILL);
+        ::waitpid(daemon_pid, &status, 0);
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        pass("daemon drained and exited 0");
+    } else {
+        fail("daemon exit status %d", status);
+    }
+
+    json::Value manifest;
+    std::string error;
+    if (!json::parseFile(metrics_path, manifest, &error)) {
+        fail("metrics manifest unreadable: %s", error.c_str());
+    } else {
+        const json::Value *schema = manifest.find("schema");
+        if (!schema || schema->asString() != "wc3d-serve-metrics-v1")
+            fail("manifest schema mismatch");
+        std::uint64_t done_seen = 0, failed_seen = 0;
+        for (const auto &kv : terminal) {
+            if (kv.second.done)
+                ++done_seen;
+            else
+                ++failed_seen;
+        }
+        const json::Value *done = manifest.find("done");
+        const json::Value *failed = manifest.find("failed");
+        if (done && failed && done->asU64() == done_seen &&
+            failed->asU64() == failed_seen)
+            pass("manifest matches client view (%llu done, %llu "
+                 "failed)",
+                 static_cast<unsigned long long>(done_seen),
+                 static_cast<unsigned long long>(failed_seen));
+        else
+            fail("manifest counts disagree with client view");
+        const json::Value *deaths = manifest.find("worker_deaths");
+        std::uint64_t min_deaths = static_cast<std::uint64_t>(
+            kills - kills_left + crash_jobs + timeout_jobs);
+        if (deaths && deaths->asU64() >= min_deaths)
+            pass("manifest records %llu worker death(s) (>= %llu "
+                 "injected)",
+                 static_cast<unsigned long long>(deaths->asU64()),
+                 static_cast<unsigned long long>(min_deaths));
+        else
+            fail("manifest under-reports worker deaths");
+    }
+
+    std::printf("%s (%d failure(s))\n",
+                g_failures == 0 ? "SOAK PASSED" : "SOAK FAILED",
+                g_failures);
+    return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * wc3d-served: the batch-serving daemon executable. Accepts
+ * simulation jobs over a Unix socket (see src/serve/protocol.hh),
+ * shards them across crash-isolated worker subprocesses with
+ * retry/timeout/backoff, and drains gracefully on SIGTERM — in-flight
+ * jobs finish, new ones are rejected, then metrics and traces flush.
+ *
+ *     ./wc3d-served [--socket PATH] [--workers N] [--queue N]
+ *                   [--timeout-ms N] [--retries N] [--backoff-ms N]
+ *                   [--metrics-out PATH]
+ *
+ * Defaults come from the WC3D_SERVE_* environment knobs (see README).
+ * Submit work with wc3d-serve-client.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/daemon.hh"
+
+using namespace wc3d;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH] [--workers N] [--queue N] "
+                 "[--timeout-ms N] [--retries N] [--backoff-ms N] "
+                 "[--metrics-out PATH]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::DaemonOptions opts = serve::DaemonOptions::fromEnv();
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(arg, "--socket") == 0 && val) {
+            opts.socketPath = val;
+            ++i;
+        } else if (std::strcmp(arg, "--workers") == 0 && val) {
+            opts.workers = std::atoi(val);
+            ++i;
+        } else if (std::strcmp(arg, "--queue") == 0 && val) {
+            opts.queueBound =
+                static_cast<std::size_t>(std::atoi(val));
+            ++i;
+        } else if (std::strcmp(arg, "--timeout-ms") == 0 && val) {
+            opts.policy.timeoutMs =
+                static_cast<std::uint64_t>(std::atoll(val));
+            ++i;
+        } else if (std::strcmp(arg, "--retries") == 0 && val) {
+            opts.policy.maxAttempts = std::atoi(val);
+            ++i;
+        } else if (std::strcmp(arg, "--backoff-ms") == 0 && val) {
+            opts.policy.backoffBaseMs =
+                static_cast<std::uint64_t>(std::atoll(val));
+            ++i;
+        } else if (std::strcmp(arg, "--metrics-out") == 0 && val) {
+            opts.metricsPath = val;
+            ++i;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (opts.workers < 1 || opts.queueBound < 1 ||
+        opts.policy.maxAttempts < 1 || opts.policy.timeoutMs < 1)
+        return usage(argv[0]);
+    return serve::runDaemon(opts);
+}

@@ -1,8 +1,30 @@
 #include "common/env.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 
+#include "common/log.hh"
+
 namespace wc3d {
+
+namespace {
+
+/** @return true when everything from @p p on is whitespace. */
+bool
+restIsSpace(const char *p)
+{
+    while (*p) {
+        if (!std::isspace(static_cast<unsigned char>(*p)))
+            return false;
+        ++p;
+    }
+    return true;
+}
+
+} // namespace
 
 int
 envInt(const char *name, int fallback)
@@ -10,10 +32,19 @@ envInt(const char *name, int fallback)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return fallback;
+    errno = 0;
     char *end = nullptr;
     long parsed = std::strtol(v, &end, 10);
-    if (end == v)
+    if (end == v || !restIsSpace(end)) {
+        warn("%s='%s' is not an integer; using default %d", name, v,
+             fallback);
         return fallback;
+    }
+    if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+        warn("%s='%s' is out of integer range; using default %d", name,
+             v, fallback);
+        return fallback;
+    }
     return static_cast<int>(parsed);
 }
 
@@ -23,10 +54,19 @@ envDouble(const char *name, double fallback)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return fallback;
+    errno = 0;
     char *end = nullptr;
     double parsed = std::strtod(v, &end);
-    if (end == v)
+    if (end == v || !restIsSpace(end)) {
+        warn("%s='%s' is not a number; using default %g", name, v,
+             fallback);
         return fallback;
+    }
+    if (errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL)) {
+        warn("%s='%s' overflows a double; using default %g", name, v,
+             fallback);
+        return fallback;
+    }
     return parsed;
 }
 

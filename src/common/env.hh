@@ -11,10 +11,17 @@
 
 namespace wc3d {
 
-/** @return the integer value of env var @p name, or @p fallback. */
+/**
+ * @return the integer value of env var @p name, or @p fallback.
+ * A value that is not entirely an in-range integer (trailing garbage
+ * like "4x", overflow) is rejected with a warning, not truncated.
+ */
 int envInt(const char *name, int fallback);
 
-/** @return the floating-point value of env var @p name, or @p fallback. */
+/**
+ * @return the floating-point value of env var @p name, or @p fallback.
+ * Trailing garbage and overflow are rejected with a warning.
+ */
 double envDouble(const char *name, double fallback);
 
 /** @return the value of env var @p name, or @p fallback. */

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -101,7 +103,44 @@ atexitFlush()
         writeChromeTrace(path);
 }
 
-/** Reads WC3D_TRACE_OUT once at startup and arms the exit writer. */
+bool writeChromeTraceLocked(Registry &r, const std::string &path,
+                            std::string *error);
+
+/** Output path for the signal handler, cached at install time
+ *  (getenv/std::string are off-limits inside a handler). */
+char gSignalPath[512];
+
+/** Re-entrancy latch: one flush attempt per process, ever. */
+volatile std::sig_atomic_t gSignalFlushDone = 0;
+
+/**
+ * SIGINT/SIGTERM: best-effort trace flush, then die by the signal.
+ * A signal-terminated run used to lose its whole trace because the
+ * only writer was std::atexit. Full async-signal-safety is impossible
+ * for a JSON serializer; the dangerous case — the handler interrupting
+ * a thread that holds the registry mutex — is excluded with try_lock
+ * (skip the flush rather than deadlock), and the latch keeps a second
+ * signal from re-entering. The default disposition is restored and the
+ * signal re-raised so the parent still observes death-by-signal.
+ */
+void
+signalFlush(int sig)
+{
+    if (!gSignalFlushDone) {
+        gSignalFlushDone = 1;
+        if (enabled() && gSignalPath[0]) {
+            Registry &r = registry();
+            if (r.mutex.try_lock()) {
+                writeChromeTraceLocked(r, gSignalPath, nullptr);
+                r.mutex.unlock();
+            }
+        }
+    }
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+/** Reads WC3D_TRACE_OUT once at startup and arms the exit writers. */
 struct EnvInit
 {
     EnvInit()
@@ -110,6 +149,7 @@ struct EnvInit
         if (v && *v) {
             detail::gEnabled.store(true, std::memory_order_relaxed);
             std::atexit(atexitFlush);
+            installSignalFlush();
         }
     }
 };
@@ -117,6 +157,22 @@ struct EnvInit
 EnvInit gEnvInit;
 
 } // namespace
+
+void
+installSignalFlush()
+{
+    std::string path = tracePath();
+    if (path.empty() || path.size() >= sizeof(gSignalPath))
+        return;
+    std::memcpy(gSignalPath, path.c_str(), path.size() + 1);
+    gSignalFlushDone = 0;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = signalFlush;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 void
 setEnabled(bool on)
@@ -212,7 +268,16 @@ writeChromeTrace(const std::string &path, std::string *error)
 {
     Registry &r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
+    return writeChromeTraceLocked(r, path, error);
+}
 
+namespace {
+
+/** Serialization body; the caller holds the registry mutex. */
+bool
+writeChromeTraceLocked(Registry &r, const std::string &path,
+                       std::string *error)
+{
     std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     bool first = true;
     auto append = [&](const std::string &line) {
@@ -254,6 +319,8 @@ writeChromeTrace(const std::string &path, std::string *error)
     out += "\n]}\n";
     return json::writeFileAtomic(path, out, error);
 }
+
+} // namespace
 
 bool
 validateChromeTrace(const json::Value &doc, std::string *error,

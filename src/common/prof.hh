@@ -105,6 +105,18 @@ class Span
     bool _live = false;
 };
 
+/**
+ * Install SIGINT/SIGTERM handlers that flush the Chrome trace to the
+ * current WC3D_TRACE_OUT path (cached now) and then re-raise, so a
+ * signal-terminated run keeps its trace instead of silently dropping
+ * it (the regular writer is std::atexit, which a signal death skips).
+ * Armed automatically at startup when WC3D_TRACE_OUT is set; call
+ * again after changing the path (serve workers redirect theirs).
+ * No-op when tracing is off. Best-effort: the handler skips the flush
+ * when the span registry is mid-write rather than deadlock.
+ */
+void installSignalFlush();
+
 /** Events recorded so far across all threads (tests, sanity checks). */
 std::size_t eventCount();
 

@@ -1,0 +1,157 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "serve/sockio.hh"
+
+namespace wc3d::serve {
+
+bool
+ServeClient::connect(const std::string &socket_path)
+{
+    close();
+    _error.clear();
+    _decoder = MessageDecoder();
+    _stash.clear();
+    ServeError error;
+    _fd = connectUnix(socket_path, &error);
+    if (_fd < 0) {
+        _error = error.describe();
+        return false;
+    }
+    std::string magic;
+    appendMagic(magic);
+    if (!writeAll(_fd, magic)) {
+        _error = "could not send stream magic";
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+ServeClient::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+bool
+ServeClient::send(const Message &msg)
+{
+    if (_fd < 0) {
+        if (_error.empty())
+            _error = "not connected";
+        return false;
+    }
+    std::string out;
+    appendMessage(out, msg);
+    if (!writeAll(_fd, out)) {
+        _error = "daemon connection lost (write)";
+        close();
+        return false;
+    }
+    return true;
+}
+
+std::optional<Message>
+ServeClient::readMessage(int timeout_ms)
+{
+    for (;;) {
+        std::optional<Message> msg = _decoder.next();
+        if (msg)
+            return msg;
+        if (!_decoder.ok()) {
+            _error = _decoder.error()->describe();
+            close();
+            return std::nullopt;
+        }
+        if (_fd < 0)
+            return std::nullopt;
+        pollfd pfd{_fd, POLLIN, 0};
+        int rc;
+        do {
+            rc = ::poll(&pfd, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0)
+            return std::nullopt; // timeout; stream stays healthy
+        if (rc < 0) {
+            _error = std::string("poll(): ") + std::strerror(errno);
+            close();
+            return std::nullopt;
+        }
+        if (!readInto(_fd, _decoder)) {
+            _error = "daemon closed the connection";
+            close();
+            return std::nullopt;
+        }
+    }
+}
+
+std::uint64_t
+ServeClient::submit(const JobSpec &spec, std::string *why)
+{
+    SubmitMsg msg;
+    msg.spec = spec;
+    if (!send(msg)) {
+        if (why)
+            *why = _error;
+        return 0;
+    }
+    // The verdict is ordered after every update the daemon already
+    // queued for us; stash those for next().
+    for (;;) {
+        std::optional<Message> reply = readMessage(-1);
+        if (!reply) {
+            if (why)
+                *why = _error.empty() ? "no verdict from daemon"
+                                      : _error;
+            return 0;
+        }
+        if (const auto *accepted = std::get_if<AcceptedMsg>(&*reply))
+            return accepted->jobId;
+        if (const auto *rejected = std::get_if<RejectedMsg>(&*reply)) {
+            if (why)
+                *why = rejected->reason;
+            return 0;
+        }
+        _stash.push_back(std::move(*reply));
+    }
+}
+
+std::optional<Message>
+ServeClient::next(int timeout_ms)
+{
+    if (!_stash.empty()) {
+        Message msg = std::move(_stash.front());
+        _stash.pop_front();
+        return msg;
+    }
+    return readMessage(timeout_ms);
+}
+
+bool
+ServeClient::requestStatus()
+{
+    return send(StatusReqMsg());
+}
+
+bool
+ServeClient::requestKillWorker()
+{
+    return send(KillWorkerMsg());
+}
+
+bool
+ServeClient::requestDrain()
+{
+    return send(DrainMsg());
+}
+
+} // namespace wc3d::serve

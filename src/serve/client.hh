@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Client side of the serve protocol: one connection to wc3d-served.
+ * Used by the wc3d-serve-client CLI and the serve_soak harness.
+ * Synchronous submits (awaiting the Accepted/Rejected verdict) are
+ * layered over the async update stream: job updates that arrive while
+ * a submit is in flight are stashed and replayed from next().
+ */
+
+#ifndef WC3D_SERVE_CLIENT_HH
+#define WC3D_SERVE_CLIENT_HH
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace wc3d::serve {
+
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient() { close(); }
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect to the daemon socket. @return false with lastError(). */
+    bool connect(const std::string &socket_path);
+
+    /**
+     * Submit one job and await the daemon's verdict.
+     * @return the job id, or 0 — @p why (when non-null) gets the
+     * rejection reason or transport error.
+     */
+    std::uint64_t submit(const JobSpec &spec, std::string *why);
+
+    /**
+     * Next async update (Progress/Done/Failed/Status), waiting up to
+     * @p timeout_ms (-1 = forever). nullopt on timeout, disconnect or
+     * protocol error — distinguish with ok().
+     */
+    std::optional<Message> next(int timeout_ms);
+
+    /** @name Fire-and-forget admin requests */
+    /// @{
+    bool requestStatus();     ///< reply arrives via next() as StatusMsg
+    bool requestKillWorker(); ///< SIGKILL one worker (fault injection)
+    bool requestDrain();      ///< daemon finishes accepted work, exits
+    /// @}
+
+    /** @return true while connected and the stream is well-formed. */
+    bool ok() const { return _fd >= 0 && _error.empty(); }
+
+    const std::string &lastError() const { return _error; }
+
+    void close();
+
+  private:
+    bool send(const Message &msg);
+    /** Read until at least one message decodes or @p timeout_ms. */
+    std::optional<Message> readMessage(int timeout_ms);
+
+    int _fd = -1;
+    MessageDecoder _decoder;
+    std::deque<Message> _stash; ///< updates preempted by a submit
+    std::string _error;
+};
+
+} // namespace wc3d::serve
+
+#endif // WC3D_SERVE_CLIENT_HH

@@ -1,0 +1,717 @@
+#include "serve/daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "core/runner.hh"
+#include "serve/protocol.hh"
+#include "serve/sockio.hh"
+#include "serve/worker.hh"
+
+namespace wc3d::serve {
+
+namespace {
+
+/**
+ * Self-pipe trick: signal handlers only write one tag byte; the poll
+ * loop reads them back and reacts outside async-signal context.
+ */
+int gSelfPipeWr = -1;
+
+void
+onSignal(int sig)
+{
+    char tag = sig == SIGCHLD ? 'C' : 'T';
+    if (gSelfPipeWr >= 0) {
+        ssize_t rc = ::write(gSelfPipeWr, &tag, 1);
+        (void)rc; // a full pipe still wakes the loop
+    }
+}
+
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int fd = -1; ///< daemon end of the socketpair (-1 after EOF)
+    MessageDecoder decoder;
+    std::uint64_t jobId = 0; ///< 0 = idle
+    /** Why the daemon killed it (timeout/admin); "" = it died on
+     *  its own. Consumed at reap time. */
+    std::string killReason;
+};
+
+struct ClientConn
+{
+    std::uint64_t id = 0;
+    int fd = -1;
+    MessageDecoder decoder;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(const DaemonOptions &opts)
+        : _opts(opts), _queue(opts.queueBound, opts.policy)
+    {
+    }
+
+    int run();
+
+  private:
+    void spawnWorker();
+    void killWorker(WorkerProc &w, const std::string &reason);
+    void reapWorkers();
+    void acceptClient();
+    void handleClient(ClientConn &client);
+    void handleClientMsg(ClientConn &client, const Message &msg);
+    void handleWorker(WorkerProc &w);
+    void sendToClient(std::uint64_t client_id, const Message &msg);
+    void killExpired(std::uint64_t now_ms);
+    void dispatch(std::uint64_t now_ms);
+    bool tryCacheHit(Job &job);
+    void beginDrain(const char *why);
+    int shutdown();
+    void writeMetrics();
+    WorkerProc *idleWorker();
+    WorkerProc *findWorker(pid_t pid);
+
+    DaemonOptions _opts;
+    JobQueue _queue;
+    int _listenFd = -1;
+    int _sigRd = -1;
+    std::vector<WorkerProc> _workers;
+    std::map<std::uint64_t, ClientConn> _clients; // id -> conn
+    std::uint64_t _nextClientId = 1;
+    std::vector<std::uint64_t> _closedClients;
+
+    // Lifetime counters for the metrics manifest.
+    std::uint64_t _submitted = 0;
+    std::uint64_t _rejected = 0;
+    std::uint64_t _timeouts = 0;
+    std::uint64_t _workerDeaths = 0;
+    std::uint64_t _cacheHits = 0;
+};
+
+void
+Daemon::spawnWorker()
+{
+    int pair[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+        warn("socketpair(): %s", std::strerror(errno));
+        return;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        warn("fork(): %s", std::strerror(errno));
+        ::close(pair[0]);
+        ::close(pair[1]);
+        return;
+    }
+    if (pid == 0) {
+        // Child: drop every daemon fd, keep only our pipe end.
+        ::close(pair[0]);
+        if (_listenFd >= 0)
+            ::close(_listenFd);
+        if (_sigRd >= 0)
+            ::close(_sigRd);
+        if (gSelfPipeWr >= 0)
+            ::close(gSelfPipeWr);
+        for (auto &kv : _clients)
+            ::close(kv.second.fd);
+        for (auto &w : _workers) {
+            if (w.fd >= 0)
+                ::close(w.fd);
+        }
+        workerChildSetup();
+        std::string magic;
+        appendMagic(magic);
+        writeAll(pair[1], magic);
+        // _exit, not exit: the child must not run the daemon's atexit
+        // handlers (trace writer, metrics) or flush its stdio buffers.
+        ::_exit(workerMain(pair[1]));
+    }
+    ::close(pair[1]);
+    WorkerProc w;
+    w.pid = pid;
+    w.fd = pair[0];
+    std::string magic;
+    appendMagic(magic);
+    writeAll(w.fd, magic);
+    _workers.push_back(std::move(w));
+}
+
+void
+Daemon::killWorker(WorkerProc &w, const std::string &reason)
+{
+    if (w.pid < 0)
+        return;
+    w.killReason = reason;
+    ::kill(w.pid, SIGKILL);
+}
+
+WorkerProc *
+Daemon::idleWorker()
+{
+    for (auto &w : _workers) {
+        if (w.fd >= 0 && w.jobId == 0 && w.killReason.empty())
+            return &w;
+    }
+    return nullptr;
+}
+
+WorkerProc *
+Daemon::findWorker(pid_t pid)
+{
+    for (auto &w : _workers) {
+        if (w.pid == pid)
+            return &w;
+    }
+    return nullptr;
+}
+
+void
+Daemon::reapWorkers()
+{
+    int status = 0;
+    pid_t pid;
+    while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+        WorkerProc *w = findWorker(pid);
+        if (!w)
+            continue;
+        std::string why;
+        if (!w->killReason.empty()) {
+            why = w->killReason;
+        } else if (WIFSIGNALED(status)) {
+            why = format("worker killed by signal %d",
+                         WTERMSIG(status));
+        } else {
+            why = format("worker exited with status %d",
+                         WEXITSTATUS(status));
+        }
+        bool clean_quit = w->jobId == 0 && w->killReason.empty() &&
+                          WIFEXITED(status) &&
+                          WEXITSTATUS(status) == 0;
+        if (!clean_quit)
+            ++_workerDeaths;
+        if (w->jobId != 0) {
+            std::uint64_t id = w->jobId;
+            std::uint64_t now = monotonicMs();
+            warn("job %llu attempt lost: %s",
+                 static_cast<unsigned long long>(id), why.c_str());
+            if (!_queue.retryOrFail(id, now, why)) {
+                Job *job = _queue.find(id);
+                if (job) {
+                    FailedMsg failed;
+                    failed.jobId = id;
+                    failed.attempts =
+                        static_cast<std::uint8_t>(job->attempts);
+                    failed.reason = job->failReason;
+                    sendToClient(job->client, failed);
+                }
+            }
+        }
+        if (w->fd >= 0)
+            ::close(w->fd);
+        _workers.erase(_workers.begin() + (w - _workers.data()));
+        // Keep the pool at strength while there is (or may yet be)
+        // work; a drained daemon lets the pool wind down instead.
+        bool work_left =
+            _queue.queuedCount() + _queue.runningCount() > 0;
+        if (!_queue.draining() || work_left)
+            spawnWorker();
+    }
+}
+
+void
+Daemon::acceptClient()
+{
+    int fd = ::accept(_listenFd, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    ClientConn conn;
+    conn.id = _nextClientId++;
+    conn.fd = fd;
+    std::string magic;
+    appendMagic(magic);
+    writeAll(fd, magic);
+    std::uint64_t id = conn.id;
+    _clients.emplace(id, std::move(conn));
+}
+
+void
+Daemon::sendToClient(std::uint64_t client_id, const Message &msg)
+{
+    auto it = _clients.find(client_id);
+    if (it == _clients.end())
+        return; // client disconnected; its jobs still ran to term
+    std::string out;
+    appendMessage(out, msg);
+    if (!writeAll(it->second.fd, out)) {
+        ::close(it->second.fd);
+        _clients.erase(it);
+    }
+}
+
+void
+Daemon::handleClientMsg(ClientConn &client, const Message &msg)
+{
+    if (const auto *submit = std::get_if<SubmitMsg>(&msg)) {
+        std::string why;
+        std::uint64_t id =
+            _queue.submit(submit->spec, client.id, &why);
+        if (id == 0) {
+            ++_rejected;
+            RejectedMsg rejected;
+            rejected.reason = why;
+            sendToClient(client.id, rejected);
+            return;
+        }
+        ++_submitted;
+        AcceptedMsg accepted;
+        accepted.jobId = id;
+        sendToClient(client.id, accepted);
+        return;
+    }
+    if (std::holds_alternative<StatusReqMsg>(msg)) {
+        StatusMsg status;
+        status.queued =
+            static_cast<std::uint32_t>(_queue.queuedCount());
+        status.running =
+            static_cast<std::uint32_t>(_queue.runningCount());
+        status.done = static_cast<std::uint32_t>(_queue.doneCount());
+        status.failed =
+            static_cast<std::uint32_t>(_queue.failedCount());
+        status.workers = static_cast<std::uint32_t>(_workers.size());
+        status.draining = _queue.draining() ? 1 : 0;
+        sendToClient(client.id, status);
+        return;
+    }
+    if (std::holds_alternative<KillWorkerMsg>(msg)) {
+        // Prefer a busy worker (that's the interesting fault), fall
+        // back to any live one.
+        WorkerProc *victim = nullptr;
+        for (auto &w : _workers) {
+            if (w.pid < 0 || !w.killReason.empty())
+                continue;
+            if (!victim || (victim->jobId == 0 && w.jobId != 0))
+                victim = &w;
+        }
+        if (victim)
+            killWorker(*victim, "worker killed by admin request");
+        return;
+    }
+    if (std::holds_alternative<DrainMsg>(msg)) {
+        beginDrain("drain requested by client");
+        return;
+    }
+    warn("client %llu: unexpected message tag %zu; disconnecting",
+         static_cast<unsigned long long>(client.id), msg.index());
+    _closedClients.push_back(client.id);
+}
+
+void
+Daemon::handleClient(ClientConn &client)
+{
+    if (!readInto(client.fd, client.decoder)) {
+        _closedClients.push_back(client.id);
+        return;
+    }
+    for (;;) {
+        std::optional<Message> msg = client.decoder.next();
+        if (!msg)
+            break;
+        handleClientMsg(client, *msg);
+    }
+    if (!client.decoder.ok()) {
+        warn("client %llu: %s; disconnecting",
+             static_cast<unsigned long long>(client.id),
+             client.decoder.error()->describe().c_str());
+        _closedClients.push_back(client.id);
+    }
+}
+
+void
+Daemon::handleWorker(WorkerProc &w)
+{
+    if (!readInto(w.fd, w.decoder)) {
+        // EOF: the worker died; SIGCHLD reaping settles its job.
+        ::close(w.fd);
+        w.fd = -1;
+        return;
+    }
+    for (;;) {
+        std::optional<Message> msg = w.decoder.next();
+        if (!msg)
+            break;
+        if (const auto *progress = std::get_if<ProgressMsg>(&*msg)) {
+            Job *job = _queue.find(progress->jobId);
+            if (job)
+                sendToClient(job->client, *progress);
+            continue;
+        }
+        if (const auto *done = std::get_if<DoneMsg>(&*msg)) {
+            Job *job = _queue.find(done->jobId);
+            _queue.complete(done->jobId);
+            if (job)
+                sendToClient(job->client, *done);
+            if (w.jobId == done->jobId)
+                w.jobId = 0;
+            continue;
+        }
+        if (const auto *failed = std::get_if<FailedMsg>(&*msg)) {
+            // Worker-declared non-retryable failure (unknown demo).
+            Job *job = _queue.find(failed->jobId);
+            _queue.fail(failed->jobId, failed->reason);
+            if (job)
+                sendToClient(job->client, *failed);
+            if (w.jobId == failed->jobId)
+                w.jobId = 0;
+            continue;
+        }
+        warn("worker %d: unexpected message tag %zu; killing",
+             static_cast<int>(w.pid), msg->index());
+        killWorker(w, "protocol violation");
+        return;
+    }
+    if (!w.decoder.ok()) {
+        warn("worker %d: %s; killing", static_cast<int>(w.pid),
+             w.decoder.error()->describe().c_str());
+        killWorker(w, w.decoder.error()->describe());
+    }
+}
+
+void
+Daemon::killExpired(std::uint64_t now_ms)
+{
+    for (std::uint64_t id : _queue.expired(now_ms)) {
+        for (auto &w : _workers) {
+            if (w.jobId != id || !w.killReason.empty())
+                continue;
+            Job *job = _queue.find(id);
+            std::uint64_t limit =
+                job && job->spec.timeoutMs
+                    ? job->spec.timeoutMs
+                    : _opts.policy.timeoutMs;
+            ++_timeouts;
+            killWorker(w, format("timed out after %llu ms",
+                                 static_cast<unsigned long long>(
+                                     limit)));
+        }
+    }
+}
+
+bool
+Daemon::tryCacheHit(Job &job)
+{
+    core::MicroSpec spec = job.spec.toMicroSpec();
+    core::MicroRun run;
+    if (!core::loadMicroRun(run, core::cachePath(spec)))
+        return false;
+    if (run.id != spec.id || run.frames != spec.frames ||
+        run.width != spec.config.width ||
+        run.height != spec.config.height)
+        return false;
+    ++_cacheHits;
+    _queue.complete(job.id);
+    DoneMsg done;
+    done.jobId = job.id;
+    done.fromCache = 1;
+    done.attempts = static_cast<std::uint8_t>(job.attempts);
+    done.result = core::encodeMicroRun(run);
+    sendToClient(job.client, done);
+    return true;
+}
+
+void
+Daemon::dispatch(std::uint64_t now_ms)
+{
+    for (;;) {
+        Job *job = _queue.nextReady(now_ms);
+        if (!job)
+            return;
+        // Dedupe against the shared run cache before spending a
+        // worker: an identical spec already simulated (by a worker, a
+        // previous job, or a direct runner invocation) is answered
+        // from disk.
+        if (tryCacheHit(*job))
+            continue;
+        WorkerProc *w = idleWorker();
+        if (!w)
+            return; // all workers busy; stay FIFO and wait
+        _queue.markRunning(job->id, now_ms);
+        w->jobId = job->id;
+        ExecMsg exec;
+        exec.jobId = job->id;
+        exec.attempt = static_cast<std::uint8_t>(job->attempts);
+        exec.spec = job->spec;
+        std::string out;
+        appendMessage(out, exec);
+        if (!writeAll(w->fd, out)) {
+            // Worker pipe already broken; reap will requeue the job.
+            ::close(w->fd);
+            w->fd = -1;
+        }
+    }
+}
+
+void
+Daemon::beginDrain(const char *why)
+{
+    if (_queue.draining())
+        return;
+    inform("draining: %s (%zu job(s) to finish)", why,
+           _queue.queuedCount() + _queue.runningCount());
+    _queue.beginDrain();
+}
+
+void
+Daemon::writeMetrics()
+{
+    if (_opts.metricsPath.empty())
+        return;
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value::str("wc3d-serve-metrics-v1"));
+    doc.set("workers", json::Value::number(
+                           static_cast<std::int64_t>(_opts.workers)));
+    doc.set("queue_bound",
+            json::Value::number(
+                static_cast<std::uint64_t>(_opts.queueBound)));
+    doc.set("submitted", json::Value::number(_submitted));
+    doc.set("rejected", json::Value::number(_rejected));
+    doc.set("done", json::Value::number(
+                        static_cast<std::uint64_t>(_queue.doneCount())));
+    doc.set("failed",
+            json::Value::number(
+                static_cast<std::uint64_t>(_queue.failedCount())));
+    doc.set("retries",
+            json::Value::number(
+                static_cast<std::uint64_t>(_queue.retryCount())));
+    doc.set("timeouts", json::Value::number(_timeouts));
+    doc.set("worker_deaths", json::Value::number(_workerDeaths));
+    doc.set("cache_hits", json::Value::number(_cacheHits));
+    json::Value jobs = json::Value::array();
+    for (const Job *job : _queue.terminalJobs()) {
+        json::Value j = json::Value::object();
+        j.set("id", json::Value::number(job->id));
+        j.set("demo", json::Value::str(job->spec.demo));
+        j.set("state", json::Value::str(job->state == JobState::Done
+                                            ? "done"
+                                            : "failed"));
+        j.set("attempts",
+              json::Value::number(
+                  static_cast<std::int64_t>(job->attempts)));
+        if (!job->failReason.empty())
+            j.set("reason", json::Value::str(job->failReason));
+        jobs.push(std::move(j));
+    }
+    doc.set("jobs", std::move(jobs));
+    std::string error;
+    if (!json::writeFileAtomic(_opts.metricsPath,
+                               doc.serialize(2) + "\n", &error))
+        warn("could not write serve metrics: %s", error.c_str());
+    else
+        inform("serve metrics written to %s",
+               _opts.metricsPath.c_str());
+}
+
+int
+Daemon::shutdown()
+{
+    // Every accepted job is terminal; tell the surviving workers to
+    // exit and collect them.
+    std::string quit;
+    appendMessage(quit, QuitMsg());
+    for (auto &w : _workers) {
+        if (w.fd >= 0)
+            writeAll(w.fd, quit);
+    }
+    for (auto &w : _workers) {
+        if (w.pid >= 0) {
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+        }
+        if (w.fd >= 0)
+            ::close(w.fd);
+    }
+    _workers.clear();
+    for (auto &kv : _clients)
+        ::close(kv.second.fd);
+    _clients.clear();
+    if (_listenFd >= 0)
+        ::close(_listenFd);
+    ::unlink(_opts.socketPath.c_str());
+    writeMetrics();
+    inform("drain complete: %zu done, %zu failed, %zu retries, "
+           "%llu timeouts, %llu worker death(s)",
+           _queue.doneCount(), _queue.failedCount(),
+           _queue.retryCount(),
+           static_cast<unsigned long long>(_timeouts),
+           static_cast<unsigned long long>(_workerDeaths));
+    return 0;
+}
+
+int
+Daemon::run()
+{
+    ServeError error;
+    _listenFd = listenUnix(_opts.socketPath, &error);
+    if (_listenFd < 0) {
+        warn("%s", error.describe().c_str());
+        return 1;
+    }
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+        warn("pipe(): %s", std::strerror(errno));
+        ::close(_listenFd);
+        return 1;
+    }
+    _sigRd = pipefd[0];
+    gSelfPipeWr = pipefd[1];
+    // Non-blocking both ways: the handler must never stall on a full
+    // pipe, and the drain loop below must never stall on an empty one.
+    ::fcntl(_sigRd, F_SETFL, O_NONBLOCK);
+    ::fcntl(gSelfPipeWr, F_SETFL, O_NONBLOCK);
+
+    std::signal(SIGPIPE, SIG_IGN);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGCHLD, &sa, nullptr);
+
+    for (int i = 0; i < _opts.workers; ++i)
+        spawnWorker();
+    inform("wc3d-served listening on %s (%d worker(s), queue %zu, "
+           "%d attempt(s), %llu ms timeout)",
+           _opts.socketPath.c_str(), _opts.workers, _opts.queueBound,
+           _opts.policy.maxAttempts,
+           static_cast<unsigned long long>(_opts.policy.timeoutMs));
+
+    for (;;) {
+        std::vector<pollfd> fds;
+        fds.push_back({_sigRd, POLLIN, 0});
+        fds.push_back({_listenFd, POLLIN, 0});
+        std::vector<std::uint64_t> client_ids;
+        for (auto &kv : _clients) {
+            fds.push_back({kv.second.fd, POLLIN, 0});
+            client_ids.push_back(kv.first);
+        }
+        std::vector<pid_t> worker_pids;
+        for (auto &w : _workers) {
+            if (w.fd < 0)
+                continue;
+            fds.push_back({w.fd, POLLIN, 0});
+            worker_pids.push_back(w.pid);
+        }
+
+        std::uint64_t now = monotonicMs();
+        int timeout =
+            static_cast<int>(_queue.nextEventDelay(now, 500));
+        int rc = ::poll(fds.data(), fds.size(), timeout);
+        if (rc < 0 && errno != EINTR) {
+            warn("poll(): %s", std::strerror(errno));
+            return 1;
+        }
+
+        if (rc > 0) {
+            std::size_t idx = 0;
+            if (fds[idx].revents & POLLIN) {
+                char tags[64];
+                ssize_t n;
+                while ((n = ::read(_sigRd, tags, sizeof(tags))) > 0) {
+                    for (ssize_t i = 0; i < n; ++i) {
+                        if (tags[i] == 'T')
+                            beginDrain("signal received");
+                    }
+                    if (static_cast<std::size_t>(n) < sizeof(tags))
+                        break;
+                }
+                reapWorkers();
+            }
+            ++idx;
+            if (fds[idx].revents & POLLIN)
+                acceptClient();
+            ++idx;
+            for (std::size_t c = 0; c < client_ids.size();
+                 ++c, ++idx) {
+                if (!(fds[idx].revents & (POLLIN | POLLHUP)))
+                    continue;
+                auto it = _clients.find(client_ids[c]);
+                if (it != _clients.end())
+                    handleClient(it->second);
+            }
+            for (std::size_t wi = 0; wi < worker_pids.size();
+                 ++wi, ++idx) {
+                if (!(fds[idx].revents & (POLLIN | POLLHUP)))
+                    continue;
+                WorkerProc *w = findWorker(worker_pids[wi]);
+                if (w && w->fd >= 0)
+                    handleWorker(*w);
+            }
+        }
+
+        for (std::uint64_t id : _closedClients) {
+            auto it = _clients.find(id);
+            if (it != _clients.end()) {
+                ::close(it->second.fd);
+                _clients.erase(it);
+            }
+        }
+        _closedClients.clear();
+
+        // waitpid() is cheap and SIGCHLD coalesces; always sweep so a
+        // missed tag byte (full pipe) can't strand a dead worker.
+        reapWorkers();
+        now = monotonicMs();
+        killExpired(now);
+        dispatch(now);
+
+        if (_queue.draining() && _queue.drained())
+            return shutdown();
+    }
+}
+
+} // namespace
+
+DaemonOptions
+DaemonOptions::fromEnv()
+{
+    DaemonOptions opts;
+    opts.socketPath = envString("WC3D_SERVE_SOCKET", "wc3d-served.sock");
+    opts.workers = std::max(1, envInt("WC3D_SERVE_WORKERS", 2));
+    opts.queueBound = static_cast<std::size_t>(
+        std::max(1, envInt("WC3D_SERVE_QUEUE", 64)));
+    opts.policy.timeoutMs = static_cast<std::uint64_t>(
+        std::max(1, envInt("WC3D_SERVE_TIMEOUT_MS", 120000)));
+    opts.policy.maxAttempts =
+        std::max(1, envInt("WC3D_SERVE_RETRIES", 3));
+    opts.policy.backoffBaseMs = static_cast<std::uint64_t>(
+        std::max(1, envInt("WC3D_SERVE_BACKOFF_MS", 100)));
+    opts.metricsPath = envString("WC3D_SERVE_METRICS_OUT", "");
+    return opts;
+}
+
+int
+runDaemon(const DaemonOptions &opts)
+{
+    return Daemon(opts).run();
+}
+
+} // namespace wc3d::serve

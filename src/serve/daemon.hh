@@ -1,0 +1,51 @@
+/**
+ * @file
+ * wc3d-served: the batch-serving daemon event loop. A single-threaded
+ * poll() loop owns the Unix listening socket, the client connections
+ * and one pipe per worker subprocess; workers are fork()ed children
+ * running serve::workerMain (single-threaded parent, so forking
+ * without exec is safe). Fault tolerance lives in serve::JobQueue —
+ * the daemon feeds it wall-clock time and turns its decisions into
+ * SIGKILLs, respawns and client messages.
+ */
+
+#ifndef WC3D_SERVE_DAEMON_HH
+#define WC3D_SERVE_DAEMON_HH
+
+#include <cstddef>
+#include <string>
+
+#include "serve/jobqueue.hh"
+
+namespace wc3d::serve {
+
+/** Daemon configuration; fromEnv() resolves the WC3D_SERVE_* knobs. */
+struct DaemonOptions
+{
+    std::string socketPath = "wc3d-served.sock";
+    int workers = 2;          ///< worker subprocess pool size
+    std::size_t queueBound = 64; ///< max queued+running jobs
+    RetryPolicy policy;
+    /** Where to write the wc3d-serve-metrics-v1 manifest on exit
+     *  ("" = skip). */
+    std::string metricsPath;
+
+    /**
+     * Defaults overridden by WC3D_SERVE_SOCKET, WC3D_SERVE_WORKERS,
+     * WC3D_SERVE_QUEUE, WC3D_SERVE_TIMEOUT_MS, WC3D_SERVE_RETRIES,
+     * WC3D_SERVE_BACKOFF_MS and WC3D_SERVE_METRICS_OUT.
+     */
+    static DaemonOptions fromEnv();
+};
+
+/**
+ * Run the daemon until drained: serves jobs until a DrainMsg, SIGTERM
+ * or SIGINT arrives, then finishes every accepted job, rejects new
+ * ones, stops the workers, writes the metrics manifest and removes
+ * the socket. @return a process exit status (0 = clean drain).
+ */
+int runDaemon(const DaemonOptions &opts);
+
+} // namespace wc3d::serve
+
+#endif // WC3D_SERVE_DAEMON_HH

@@ -1,0 +1,187 @@
+#include "serve/jobqueue.hh"
+
+#include "common/strutil.hh"
+
+namespace wc3d::serve {
+
+std::uint64_t
+JobQueue::submit(const JobSpec &spec, std::uint64_t client,
+                 std::string *why_not)
+{
+    if (_draining) {
+        if (why_not)
+            *why_not = "daemon is draining";
+        return 0;
+    }
+    if (queuedCount() + runningCount() >= _capacity) {
+        if (why_not)
+            *why_not = format("queue is full (%zu jobs)", _capacity);
+        return 0;
+    }
+    Job job;
+    job.id = _nextId++;
+    job.spec = spec;
+    job.seq = _nextSeq++;
+    job.client = client;
+    std::uint64_t id = job.id;
+    _jobs.emplace(id, std::move(job));
+    return id;
+}
+
+Job *
+JobQueue::nextReady(std::uint64_t now_ms)
+{
+    Job *best = nullptr;
+    for (auto &kv : _jobs) {
+        Job &job = kv.second;
+        bool ready = job.state == JobState::Queued ||
+                     (job.state == JobState::Waiting &&
+                      job.readyAtMs <= now_ms);
+        if (!ready)
+            continue;
+        if (!best || job.seq < best->seq)
+            best = &job;
+    }
+    return best;
+}
+
+void
+JobQueue::markRunning(std::uint64_t id, std::uint64_t now_ms)
+{
+    Job *job = find(id);
+    if (!job)
+        return;
+    job->state = JobState::Running;
+    ++job->attempts;
+    std::uint64_t timeout =
+        job->spec.timeoutMs ? job->spec.timeoutMs : _policy.timeoutMs;
+    job->deadlineMs = now_ms + timeout;
+}
+
+std::vector<std::uint64_t>
+JobQueue::expired(std::uint64_t now_ms) const
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &kv : _jobs) {
+        const Job &job = kv.second;
+        if (job.state == JobState::Running && now_ms >= job.deadlineMs)
+            out.push_back(job.id);
+    }
+    return out;
+}
+
+void
+JobQueue::complete(std::uint64_t id)
+{
+    Job *job = find(id);
+    if (!job || job->state == JobState::Done ||
+        job->state == JobState::Failed)
+        return;
+    job->state = JobState::Done;
+    ++_done;
+}
+
+void
+JobQueue::fail(std::uint64_t id, std::string reason)
+{
+    Job *job = find(id);
+    if (!job || job->state == JobState::Done ||
+        job->state == JobState::Failed)
+        return;
+    job->state = JobState::Failed;
+    job->failReason = std::move(reason);
+    ++_failed;
+}
+
+bool
+JobQueue::retryOrFail(std::uint64_t id, std::uint64_t now_ms,
+                      const std::string &why)
+{
+    Job *job = find(id);
+    if (!job || job->state != JobState::Running)
+        return false;
+    if (job->attempts >= _policy.maxAttempts) {
+        fail(id, format("poison job: %d attempt(s) exhausted, last "
+                        "failure: %s",
+                        job->attempts, why.c_str()));
+        return false;
+    }
+    ++_retries;
+    job->state = JobState::Waiting;
+    job->readyAtMs =
+        now_ms + _policy.backoffForAttempt(job->attempts + 1);
+    job->deadlineMs = 0;
+    return true;
+}
+
+bool
+JobQueue::drained() const
+{
+    for (const auto &kv : _jobs) {
+        JobState s = kv.second.state;
+        if (s != JobState::Done && s != JobState::Failed)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+JobQueue::nextEventDelay(std::uint64_t now_ms,
+                         std::uint64_t cap_ms) const
+{
+    std::uint64_t delay = cap_ms;
+    auto consider = [&delay, now_ms](std::uint64_t at_ms) {
+        std::uint64_t d = at_ms > now_ms ? at_ms - now_ms : 0;
+        if (d < delay)
+            delay = d;
+    };
+    for (const auto &kv : _jobs) {
+        const Job &job = kv.second;
+        if (job.state == JobState::Waiting)
+            consider(job.readyAtMs);
+        else if (job.state == JobState::Running)
+            consider(job.deadlineMs);
+    }
+    return delay;
+}
+
+Job *
+JobQueue::find(std::uint64_t id)
+{
+    auto it = _jobs.find(id);
+    return it != _jobs.end() ? &it->second : nullptr;
+}
+
+std::size_t
+JobQueue::queuedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : _jobs) {
+        JobState s = kv.second.state;
+        n += s == JobState::Queued || s == JobState::Waiting;
+    }
+    return n;
+}
+
+std::size_t
+JobQueue::runningCount() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : _jobs)
+        n += kv.second.state == JobState::Running;
+    return n;
+}
+
+std::vector<const Job *>
+JobQueue::terminalJobs() const
+{
+    std::vector<const Job *> out;
+    for (const auto &kv : _jobs) {
+        JobState s = kv.second.state;
+        if (s == JobState::Done || s == JobState::Failed)
+            out.push_back(&kv.second);
+    }
+    return out;
+}
+
+} // namespace wc3d::serve

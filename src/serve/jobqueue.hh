@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The daemon's job table: a bounded FIFO queue plus the
+ * fault-tolerance state machine — per-job wall-clock deadlines,
+ * bounded retry with exponential backoff, a poison-job cap, and the
+ * drain protocol. Pure bookkeeping: time is injected (milliseconds),
+ * no threads, no IO — so every scheduling edge case is unit-testable
+ * (tests/test_serve.cc).
+ *
+ * Job lifecycle:
+ *
+ *   submit -> Queued -> Running -> Done
+ *                ^         |
+ *                |         +-- crash/timeout, attempts left
+ *             Waiting <----+      (backoff: base * 2^(attempt-1),
+ *            (backoff)            capped)
+ *                          |
+ *                          +-- attempts exhausted -> Failed (poison)
+ *
+ * Draining: new submissions are rejected; everything already accepted
+ * (Queued, Waiting and Running) still runs to a terminal state, so an
+ * accepted job is never lost.
+ */
+
+#ifndef WC3D_SERVE_JOBQUEUE_HH
+#define WC3D_SERVE_JOBQUEUE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace wc3d::serve {
+
+/** Retry/timeout knobs (env-resolved by DaemonOptions::fromEnv). */
+struct RetryPolicy
+{
+    int maxAttempts = 3;              ///< poison cap (>=1)
+    std::uint64_t timeoutMs = 120000; ///< per-attempt wall clock
+    std::uint64_t backoffBaseMs = 100;
+    std::uint64_t backoffCapMs = 10000;
+
+    /** Backoff before attempt @p next_attempt (2-based; the first
+     *  attempt never waits). */
+    std::uint64_t
+    backoffForAttempt(int next_attempt) const
+    {
+        std::uint64_t d = backoffBaseMs;
+        for (int i = 2; i < next_attempt && d < backoffCapMs; ++i)
+            d *= 2;
+        return d < backoffCapMs ? d : backoffCapMs;
+    }
+};
+
+enum class JobState
+{
+    Queued,  ///< ready to dispatch
+    Waiting, ///< backing off after a failed attempt
+    Running, ///< on a worker, deadline armed
+    Done,    ///< terminal success
+    Failed,  ///< terminal failure (reason recorded)
+};
+
+struct Job
+{
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    int attempts = 0; ///< dispatch attempts started so far
+    std::uint64_t seq = 0;       ///< submission order (FIFO key)
+    std::uint64_t readyAtMs = 0; ///< Waiting: earliest re-dispatch
+    std::uint64_t deadlineMs = 0; ///< Running: wall-clock timeout
+    std::uint64_t client = 0; ///< opaque owner token (0 = orphaned)
+    std::string failReason;
+};
+
+class JobQueue
+{
+  public:
+    JobQueue(std::size_t capacity, RetryPolicy policy)
+        : _capacity(capacity), _policy(policy)
+    {
+    }
+
+    const RetryPolicy &policy() const { return _policy; }
+
+    /**
+     * Queue a job. @return the new job id, or 0 with @p why_not set
+     * when rejected (queue at capacity, or draining).
+     */
+    std::uint64_t submit(const JobSpec &spec, std::uint64_t client,
+                         std::string *why_not);
+
+    /**
+     * Oldest dispatchable job at @p now_ms (Queued, or Waiting whose
+     * backoff expired), or nullptr. Does not change state — pair with
+     * markRunning() once actually handed to a worker.
+     */
+    Job *nextReady(std::uint64_t now_ms);
+
+    /** Transition to Running: counts the attempt, arms the deadline
+     *  (spec.timeoutMs overrides the policy default when set). */
+    void markRunning(std::uint64_t id, std::uint64_t now_ms);
+
+    /** Running jobs whose deadline passed at @p now_ms. */
+    std::vector<std::uint64_t> expired(std::uint64_t now_ms) const;
+
+    /** Terminal success. */
+    void complete(std::uint64_t id);
+
+    /** Terminal failure (no retry — e.g. unknown demo id). */
+    void fail(std::uint64_t id, std::string reason);
+
+    /**
+     * The running attempt died (worker crash or timeout). Requeues
+     * with exponential backoff while attempts remain; otherwise the
+     * job goes Failed with a poison-cap reason.
+     * @return true when requeued, false when the job is now Failed.
+     */
+    bool retryOrFail(std::uint64_t id, std::uint64_t now_ms,
+                     const std::string &why);
+
+    /** Reject new submissions; accepted jobs still run to term. */
+    void beginDrain() { _draining = true; }
+    bool draining() const { return _draining; }
+
+    /** @return true when every accepted job reached a terminal state. */
+    bool drained() const;
+
+    /**
+     * Milliseconds until the next scheduling event (backoff expiry or
+     * running-job deadline) from @p now_ms; @p cap_ms when none is
+     * pending sooner.
+     */
+    std::uint64_t nextEventDelay(std::uint64_t now_ms,
+                                 std::uint64_t cap_ms) const;
+
+    Job *find(std::uint64_t id);
+
+    /** @name Counters (live states count jobs, terminal ones events) */
+    /// @{
+    std::size_t queuedCount() const;  ///< Queued + Waiting
+    std::size_t runningCount() const;
+    std::size_t doneCount() const { return _done; }
+    std::size_t failedCount() const { return _failed; }
+    std::size_t retryCount() const { return _retries; }
+    /// @}
+
+    /** Terminal jobs, oldest first (manifest export). */
+    std::vector<const Job *> terminalJobs() const;
+
+  private:
+    std::size_t _capacity;
+    RetryPolicy _policy;
+    bool _draining = false;
+    std::uint64_t _nextId = 1;
+    std::uint64_t _nextSeq = 1;
+    std::map<std::uint64_t, Job> _jobs; // id -> job (ids ascend = FIFO)
+    std::size_t _done = 0;
+    std::size_t _failed = 0;
+    std::size_t _retries = 0;
+};
+
+} // namespace wc3d::serve
+
+#endif // WC3D_SERVE_JOBQUEUE_HH

@@ -1,0 +1,467 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+#include "common/strutil.hh"
+
+namespace wc3d::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'C', '3', 'D', 'S', 'R', 'V', '1'};
+
+/** Message tags, in Message variant order. */
+constexpr std::uint8_t kMaxTag =
+    static_cast<std::uint8_t>(std::variant_size_v<Message> - 1);
+
+/** Little-endian primitive writers (the api/trace Out idiom). */
+struct Out
+{
+    std::string &buf;
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        buf.append(static_cast<const char *>(p), n);
+    }
+
+    void u8(std::uint8_t v) { bytes(&v, 1); }
+    void
+    u32(std::uint32_t v)
+    {
+        std::uint8_t b[4] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 24)};
+        bytes(b, 4);
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+};
+
+/**
+ * Validating little-endian reader over one record's payload. The
+ * first failure latches; later reads are no-ops returning zeros, so
+ * decoders read straight through and check once at the end.
+ */
+struct Cursor
+{
+    const unsigned char *data = nullptr;
+    std::size_t size = 0;
+    std::size_t pos = 0;
+    std::optional<ServeError> err;
+
+    bool failed() const { return err.has_value(); }
+    std::size_t remaining() const { return size - pos; }
+
+    void
+    fail(std::string reason)
+    {
+        if (!err)
+            err = ServeError{std::move(reason)};
+    }
+
+    bool
+    take(void *p, std::size_t n)
+    {
+        if (failed())
+            return false;
+        if (n > remaining()) {
+            fail(format("record payload truncated: field needs %zu "
+                        "bytes, %zu left",
+                        n, remaining()));
+            return false;
+        }
+        std::memcpy(p, data + pos, n);
+        pos += n;
+        return true;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        take(&v, 1);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        unsigned char b[4] = {};
+        if (!take(b, 4))
+            return 0;
+        return static_cast<std::uint32_t>(b[0]) |
+               static_cast<std::uint32_t>(b[1]) << 8 |
+               static_cast<std::uint32_t>(b[2]) << 16 |
+               static_cast<std::uint32_t>(b[3]) << 24;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        std::uint64_t hi = u32();
+        return lo | hi << 32;
+    }
+
+    std::uint8_t
+    boolByte(const char *what)
+    {
+        std::uint8_t v = u8();
+        if (!failed() && v > 1)
+            fail(format("%s is not a bool byte: %u", what, v));
+        return v;
+    }
+
+    std::string
+    str(const char *what, std::uint32_t cap)
+    {
+        std::uint32_t n = u32();
+        if (failed())
+            return {};
+        if (n > cap) {
+            fail(format("%s length %u exceeds cap %u", what, n, cap));
+            return {};
+        }
+        if (n > remaining()) {
+            fail(format("%s claims %u bytes, record has %zu left",
+                        what, n, remaining()));
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+void
+encodeSpec(Out &out, const JobSpec &spec)
+{
+    out.str(spec.demo);
+    out.u32(spec.frameBegin);
+    out.u32(spec.frames);
+    out.u32(spec.width);
+    out.u32(spec.height);
+    out.u8(spec.hzEnabled);
+    out.u8(spec.hzMinMax);
+    out.u32(spec.vertexCacheEntries);
+    out.u32(spec.tileSize);
+    out.u32(spec.timeoutMs);
+    out.u32(spec.debugSleepMs);
+    out.u8(spec.debugCrashAttempts);
+}
+
+JobSpec
+decodeSpec(Cursor &in)
+{
+    JobSpec spec;
+    spec.demo = in.str("job demo id", kServeMaxDemoBytes);
+    spec.frameBegin = in.u32();
+    spec.frames = in.u32();
+    spec.width = in.u32();
+    spec.height = in.u32();
+    spec.hzEnabled = in.boolByte("hzEnabled");
+    spec.hzMinMax = in.boolByte("hzMinMax");
+    spec.vertexCacheEntries = in.u32();
+    spec.tileSize = in.u32();
+    spec.timeoutMs = in.u32();
+    spec.debugSleepMs = in.u32();
+    spec.debugCrashAttempts = in.u8();
+    if (!in.failed()) {
+        if (auto err = spec.validate())
+            in.fail(err->reason);
+    }
+    return spec;
+}
+
+} // namespace
+
+core::MicroSpec
+JobSpec::toMicroSpec() const
+{
+    core::MicroSpec m;
+    m.id = demo;
+    m.frameBegin = static_cast<int>(frameBegin);
+    m.frames = static_cast<int>(frames);
+    m.config.width = static_cast<int>(width);
+    m.config.height = static_cast<int>(height);
+    m.config.hzEnabled = hzEnabled != 0;
+    m.config.hzMinMax = hzMinMax != 0;
+    m.config.vertexCacheEntries = static_cast<int>(vertexCacheEntries);
+    m.config.tileSize = static_cast<int>(tileSize);
+    return m;
+}
+
+std::optional<ServeError>
+JobSpec::validate() const
+{
+    auto bad = [](std::string reason) {
+        return std::optional<ServeError>(ServeError{std::move(reason)});
+    };
+    if (demo.empty())
+        return bad("job demo id is empty");
+    if (demo.size() > kServeMaxDemoBytes)
+        return bad(format("job demo id is %zu bytes (cap %u)",
+                          demo.size(), kServeMaxDemoBytes));
+    if (frames < 1 || frames > kServeMaxFrames)
+        return bad(format("frames out of range: %u (1..%u)", frames,
+                          kServeMaxFrames));
+    if (frameBegin > kServeMaxFrameBegin)
+        return bad(format("frameBegin out of range: %u (cap %u)",
+                          frameBegin, kServeMaxFrameBegin));
+    auto dim = [&bad](const char *what,
+                      std::uint32_t v) -> std::optional<ServeError> {
+        if (v < static_cast<std::uint32_t>(kServeMinDim) ||
+            v > static_cast<std::uint32_t>(kServeMaxDim))
+            return bad(format("%s out of range: %u (%d..%d)", what, v,
+                              kServeMinDim, kServeMaxDim));
+        return std::nullopt;
+    };
+    if (auto err = dim("width", width))
+        return err;
+    if (auto err = dim("height", height))
+        return err;
+    if (hzEnabled > 1)
+        return bad(format("hzEnabled is not a bool: %u", hzEnabled));
+    if (hzMinMax > 1)
+        return bad(format("hzMinMax is not a bool: %u", hzMinMax));
+    if (vertexCacheEntries < 1 || vertexCacheEntries > 4096)
+        return bad(format("vertexCacheEntries out of range: %u (1..4096)",
+                          vertexCacheEntries));
+    if (tileSize > 1024)
+        return bad(format("tileSize out of range: %u (0..1024)",
+                          tileSize));
+    if (timeoutMs > 3600000)
+        return bad(format("timeoutMs out of range: %u (0..3600000)",
+                          timeoutMs));
+    if (debugSleepMs > 600000)
+        return bad(format("debugSleepMs out of range: %u (0..600000)",
+                          debugSleepMs));
+    return std::nullopt;
+}
+
+void
+appendMagic(std::string &out)
+{
+    out.append(kMagic, sizeof(kMagic));
+}
+
+void
+appendMessage(std::string &out, const Message &msg)
+{
+    std::string payload;
+    Out body{payload};
+    std::visit(
+        [&body](const auto &m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, SubmitMsg>) {
+                encodeSpec(body, m.spec);
+            } else if constexpr (std::is_same_v<T, AcceptedMsg>) {
+                body.u64(m.jobId);
+            } else if constexpr (std::is_same_v<T, RejectedMsg>) {
+                body.str(m.reason);
+            } else if constexpr (std::is_same_v<T, ProgressMsg>) {
+                body.u64(m.jobId);
+                body.u32(m.framesDone);
+                body.u32(m.framesTotal);
+            } else if constexpr (std::is_same_v<T, DoneMsg>) {
+                body.u64(m.jobId);
+                body.u8(m.fromCache);
+                body.u8(m.attempts);
+                body.str(m.result);
+            } else if constexpr (std::is_same_v<T, FailedMsg>) {
+                body.u64(m.jobId);
+                body.u8(m.attempts);
+                body.str(m.reason);
+            } else if constexpr (std::is_same_v<T, StatusMsg>) {
+                body.u32(m.queued);
+                body.u32(m.running);
+                body.u32(m.done);
+                body.u32(m.failed);
+                body.u32(m.workers);
+                body.u8(m.draining);
+            } else if constexpr (std::is_same_v<T, ExecMsg>) {
+                body.u64(m.jobId);
+                body.u8(m.attempt);
+                encodeSpec(body, m.spec);
+            }
+            // StatusReqMsg/KillWorkerMsg/DrainMsg/QuitMsg: empty payload.
+        },
+        msg);
+
+    Out frame{out};
+    frame.u8(static_cast<std::uint8_t>(msg.index()));
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    out += payload;
+}
+
+void
+MessageDecoder::feed(const void *data, std::size_t n)
+{
+    // Compact consumed bytes occasionally so the buffer stays bounded.
+    if (_pos > 0 && (_pos == _buf.size() || _pos > (1u << 16))) {
+        _buf.erase(0, _pos);
+        _pos = 0;
+    }
+    _buf.append(static_cast<const char *>(data), n);
+}
+
+void
+MessageDecoder::fail(std::string reason)
+{
+    if (!_error)
+        _error = ServeError{std::move(reason)};
+}
+
+std::optional<Message>
+MessageDecoder::next()
+{
+    if (!ok())
+        return std::nullopt;
+
+    if (!_sawMagic) {
+        if (_buf.size() - _pos < sizeof(kMagic))
+            return std::nullopt;
+        if (std::memcmp(_buf.data() + _pos, kMagic, sizeof(kMagic)) !=
+            0) {
+            fail("bad stream magic (want WC3DSRV1)");
+            return std::nullopt;
+        }
+        _pos += sizeof(kMagic);
+        _sawMagic = true;
+    }
+
+    if (_buf.size() - _pos < 5)
+        return std::nullopt; // header incomplete
+    const unsigned char *hdr =
+        reinterpret_cast<const unsigned char *>(_buf.data()) + _pos;
+    std::uint8_t tag = hdr[0];
+    std::uint32_t len = static_cast<std::uint32_t>(hdr[1]) |
+                        static_cast<std::uint32_t>(hdr[2]) << 8 |
+                        static_cast<std::uint32_t>(hdr[3]) << 16 |
+                        static_cast<std::uint32_t>(hdr[4]) << 24;
+    if (tag > kMaxTag) {
+        fail(format("unknown message tag %u", tag));
+        return std::nullopt;
+    }
+    if (len > kServeMaxPayload) {
+        // Length-lie: reject before buffering, never allocate for it.
+        fail(format("record length %u exceeds cap %u", len,
+                    kServeMaxPayload));
+        return std::nullopt;
+    }
+    if (_buf.size() - _pos - 5 < len)
+        return std::nullopt; // payload incomplete
+
+    Cursor in;
+    in.data = reinterpret_cast<const unsigned char *>(_buf.data()) +
+              _pos + 5;
+    in.size = len;
+    Message msg;
+    switch (tag) {
+    case 0: {
+        SubmitMsg m;
+        m.spec = decodeSpec(in);
+        msg = std::move(m);
+        break;
+    }
+    case 1:
+        msg = StatusReqMsg{};
+        break;
+    case 2:
+        msg = KillWorkerMsg{};
+        break;
+    case 3:
+        msg = DrainMsg{};
+        break;
+    case 4: {
+        AcceptedMsg m;
+        m.jobId = in.u64();
+        msg = m;
+        break;
+    }
+    case 5: {
+        RejectedMsg m;
+        m.reason = in.str("rejection reason", kServeMaxStringBytes);
+        msg = std::move(m);
+        break;
+    }
+    case 6: {
+        ProgressMsg m;
+        m.jobId = in.u64();
+        m.framesDone = in.u32();
+        m.framesTotal = in.u32();
+        if (!in.failed() && m.framesDone > m.framesTotal)
+            in.fail(format("progress %u/%u runs past its total",
+                           m.framesDone, m.framesTotal));
+        msg = m;
+        break;
+    }
+    case 7: {
+        DoneMsg m;
+        m.jobId = in.u64();
+        m.fromCache = in.boolByte("fromCache");
+        m.attempts = in.u8();
+        m.result = in.str("result document", kServeMaxStringBytes);
+        msg = std::move(m);
+        break;
+    }
+    case 8: {
+        FailedMsg m;
+        m.jobId = in.u64();
+        m.attempts = in.u8();
+        m.reason = in.str("failure reason", kServeMaxStringBytes);
+        msg = std::move(m);
+        break;
+    }
+    case 9: {
+        StatusMsg m;
+        m.queued = in.u32();
+        m.running = in.u32();
+        m.done = in.u32();
+        m.failed = in.u32();
+        m.workers = in.u32();
+        m.draining = in.boolByte("draining");
+        msg = m;
+        break;
+    }
+    case 10: {
+        ExecMsg m;
+        m.jobId = in.u64();
+        m.attempt = in.u8();
+        m.spec = decodeSpec(in);
+        if (!in.failed() && m.attempt < 1)
+            in.fail("exec attempt must be >= 1");
+        msg = std::move(m);
+        break;
+    }
+    case 11:
+        msg = QuitMsg{};
+        break;
+    }
+
+    if (in.failed()) {
+        fail(in.err->reason);
+        return std::nullopt;
+    }
+    if (in.pos != len) {
+        fail(format("record payload has %zu trailing byte(s)",
+                    len - in.pos));
+        return std::nullopt;
+    }
+    _pos += 5 + len;
+    return msg;
+}
+
+} // namespace wc3d::serve

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Wire protocol of the wc3d batch-serving daemon (wc3d-served).
+ *
+ * Both directions of every serve connection — client <-> daemon over
+ * the Unix socket, and daemon <-> worker subprocess over its pipe —
+ * speak the same stream format: an 8-byte magic "WC3DSRV1", then a
+ * sequence of records, each a 1-byte message tag, a 4-byte
+ * little-endian payload length, and the payload.
+ *
+ * Error model (the WC3DTRC2 discipline, see api/trace.hh): neither
+ * side ever kills the process. The decoder validates every field —
+ * enum/bool ranges, string length against both a cap and the bytes
+ * remaining in the record, numeric ranges of job parameters — and
+ * reports the first problem as a structured ServeError{reason}; a
+ * malformed peer is disconnected, not obeyed. Truncated input is not
+ * an error: the decoder simply waits for more bytes, so it composes
+ * with non-blocking reads.
+ */
+
+#ifndef WC3D_SERVE_PROTOCOL_HH
+#define WC3D_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "core/runner.hh"
+
+namespace wc3d::serve {
+
+/** A structured protocol violation: why the stream was rejected. */
+struct ServeError
+{
+    std::string reason;
+
+    std::string describe() const { return "serve protocol: " + reason; }
+};
+
+/** @name Decoder hardening caps
+ * Enforced before any allocation or dispatch; a corrupt or hostile
+ * stream is rejected with a ServeError instead of over-allocating.
+ */
+/// @{
+constexpr std::uint32_t kServeMaxPayload = 1u << 26;     ///< one record
+constexpr std::uint32_t kServeMaxStringBytes = 1u << 25; ///< result text
+constexpr std::uint32_t kServeMaxDemoBytes = 256;
+constexpr std::uint32_t kServeMaxFrames = 100000;
+constexpr std::uint32_t kServeMaxFrameBegin = 1u << 20;
+constexpr int kServeMinDim = 16;
+constexpr int kServeMaxDim = 8192;
+/// @}
+
+/**
+ * One simulation job: a timedemo (or synth-profile) id, a frame
+ * window, and the GpuConfig knobs a client may override. The debug*
+ * fields are fault-injection hooks for the soak harness: a worker
+ * sleeps debugSleepMs before simulating (timeout induction) and
+ * _exit()s while the dispatch attempt is <= debugCrashAttempts (crash
+ * induction; 255 = always, a poison job).
+ */
+struct JobSpec
+{
+    std::string demo;
+    std::uint32_t frameBegin = 0;
+    std::uint32_t frames = 1;
+    std::uint32_t width = 1024;
+    std::uint32_t height = 768;
+    std::uint8_t hzEnabled = 1;
+    std::uint8_t hzMinMax = 0;
+    std::uint32_t vertexCacheEntries = 16;
+    std::uint32_t tileSize = 0;
+    /** Per-job wall-clock timeout override, ms (0 = daemon default). */
+    std::uint32_t timeoutMs = 0;
+    std::uint32_t debugSleepMs = 0;
+    std::uint8_t debugCrashAttempts = 0;
+
+    /** The core-runner description of this job (debug fields and the
+     *  timeout override do not shape the simulation). */
+    core::MicroSpec toMicroSpec() const;
+
+    /** Structural validation (ranges/caps only; whether the demo id
+     *  exists is the daemon's call). nullopt when valid. */
+    std::optional<ServeError> validate() const;
+};
+
+/** @name Messages */
+/// @{
+
+/** client -> daemon: queue one job. */
+struct SubmitMsg
+{
+    JobSpec spec;
+};
+
+/** client -> daemon: report queue/worker counts. */
+struct StatusReqMsg
+{
+};
+
+/** client -> daemon (soak/admin): SIGKILL one busy worker. */
+struct KillWorkerMsg
+{
+};
+
+/** client -> daemon: drain — finish accepted jobs, reject new ones,
+ *  flush artifacts, exit (same as SIGTERM). */
+struct DrainMsg
+{
+};
+
+/** daemon -> client: job queued under this id. */
+struct AcceptedMsg
+{
+    std::uint64_t jobId = 0;
+};
+
+/** daemon -> client: job not queued (queue full, draining, bad spec). */
+struct RejectedMsg
+{
+    std::string reason;
+};
+
+/** daemon -> client / worker -> daemon: frames completed so far. */
+struct ProgressMsg
+{
+    std::uint64_t jobId = 0;
+    std::uint32_t framesDone = 0;
+    std::uint32_t framesTotal = 0;
+};
+
+/** daemon -> client / worker -> daemon: terminal success. The result
+ *  is the core::encodeMicroRun() document — byte equality against a
+ *  direct runner execution is the bit-identity check. */
+struct DoneMsg
+{
+    std::uint64_t jobId = 0;
+    std::uint8_t fromCache = 0;
+    std::uint8_t attempts = 0;
+    std::string result;
+};
+
+/** daemon -> client / worker -> daemon: terminal failure with reason
+ *  (poison-job cap reached, unknown demo, ...). */
+struct FailedMsg
+{
+    std::uint64_t jobId = 0;
+    std::uint8_t attempts = 0;
+    std::string reason;
+};
+
+/** daemon -> client: queue/worker counters. */
+struct StatusMsg
+{
+    std::uint32_t queued = 0;
+    std::uint32_t running = 0;
+    std::uint32_t done = 0;
+    std::uint32_t failed = 0;
+    std::uint32_t workers = 0;
+    std::uint8_t draining = 0;
+};
+
+/** daemon -> worker: execute this job (attempt is 1-based). */
+struct ExecMsg
+{
+    std::uint64_t jobId = 0;
+    std::uint8_t attempt = 1;
+    JobSpec spec;
+};
+
+/** daemon -> worker: finish up and exit cleanly. */
+struct QuitMsg
+{
+};
+
+using Message =
+    std::variant<SubmitMsg, StatusReqMsg, KillWorkerMsg, DrainMsg,
+                 AcceptedMsg, RejectedMsg, ProgressMsg, DoneMsg,
+                 FailedMsg, StatusMsg, ExecMsg, QuitMsg>;
+/// @}
+
+/** Append the 8-byte stream magic to @p out (once per direction). */
+void appendMagic(std::string &out);
+
+/** Append one framed record encoding @p msg to @p out. */
+void appendMessage(std::string &out, const Message &msg);
+
+/**
+ * Incremental, validating decoder over one receive direction. Feed
+ * bytes as they arrive; next() yields complete messages. The first
+ * malformed byte latches error() and the decoder stays dead (the
+ * connection should be dropped).
+ */
+class MessageDecoder
+{
+  public:
+    /** Buffer @p n bytes of received data. */
+    void feed(const void *data, std::size_t n);
+
+    /** Decode the next complete message, if one is buffered.
+     *  nullopt when more bytes are needed or on error (check ok()). */
+    std::optional<Message> next();
+
+    /** @return true while the stream is well-formed so far. */
+    bool ok() const { return !_error.has_value(); }
+
+    const std::optional<ServeError> &error() const { return _error; }
+
+    /** @return true when no partial record is buffered (a clean
+     *  end-of-stream point). */
+    bool idle() const { return ok() && _buf.size() == _pos; }
+
+  private:
+    void fail(std::string reason);
+
+    std::string _buf;
+    std::size_t _pos = 0;
+    bool _sawMagic = false;
+    std::optional<ServeError> _error;
+};
+
+} // namespace wc3d::serve
+
+#endif // WC3D_SERVE_PROTOCOL_HH

@@ -1,0 +1,138 @@
+#include "serve/sockio.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/strutil.hh"
+
+namespace wc3d::serve {
+
+namespace {
+
+/** Fill @p addr from @p path; sockaddr_un has a hard length limit. */
+bool
+unixAddr(const std::string &path, sockaddr_un &addr, ServeError *error)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            error->reason =
+                format("socket path '%s' is empty or longer than %zu "
+                       "bytes",
+                       path.c_str(), sizeof(addr.sun_path) - 1);
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, ServeError *error)
+{
+    sockaddr_un addr;
+    if (!unixAddr(path, addr, error))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            error->reason =
+                format("socket(): %s", std::strerror(errno));
+        return -1;
+    }
+    ::unlink(path.c_str()); // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (error)
+            error->reason = format("bind(%s): %s", path.c_str(),
+                                   std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        if (error)
+            error->reason = format("listen(%s): %s", path.c_str(),
+                                   std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, ServeError *error)
+{
+    sockaddr_un addr;
+    if (!unixAddr(path, addr, error))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            error->reason =
+                format("socket(): %s", std::strerror(errno));
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        if (error)
+            error->reason = format("connect(%s): %s", path.c_str(),
+                                   std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readInto(int fd, MessageDecoder &decoder)
+{
+    char buf[65536];
+    ssize_t n;
+    do {
+        n = ::read(fd, buf, sizeof(buf));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0)
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+    if (n == 0)
+        return false; // EOF
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    return true;
+}
+
+std::uint64_t
+monotonicMs()
+{
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now)
+            .count());
+}
+
+} // namespace wc3d::serve

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small Unix-domain-socket and fd helpers shared by the serve daemon,
+ * the client library and the worker pipe. All failures are reported
+ * as ServeError, never fatal().
+ */
+
+#ifndef WC3D_SERVE_SOCKIO_HH
+#define WC3D_SERVE_SOCKIO_HH
+
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace wc3d::serve {
+
+/**
+ * Bind and listen on Unix socket @p path (an existing stale socket
+ * file is replaced). @return the listening fd, or -1 with @p error.
+ */
+int listenUnix(const std::string &path, ServeError *error);
+
+/** Connect to Unix socket @p path. @return fd, or -1 with @p error. */
+int connectUnix(const std::string &path, ServeError *error);
+
+/**
+ * Write all of @p data to @p fd, retrying on EINTR and on partial
+ * writes. @return false on any other error (EPIPE: peer is gone).
+ */
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Read whatever is available on @p fd into @p decoder (up to one
+ * buffer's worth). @return false on EOF or a read error; EAGAIN on a
+ * non-blocking fd returns true with nothing fed.
+ */
+bool readInto(int fd, MessageDecoder &decoder);
+
+/** Monotonic clock in milliseconds (the daemon's injected time). */
+std::uint64_t monotonicMs();
+
+} // namespace wc3d::serve
+
+#endif // WC3D_SERVE_SOCKIO_HH

@@ -1,0 +1,135 @@
+#include "serve/worker.hh"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "common/prof.hh"
+#include "common/strutil.hh"
+#include "core/runner.hh"
+#include "serve/protocol.hh"
+#include "serve/sockio.hh"
+#include "workloads/games.hh"
+
+namespace wc3d::serve {
+
+namespace {
+
+/** Injected-crash exit status (soak harness greps for it). */
+constexpr int kCrashStatus = 70;
+
+/** Run one job and send the terminal message for it. */
+void
+execJob(int fd, const ExecMsg &exec)
+{
+    const JobSpec &spec = exec.spec;
+
+    // Fault injection for the soak harness: die hard while the attempt
+    // counter is within the crash budget. 255 crashes every attempt —
+    // a poison job the daemon must cap, never a loop.
+    if (exec.attempt <= spec.debugCrashAttempts)
+        ::_exit(kCrashStatus);
+
+    // Timeout induction: stall before simulating so the daemon's
+    // deadline fires (the daemon answers with SIGKILL, so sleeping
+    // through is fine).
+    if (spec.debugSleepMs)
+        ::usleep(static_cast<useconds_t>(spec.debugSleepMs) * 1000);
+
+    if (!workloads::isTimedemoId(spec.demo)) {
+        // Not retryable: the spec can never succeed. Report instead of
+        // letting makeTimedemo() fatal() and look like a crash.
+        FailedMsg failed;
+        failed.jobId = exec.jobId;
+        failed.attempts = exec.attempt;
+        failed.reason =
+            format("unknown timedemo id '%s'", spec.demo.c_str());
+        std::string out;
+        appendMessage(out, failed);
+        writeAll(fd, out);
+        return;
+    }
+
+    auto progress = [fd, &exec](int frames_done, int frames_total) {
+        ProgressMsg msg;
+        msg.jobId = exec.jobId;
+        msg.framesDone = static_cast<std::uint32_t>(frames_done);
+        msg.framesTotal = static_cast<std::uint32_t>(frames_total);
+        std::string out;
+        appendMessage(out, msg);
+        writeAll(fd, out);
+    };
+
+    core::MicroSpec micro = spec.toMicroSpec();
+    core::MicroRun run =
+        core::runMicroarch(micro, /*allow_cache=*/true, progress);
+
+    DoneMsg done;
+    done.jobId = exec.jobId;
+    done.fromCache = 0; // the daemon tracks cache hits it served itself
+    done.attempts = exec.attempt;
+    done.result = core::encodeMicroRun(run);
+    std::string out;
+    appendMessage(out, done);
+    writeAll(fd, out);
+}
+
+} // namespace
+
+void
+workerChildSetup()
+{
+    // Inherit nothing the daemon armed: default signal handling (the
+    // daemon SIGKILLs timeouts anyway, but SIGTERM during drain must
+    // not run the daemon's self-pipe handler in the child).
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGCHLD, SIG_DFL);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // The daemon owns the run-metrics manifest; a worker writing the
+    // same file would corrupt the artifact.
+    ::unsetenv("WC3D_METRICS_OUT");
+
+    // Tracing stays useful per worker: redirect to a per-pid file and
+    // re-arm the signal flush at the new path.
+    std::string trace = prof::tracePath();
+    if (!trace.empty()) {
+        std::string mine = format("%s.worker%d", trace.c_str(),
+                                  static_cast<int>(::getpid()));
+        ::setenv("WC3D_TRACE_OUT", mine.c_str(), 1);
+        prof::installSignalFlush();
+    }
+}
+
+int
+workerMain(int fd)
+{
+    MessageDecoder decoder;
+    for (;;) {
+        std::optional<Message> msg = decoder.next();
+        if (!msg) {
+            if (!decoder.ok()) {
+                warn("worker %d: %s", static_cast<int>(::getpid()),
+                     decoder.error()->describe().c_str());
+                return 1;
+            }
+            if (!readInto(fd, decoder))
+                return 0; // daemon went away; nothing left to do
+            continue;
+        }
+        if (std::holds_alternative<QuitMsg>(*msg))
+            return 0;
+        if (const auto *exec = std::get_if<ExecMsg>(&*msg)) {
+            execJob(fd, *exec);
+            continue;
+        }
+        warn("worker %d: unexpected message tag %zu",
+             static_cast<int>(::getpid()), msg->index());
+        return 1;
+    }
+}
+
+} // namespace wc3d::serve

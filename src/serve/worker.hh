@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The serve worker: the code a forked daemon child runs. One worker
+ * owns one end of a socketpair to the daemon and executes jobs
+ * (ExecMsg -> Progress/Done/Failed) until told to Quit or killed.
+ * Workers are the crash-isolation boundary — a simulator bug, an
+ * injected fault or a SIGKILL takes down only the child, and the
+ * daemon requeues the job.
+ */
+
+#ifndef WC3D_SERVE_WORKER_HH
+#define WC3D_SERVE_WORKER_HH
+
+namespace wc3d::serve {
+
+/**
+ * Worker main loop over the daemon pipe @p fd. Never returns a
+ * meaningful value to the caller's logic — the caller must _exit()
+ * with it immediately (the worker is a forked child and must not run
+ * atexit handlers or unwind the daemon's stack).
+ */
+int workerMain(int fd);
+
+/**
+ * Post-fork hygiene for a worker child: reset signal dispositions,
+ * silence the daemon's metrics manifest, and point trace output (when
+ * enabled) at a per-pid file so parallel workers don't clobber each
+ * other. Called by the daemon right after fork(), before workerMain.
+ */
+void workerChildSetup();
+
+} // namespace wc3d::serve
+
+#endif // WC3D_SERVE_WORKER_HH

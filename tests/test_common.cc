@@ -177,6 +177,55 @@ TEST(Env, IntFallbackAndParse)
     unsetenv("WC3D_TEST_ENV");
 }
 
+// A value with trailing garbage ("4x") is a typo, not a 4; strict
+// parsing must fall back instead of silently truncating.
+TEST(Env, IntRejectsTrailingGarbage)
+{
+    setenv("WC3D_TEST_ENV", "4x", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 7);
+    setenv("WC3D_TEST_ENV", "12.5", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 7);
+    // Trailing whitespace is harmless and accepted.
+    setenv("WC3D_TEST_ENV", " 42 ", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 42);
+    setenv("WC3D_TEST_ENV", "-3", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), -3);
+    unsetenv("WC3D_TEST_ENV");
+}
+
+TEST(Env, IntRejectsOutOfRange)
+{
+    setenv("WC3D_TEST_ENV", "99999999999999999999", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 7);
+    setenv("WC3D_TEST_ENV", "-99999999999999999999", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 7);
+    // Long can hold this on LP64, int cannot; must still fall back.
+    setenv("WC3D_TEST_ENV", "4294967296", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 7);
+    setenv("WC3D_TEST_ENV", "2147483647", 1);
+    EXPECT_EQ(envInt("WC3D_TEST_ENV", 7), 2147483647);
+    unsetenv("WC3D_TEST_ENV");
+}
+
+TEST(Env, DoubleParseAndReject)
+{
+    unsetenv("WC3D_TEST_ENV");
+    EXPECT_DOUBLE_EQ(envDouble("WC3D_TEST_ENV", 1.5), 1.5);
+    setenv("WC3D_TEST_ENV", "2.25", 1);
+    EXPECT_DOUBLE_EQ(envDouble("WC3D_TEST_ENV", 1.5), 2.25);
+    setenv("WC3D_TEST_ENV", "2.25x", 1);
+    EXPECT_DOUBLE_EQ(envDouble("WC3D_TEST_ENV", 1.5), 1.5);
+    setenv("WC3D_TEST_ENV", "junk", 1);
+    EXPECT_DOUBLE_EQ(envDouble("WC3D_TEST_ENV", 1.5), 1.5);
+    setenv("WC3D_TEST_ENV", "1e999", 1);
+    EXPECT_DOUBLE_EQ(envDouble("WC3D_TEST_ENV", 1.5), 1.5);
+    setenv("WC3D_TEST_ENV", "-1e999", 1);
+    EXPECT_DOUBLE_EQ(envDouble("WC3D_TEST_ENV", 1.5), 1.5);
+    setenv("WC3D_TEST_ENV", " -0.5 ", 1);
+    EXPECT_DOUBLE_EQ(envDouble("WC3D_TEST_ENV", 1.5), -0.5);
+    unsetenv("WC3D_TEST_ENV");
+}
+
 TEST(Env, StringFallback)
 {
     unsetenv("WC3D_TEST_ENV2");

@@ -8,9 +8,14 @@
  */
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -398,4 +403,72 @@ TEST(Log, ConcurrentWritersDoNotRace)
     for (auto &t : threads)
         t.join();
     setLogLevel(saved);
+}
+
+// A process killed by SIGTERM/SIGINT must still leave a valid trace:
+// the std::atexit writer never runs on a signal death, so
+// prof::installSignalFlush() is the only thing standing between an
+// interrupted run and a silently empty trace file. Forks a traced
+// child, kills it, and validates what it left behind.
+TEST(Prof, SignalTerminationStillFlushesTrace)
+{
+    std::string trace_path = tempPath("wc3d_signal_trace.json");
+    std::string ready_path = tempPath("wc3d_signal_ready");
+    std::remove(trace_path.c_str());
+    std::remove(ready_path.c_str());
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: record spans, mark readiness, then idle until the
+        // parent's SIGTERM arrives. _exit on any escape path — the
+        // child must never return into gtest.
+        setenv("WC3D_TRACE_OUT", trace_path.c_str(), 1);
+        prof::reset();
+        prof::setEnabled(true);
+        prof::installSignalFlush();
+        for (int i = 0; i < 50; ++i) {
+            WC3D_PROF_SCOPE("signal.span");
+        }
+        std::FILE *f = std::fopen(ready_path.c_str(), "wb");
+        if (f) {
+            std::fputc('1', f);
+            std::fclose(f);
+        }
+        for (;;)
+            ::pause();
+        ::_exit(3); // unreachable
+    }
+
+    // Wait for the child to finish recording (up to 10 s).
+    bool ready = false;
+    for (int i = 0; i < 1000 && !ready; ++i) {
+        std::FILE *f = std::fopen(ready_path.c_str(), "rb");
+        if (f) {
+            ready = true;
+            std::fclose(f);
+        } else {
+            ::usleep(10 * 1000);
+        }
+    }
+    ASSERT_TRUE(ready) << "traced child never became ready";
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    // The handler must re-raise with default disposition, so the
+    // child reads as killed-by-SIGTERM, not a normal exit.
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+    json::Value doc;
+    std::string error;
+    ASSERT_TRUE(json::parseFile(trace_path, doc, &error)) << error;
+    std::size_t events = 0;
+    EXPECT_TRUE(prof::validateChromeTrace(doc, &error, &events))
+        << error;
+    EXPECT_GE(events, 50u);
+
+    std::remove(trace_path.c_str());
+    std::remove(ready_path.c_str());
 }

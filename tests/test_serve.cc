@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Serve-layer tests, no daemon process involved:
+ *
+ *  - protocol round-trips for every message type across one stream;
+ *  - decoder validation (bad magic, unknown tag, length-lie, field
+ *    range violations, trailing payload bytes) with a structured,
+ *    latched ServeError for each;
+ *  - a deterministic seeded mutation fuzzer over encoded job streams
+ *    (truncate / bit-flip / byte-swap / length-lie), the same
+ *    discipline as the WC3DTRC2 fuzzer in test_trace.cc — never
+ *    crash, always either parse cleanly or explain;
+ *  - JobQueue scheduling: retry/backoff timing, timeout expiry,
+ *    poison-job capping, capacity rejection and drain ordering, all
+ *    against injected clocks.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "serve/jobqueue.hh"
+#include "serve/protocol.hh"
+
+using namespace wc3d;
+using namespace wc3d::serve;
+
+namespace {
+
+JobSpec
+sampleSpec(const std::string &demo = "ut2004", std::uint32_t frames = 2)
+{
+    JobSpec spec;
+    spec.demo = demo;
+    spec.frames = frames;
+    spec.width = 256;
+    spec.height = 192;
+    return spec;
+}
+
+/** Encode a stream of messages with the magic prefix. */
+std::string
+encodeStream(const std::vector<Message> &msgs)
+{
+    std::string out;
+    appendMagic(out);
+    for (const auto &m : msgs)
+        appendMessage(out, m);
+    return out;
+}
+
+/** Decode everything, expecting a healthy stream. */
+std::vector<Message>
+decodeAll(const std::string &bytes)
+{
+    MessageDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    std::vector<Message> out;
+    while (auto msg = dec.next())
+        out.push_back(std::move(*msg));
+    EXPECT_TRUE(dec.ok()) << dec.error()->describe();
+    EXPECT_TRUE(dec.idle());
+    return out;
+}
+
+} // namespace
+
+TEST(ServeProtocol, RoundTripsEveryMessageType)
+{
+    SubmitMsg submit;
+    submit.spec = sampleSpec();
+    submit.spec.frameBegin = 7;
+    submit.spec.hzEnabled = 0;
+    submit.spec.hzMinMax = 1;
+    submit.spec.vertexCacheEntries = 32;
+    submit.spec.tileSize = 16;
+    submit.spec.timeoutMs = 1234;
+    submit.spec.debugSleepMs = 55;
+    submit.spec.debugCrashAttempts = 2;
+    AcceptedMsg accepted{42};
+    RejectedMsg rejected{"queue is full (64 jobs)"};
+    ProgressMsg progress{42, 3, 8};
+    DoneMsg done;
+    done.jobId = 42;
+    done.fromCache = 1;
+    done.attempts = 2;
+    done.result = "wc3d-microrun-v1\nid=x\n#end\n";
+    FailedMsg failed;
+    failed.jobId = 43;
+    failed.attempts = 3;
+    failed.reason = "poison job";
+    StatusMsg status{5, 2, 10, 1, 4, 1};
+    ExecMsg exec;
+    exec.jobId = 44;
+    exec.attempt = 2;
+    exec.spec = sampleSpec("doom3", 1);
+
+    std::vector<Message> in = {submit,   StatusReqMsg{}, KillWorkerMsg{},
+                               DrainMsg{}, accepted,     rejected,
+                               progress, done,           failed,
+                               status,   exec,           QuitMsg{}};
+    auto out = decodeAll(encodeStream(in));
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i].index(), in[i].index()) << "message " << i;
+
+    const auto &s = std::get<SubmitMsg>(out[0]).spec;
+    EXPECT_EQ(s.demo, "ut2004");
+    EXPECT_EQ(s.frameBegin, 7u);
+    EXPECT_EQ(s.frames, 2u);
+    EXPECT_EQ(s.width, 256u);
+    EXPECT_EQ(s.height, 192u);
+    EXPECT_EQ(s.hzEnabled, 0);
+    EXPECT_EQ(s.hzMinMax, 1);
+    EXPECT_EQ(s.vertexCacheEntries, 32u);
+    EXPECT_EQ(s.tileSize, 16u);
+    EXPECT_EQ(s.timeoutMs, 1234u);
+    EXPECT_EQ(s.debugSleepMs, 55u);
+    EXPECT_EQ(s.debugCrashAttempts, 2);
+    const auto &d = std::get<DoneMsg>(out[7]);
+    EXPECT_EQ(d.jobId, 42u);
+    EXPECT_EQ(d.fromCache, 1);
+    EXPECT_EQ(d.result, done.result);
+    const auto &st = std::get<StatusMsg>(out[9]);
+    EXPECT_EQ(st.queued, 5u);
+    EXPECT_EQ(st.draining, 1);
+    const auto &e = std::get<ExecMsg>(out[10]);
+    EXPECT_EQ(e.jobId, 44u);
+    EXPECT_EQ(e.attempt, 2);
+    EXPECT_EQ(e.spec.demo, "doom3");
+}
+
+TEST(ServeProtocol, DecodesAcrossArbitraryFeedBoundaries)
+{
+    std::vector<Message> in = {SubmitMsg{sampleSpec()},
+                               ProgressMsg{1, 1, 2}, QuitMsg{}};
+    std::string bytes = encodeStream(in);
+    // Feed one byte at a time: truncation is "wait", never an error.
+    MessageDecoder dec;
+    std::vector<Message> out;
+    for (char c : bytes) {
+        dec.feed(&c, 1);
+        while (auto msg = dec.next())
+            out.push_back(std::move(*msg));
+        ASSERT_TRUE(dec.ok());
+    }
+    EXPECT_EQ(out.size(), in.size());
+    EXPECT_TRUE(dec.idle());
+}
+
+TEST(ServeProtocol, RejectsBadMagic)
+{
+    std::string bytes = encodeStream({QuitMsg{}});
+    bytes[3] ^= 0x40;
+    MessageDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(dec.next().has_value());
+    ASSERT_FALSE(dec.ok());
+    EXPECT_NE(dec.error()->reason.find("magic"), std::string::npos);
+}
+
+TEST(ServeProtocol, RejectsUnknownTag)
+{
+    std::string bytes = encodeStream({QuitMsg{}});
+    bytes[8] = 0x7f; // first record's tag byte
+    MessageDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(dec.next().has_value());
+    ASSERT_FALSE(dec.ok());
+    EXPECT_NE(dec.error()->reason.find("tag"), std::string::npos);
+}
+
+// A length field claiming more than the cap must be rejected before
+// any buffering or allocation happens — the classic length-lie.
+TEST(ServeProtocol, RejectsLengthLieAgainstCap)
+{
+    std::string bytes = encodeStream({QuitMsg{}});
+    std::uint32_t lie = kServeMaxPayload + 1;
+    std::memcpy(&bytes[9], &lie, 4); // length field (LE host assumed)
+    MessageDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(dec.next().has_value());
+    ASSERT_FALSE(dec.ok());
+    EXPECT_NE(dec.error()->reason.find("cap"), std::string::npos);
+}
+
+TEST(ServeProtocol, RejectsTrailingPayloadBytes)
+{
+    // A QuitMsg with a non-empty payload: length says 1, decoder for
+    // tag 11 consumes 0.
+    std::string bytes;
+    appendMagic(bytes);
+    bytes.push_back(11); // Quit tag
+    bytes.push_back(1);
+    bytes.push_back(0);
+    bytes.push_back(0);
+    bytes.push_back(0);
+    bytes.push_back(0x5a);
+    MessageDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(dec.next().has_value());
+    ASSERT_FALSE(dec.ok());
+    EXPECT_NE(dec.error()->reason.find("trailing"), std::string::npos);
+}
+
+TEST(ServeProtocol, ValidatesSpecRanges)
+{
+    JobSpec spec = sampleSpec();
+    EXPECT_FALSE(spec.validate().has_value());
+
+    JobSpec bad = spec;
+    bad.demo = "";
+    EXPECT_TRUE(bad.validate().has_value());
+    bad = spec;
+    bad.frames = 0;
+    EXPECT_TRUE(bad.validate().has_value());
+    bad = spec;
+    bad.frames = kServeMaxFrames + 1;
+    EXPECT_TRUE(bad.validate().has_value());
+    bad = spec;
+    bad.width = kServeMinDim - 1;
+    EXPECT_TRUE(bad.validate().has_value());
+    bad = spec;
+    bad.height = kServeMaxDim + 1;
+    EXPECT_TRUE(bad.validate().has_value());
+    bad = spec;
+    bad.frameBegin = kServeMaxFrameBegin + 1;
+    EXPECT_TRUE(bad.validate().has_value());
+    bad = spec;
+    bad.hzEnabled = 2; // bools are strict 0/1 on the wire
+    EXPECT_TRUE(bad.validate().has_value());
+
+    // An out-of-range spec must also be rejected at decode time, not
+    // just by explicit validate() calls.
+    SubmitMsg submit;
+    submit.spec = spec;
+    std::string bytes = encodeStream({submit});
+    // frames field: first u32 after the demo string payload; easier
+    // and more robust to just rebuild with a bad spec bypassing
+    // validate — encode does not validate, decode does.
+    SubmitMsg evil;
+    evil.spec = spec;
+    evil.spec.frames = 0;
+    std::string evil_bytes = encodeStream({evil});
+    MessageDecoder dec;
+    dec.feed(evil_bytes.data(), evil_bytes.size());
+    EXPECT_FALSE(dec.next().has_value());
+    ASSERT_FALSE(dec.ok());
+    EXPECT_NE(dec.error()->reason.find("frames"), std::string::npos);
+}
+
+/**
+ * Deterministic mutation fuzzer over a valid serve stream: the
+ * decoder must never crash (ASan/UBSan in CI), never spin, and for
+ * every mutant either decode some prefix cleanly and then wait for
+ * more bytes, or latch a structured non-empty error.
+ */
+TEST(ServeFuzz, SeededMutationsNeverCrashAndAlwaysExplain)
+{
+    SubmitMsg submit;
+    submit.spec = sampleSpec();
+    ExecMsg exec;
+    exec.jobId = 9;
+    exec.attempt = 1;
+    exec.spec = sampleSpec("quake4", 1);
+    DoneMsg done;
+    done.jobId = 9;
+    done.attempts = 1;
+    done.result = std::string(300, 'x');
+    FailedMsg failed;
+    failed.jobId = 10;
+    failed.attempts = 2;
+    failed.reason = "worker killed by signal 9";
+    const std::string base =
+        encodeStream({submit, StatusReqMsg{}, exec,
+                      ProgressMsg{9, 1, 1}, done, failed,
+                      StatusMsg{1, 2, 3, 4, 5, 0}, QuitMsg{}});
+    ASSERT_GT(base.size(), 64u);
+
+    const int kMutations = 1500;
+    int rejected = 0;
+    int clean = 0;
+    for (int seed = 0; seed < kMutations; ++seed) {
+        Rng rng(static_cast<std::uint64_t>(seed), /*stream=*/0x53f2);
+        std::string bytes = base;
+        switch (seed % 4) {
+        case 0: // truncate at an arbitrary byte
+            bytes.resize(rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size())));
+            break;
+        case 1: { // flip 1..8 random bits
+            int flips = 1 + static_cast<int>(rng.nextBounded(8));
+            for (int i = 0; i < flips; ++i) {
+                std::uint32_t at = rng.nextBounded(
+                    static_cast<std::uint32_t>(bytes.size()));
+                bytes[static_cast<std::size_t>(at)] ^=
+                    static_cast<char>(1u << rng.nextBounded(8));
+            }
+            break;
+        }
+        case 2: { // overwrite one byte with a random value
+            std::uint32_t at = rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size()));
+            bytes[static_cast<std::size_t>(at)] =
+                static_cast<char>(rng.nextBounded(256));
+            break;
+        }
+        case 3: { // length-lie: random u32 over a random 4-byte span
+            std::uint32_t at = rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size() - 3));
+            std::uint32_t v = rng.nextU32();
+            std::memcpy(&bytes[at], &v, 4);
+            break;
+        }
+        }
+
+        MessageDecoder dec;
+        dec.feed(bytes.data(), bytes.size());
+        std::uint64_t decoded = 0;
+        while (dec.next()) {
+            ASSERT_LT(++decoded, 100000u)
+                << "seed " << seed << ": decoder did not terminate";
+        }
+        if (!dec.ok()) {
+            ++rejected;
+            EXPECT_FALSE(dec.error()->reason.empty())
+                << "seed " << seed;
+            // A latched decoder stays dead even when fed more bytes.
+            dec.feed(base.data(), base.size());
+            EXPECT_FALSE(dec.next().has_value()) << "seed " << seed;
+        } else {
+            ++clean;
+        }
+    }
+    // The corpus must exercise both outcomes. (Unlike the trace
+    // fuzzer, truncation mutants usually land as "waiting for more
+    // bytes" — clean, by design — so rejections are rarer here.)
+    EXPECT_GT(rejected, kMutations / 8);
+    EXPECT_GT(clean, kMutations / 16);
+}
+
+// ---------------------------------------------------------------
+// JobQueue scheduling (injected clocks; no IO, no processes).
+// ---------------------------------------------------------------
+
+namespace {
+
+RetryPolicy
+testPolicy()
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.timeoutMs = 1000;
+    policy.backoffBaseMs = 100;
+    policy.backoffCapMs = 400;
+    return policy;
+}
+
+} // namespace
+
+TEST(JobQueue, FifoDispatchOrder)
+{
+    JobQueue q(8, testPolicy());
+    std::uint64_t a = q.submit(sampleSpec("a"), 1, nullptr);
+    std::uint64_t b = q.submit(sampleSpec("b"), 1, nullptr);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    Job *first = q.nextReady(0);
+    ASSERT_TRUE(first);
+    EXPECT_EQ(first->id, a);
+    q.markRunning(a, 0);
+    Job *second = q.nextReady(0);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(second->id, b);
+}
+
+TEST(JobQueue, CapacityRejectsWithReason)
+{
+    JobQueue q(2, testPolicy());
+    EXPECT_NE(q.submit(sampleSpec(), 1, nullptr), 0u);
+    EXPECT_NE(q.submit(sampleSpec(), 1, nullptr), 0u);
+    std::string why;
+    EXPECT_EQ(q.submit(sampleSpec(), 1, &why), 0u);
+    EXPECT_NE(why.find("full"), std::string::npos);
+    // Terminal jobs free capacity again.
+    q.complete(1);
+    EXPECT_NE(q.submit(sampleSpec(), 1, nullptr), 0u);
+}
+
+TEST(JobQueue, RetryBackoffIsExponentialAndCapped)
+{
+    JobQueue q(8, testPolicy());
+    std::uint64_t id = q.submit(sampleSpec(), 1, nullptr);
+
+    // Attempt 1 fails at t=1000: backoff 100 ms (base * 2^0).
+    q.markRunning(id, 0);
+    EXPECT_TRUE(q.retryOrFail(id, 1000, "worker crashed"));
+    EXPECT_EQ(q.find(id)->state, JobState::Waiting);
+    EXPECT_EQ(q.find(id)->readyAtMs, 1100u);
+    EXPECT_EQ(q.nextReady(1099), nullptr);
+    Job *ready = q.nextReady(1100);
+    ASSERT_TRUE(ready);
+    EXPECT_EQ(ready->id, id);
+
+    // Attempt 2 fails at t=2000: backoff doubles to 200 ms.
+    q.markRunning(id, 1100);
+    EXPECT_TRUE(q.retryOrFail(id, 2000, "worker crashed"));
+    EXPECT_EQ(q.find(id)->readyAtMs, 2200u);
+    EXPECT_EQ(q.retryCount(), 2u);
+
+    // The policy cap bounds the delay for late attempts.
+    RetryPolicy p = testPolicy();
+    EXPECT_EQ(p.backoffForAttempt(2), 100u);
+    EXPECT_EQ(p.backoffForAttempt(3), 200u);
+    EXPECT_EQ(p.backoffForAttempt(4), 400u);
+    EXPECT_EQ(p.backoffForAttempt(10), 400u); // capped
+}
+
+TEST(JobQueue, PoisonJobCapsAtMaxAttempts)
+{
+    JobQueue q(8, testPolicy());
+    std::uint64_t id = q.submit(sampleSpec(), 1, nullptr);
+    std::uint64_t now = 0;
+    // maxAttempts = 3: two retries succeed, the third failure is
+    // terminal with the poison reason.
+    for (int attempt = 1; attempt <= 2; ++attempt) {
+        Job *job = q.nextReady(now);
+        ASSERT_TRUE(job);
+        q.markRunning(id, now);
+        EXPECT_TRUE(q.retryOrFail(id, now, "worker crashed"));
+        now = q.find(id)->readyAtMs;
+    }
+    q.markRunning(id, now);
+    EXPECT_FALSE(q.retryOrFail(id, now, "worker crashed"));
+    const Job *job = q.find(id);
+    ASSERT_TRUE(job);
+    EXPECT_EQ(job->state, JobState::Failed);
+    EXPECT_EQ(job->attempts, 3);
+    EXPECT_NE(job->failReason.find("poison job"), std::string::npos);
+    EXPECT_NE(job->failReason.find("worker crashed"),
+              std::string::npos);
+    EXPECT_EQ(q.failedCount(), 1u);
+    // Terminal means terminal: further crash reports must not
+    // resurrect the job.
+    EXPECT_FALSE(q.retryOrFail(id, now, "late report"));
+    EXPECT_EQ(q.find(id)->state, JobState::Failed);
+}
+
+TEST(JobQueue, TimeoutExpiryHonorsPerJobOverride)
+{
+    JobQueue q(8, testPolicy());
+    JobSpec slow = sampleSpec();
+    slow.timeoutMs = 250; // override the 1000 ms policy default
+    std::uint64_t a = q.submit(slow, 1, nullptr);
+    std::uint64_t b = q.submit(sampleSpec(), 1, nullptr);
+    q.markRunning(a, 0);
+    q.markRunning(b, 0);
+
+    EXPECT_TRUE(q.expired(249).empty());
+    auto at250 = q.expired(250);
+    ASSERT_EQ(at250.size(), 1u);
+    EXPECT_EQ(at250[0], a);
+    auto at1000 = q.expired(1000);
+    EXPECT_EQ(at1000.size(), 2u);
+
+    // nextEventDelay tracks the nearest deadline, then the next one.
+    EXPECT_EQ(q.nextEventDelay(0, 10000), 250u);
+    q.retryOrFail(a, 250, "timed out");
+    // Waiting job's backoff expiry (250+100) precedes b's deadline.
+    EXPECT_EQ(q.nextEventDelay(250, 10000), 100u);
+}
+
+TEST(JobQueue, DrainRejectsNewAndFinishesAccepted)
+{
+    JobQueue q(8, testPolicy());
+    std::uint64_t a = q.submit(sampleSpec("a"), 1, nullptr);
+    std::uint64_t b = q.submit(sampleSpec("b"), 1, nullptr);
+    q.markRunning(a, 0);
+
+    q.beginDrain();
+    EXPECT_TRUE(q.draining());
+    std::string why;
+    EXPECT_EQ(q.submit(sampleSpec("c"), 1, &why), 0u);
+    EXPECT_NE(why.find("draining"), std::string::npos);
+
+    // Drain is not complete while accepted jobs are live — including
+    // a retry of a running job that fails during the drain.
+    EXPECT_FALSE(q.drained());
+    EXPECT_TRUE(q.retryOrFail(a, 10, "worker crashed"));
+    EXPECT_FALSE(q.drained());
+    Job *job = q.nextReady(1000);
+    ASSERT_TRUE(job); // the retried job redispatches during drain
+    EXPECT_EQ(job->id, a);
+    q.markRunning(a, 1000);
+    q.complete(a);
+    EXPECT_FALSE(q.drained()); // b is still queued
+    q.markRunning(b, 1000);
+    q.complete(b);
+    EXPECT_TRUE(q.drained());
+    EXPECT_EQ(q.doneCount(), 2u);
+}
