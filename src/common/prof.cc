@@ -1,14 +1,19 @@
 #include "common/prof.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/json.hh"
 #include "common/strutil.hh"
@@ -113,13 +118,204 @@ char gSignalPath[512];
 /** Re-entrancy latch: one flush attempt per process, ever. */
 volatile std::sig_atomic_t gSignalFlushDone = 0;
 
+/** Set once installSignalFlush() has forced registry() construction;
+ *  the handler must never be the first caller (that would `new`). */
+volatile std::sig_atomic_t gRegistryReady = 0;
+
+/**
+ * Fixed-buffer fd writer for the signal handler: write(2) only, no
+ * heap, no stdio. malloc is not async-signal-safe — a signal landing
+ * while some thread is inside the allocator would deadlock on the
+ * arena lock instead of letting the process die — so the handler's
+ * serializer formats everything by hand into this buffer.
+ */
+struct SigWriter
+{
+    int fd = -1;
+    std::size_t len = 0;
+    bool ok = true;
+    char buf[4096];
+
+    void
+    flush()
+    {
+        std::size_t off = 0;
+        while (ok && off < len) {
+            ssize_t n = ::write(fd, buf + off, len - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ok = false;
+                break;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        len = 0;
+    }
+
+    void
+    putRaw(const char *s, std::size_t n)
+    {
+        while (ok && n > 0) {
+            if (len == sizeof(buf))
+                flush();
+            std::size_t take = sizeof(buf) - len;
+            if (take > n)
+                take = n;
+            std::memcpy(buf + len, s, take);
+            len += take;
+            s += take;
+            n -= take;
+        }
+    }
+
+    void
+    put(const char *s)
+    {
+        putRaw(s, std::strlen(s));
+    }
+
+    void
+    putU64(std::uint64_t v)
+    {
+        char tmp[20];
+        std::size_t n = 0;
+        do {
+            tmp[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n > 0)
+            putRaw(&tmp[--n], 1);
+    }
+
+    void
+    putI64(std::int64_t v)
+    {
+        if (v < 0) {
+            putRaw("-", 1);
+            putU64(static_cast<std::uint64_t>(-v));
+        } else {
+            putU64(static_cast<std::uint64_t>(v));
+        }
+    }
+
+    /** Nanoseconds as "<microseconds>.<3-digit remainder>". */
+    void
+    putTimeUs(std::uint64_t ns)
+    {
+        putU64(ns / 1000);
+        std::uint64_t r = ns % 1000;
+        char frac[4] = {'.', static_cast<char>('0' + r / 100),
+                        static_cast<char>('0' + r / 10 % 10),
+                        static_cast<char>('0' + r % 10)};
+        putRaw(frac, 4);
+    }
+
+    /** JSON string-escape: quote, backslash, control chars. */
+    void
+    putEscaped(const char *s, std::size_t n)
+    {
+        static const char kHex[] = "0123456789abcdef";
+        for (std::size_t i = 0; i < n; ++i) {
+            unsigned char c = static_cast<unsigned char>(s[i]);
+            if (c == '"' || c == '\\') {
+                char esc[2] = {'\\', static_cast<char>(c)};
+                putRaw(esc, 2);
+            } else if (c < 0x20) {
+                char esc[6] = {'\\', 'u', '0', '0', kHex[c >> 4],
+                               kHex[c & 15]};
+                putRaw(esc, 6);
+            } else {
+                putRaw(s + i, 1);
+            }
+        }
+    }
+};
+
+/**
+ * Async-signal-safe variant of writeChromeTraceLocked: same document,
+ * but built with open/write/rename(2) and hand formatting — zero
+ * allocations. Written to "<path>.sig" then renamed so a half-written
+ * flush never clobbers a good trace. The caller holds (try_lock'ed)
+ * the registry mutex; reading a buffer whose owner thread is mid-append
+ * can still tear the newest event — best-effort by design.
+ */
+bool
+writeChromeTraceSignalSafe(Registry &r, const char *path)
+{
+    char tmp[sizeof(gSignalPath) + 8];
+    std::size_t plen = std::strlen(path);
+    if (plen + 5 > sizeof(tmp))
+        return false;
+    std::memcpy(tmp, path, plen);
+    std::memcpy(tmp + plen, ".sig", 5);
+    int fd = ::open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+
+    SigWriter w;
+    w.fd = fd;
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            w.put(",\n");
+        first = false;
+    };
+
+    w.put("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (const auto &kv : r.processNames) {
+        comma();
+        w.put("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+        w.putI64(kv.first);
+        w.put(",\"tid\":0,\"args\":{\"name\":\"");
+        w.putEscaped(kv.second.data(), kv.second.size());
+        w.put("\"}}");
+    }
+    for (const auto &buf : r.buffers) {
+        if (buf->threadName.empty())
+            continue;
+        comma();
+        w.put("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,"
+              "\"tid\":");
+        w.putI64(buf->tid);
+        w.put(",\"args\":{\"name\":\"");
+        w.putEscaped(buf->threadName.data(), buf->threadName.size());
+        w.put("\"}}");
+    }
+    for (const auto &buf : r.buffers) {
+        for (const Event &ev : buf->events) {
+            comma();
+            w.put("{\"ph\":\"X\",\"name\":\"");
+            w.putEscaped(ev.name.data(), ev.name.size());
+            w.put("\",\"cat\":\"wc3d\",\"pid\":");
+            w.putI64(ev.pid);
+            w.put(",\"tid\":");
+            w.putI64(buf->tid);
+            w.put(",\"ts\":");
+            w.putTimeUs(ev.startNs);
+            w.put(",\"dur\":");
+            w.putTimeUs(ev.durNs);
+            w.put("}");
+        }
+    }
+    w.put("\n]}\n");
+    w.flush();
+    bool ok = w.ok;
+    ::close(fd);
+    if (ok && ::rename(tmp, path) != 0)
+        ok = false;
+    if (!ok)
+        ::unlink(tmp);
+    return ok;
+}
+
 /**
  * SIGINT/SIGTERM: best-effort trace flush, then die by the signal.
  * A signal-terminated run used to lose its whole trace because the
- * only writer was std::atexit. Full async-signal-safety is impossible
- * for a JSON serializer; the dangerous case — the handler interrupting
- * a thread that holds the registry mutex — is excluded with try_lock
- * (skip the flush rather than deadlock), and the latch keeps a second
+ * only writer was std::atexit. The handler stays inside the
+ * async-signal-safe envelope: no malloc (writeChromeTraceSignalSafe
+ * formats into fixed buffers), the registry mutex is try_lock'ed —
+ * skip the flush rather than deadlock — and the latch keeps a second
  * signal from re-entering. The default disposition is restored and the
  * signal re-raised so the parent still observes death-by-signal.
  */
@@ -128,10 +324,10 @@ signalFlush(int sig)
 {
     if (!gSignalFlushDone) {
         gSignalFlushDone = 1;
-        if (enabled() && gSignalPath[0]) {
+        if (enabled() && gSignalPath[0] && gRegistryReady) {
             Registry &r = registry();
             if (r.mutex.try_lock()) {
-                writeChromeTraceLocked(r, gSignalPath, nullptr);
+                writeChromeTraceSignalSafe(r, gSignalPath);
                 r.mutex.unlock();
             }
         }
@@ -165,6 +361,8 @@ installSignalFlush()
     if (path.empty() || path.size() >= sizeof(gSignalPath))
         return;
     std::memcpy(gSignalPath, path.c_str(), path.size() + 1);
+    registry(); // construct now; the handler must never be first
+    gRegistryReady = 1;
     gSignalFlushDone = 0;
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));

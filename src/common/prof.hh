@@ -112,7 +112,10 @@ class Span
  * it (the regular writer is std::atexit, which a signal death skips).
  * Armed automatically at startup when WC3D_TRACE_OUT is set; call
  * again after changing the path (serve workers redirect theirs).
- * No-op when tracing is off. Best-effort: the handler skips the flush
+ * No-op when tracing is off. Best-effort and async-signal-safe: the
+ * handler serializes with write(2) into fixed buffers (no malloc — a
+ * signal landing inside the allocator must not deadlock), writes to a
+ * temp file renamed over the target, and skips the flush entirely
  * when the span registry is mid-write rather than deadlock.
  */
 void installSignalFlush();

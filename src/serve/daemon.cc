@@ -56,9 +56,27 @@ struct WorkerProc
 struct ClientConn
 {
     std::uint64_t id = 0;
-    int fd = -1;
+    int fd = -1; ///< -1 once closed, until the run loop erases us
     MessageDecoder decoder;
+    /** Outbound bytes not yet accepted by the (non-blocking) socket;
+     *  [outOff, outbuf.size()) is the unsent tail, flushed on POLLOUT. */
+    std::string outbuf;
+    std::size_t outOff = 0;
+
+    bool
+    pendingOut() const
+    {
+        return outOff < outbuf.size();
+    }
 };
+
+/** Unsent bytes a stalled client may owe us before we cut it loose.
+ *  Must comfortably exceed one DoneMsg (results cap at 32 MB). */
+constexpr std::size_t kClientOutbufCap = 64u << 20;
+
+/** How long a drained daemon waits for slow clients to take delivery
+ *  of their final replies before exiting anyway. */
+constexpr std::uint64_t kDrainFlushMs = 5000;
 
 class Daemon
 {
@@ -74,11 +92,15 @@ class Daemon
     void spawnWorker();
     void killWorker(WorkerProc &w, const std::string &reason);
     void reapWorkers();
+    void drainDeadWorker(WorkerProc &w);
     void acceptClient();
     void handleClient(ClientConn &client);
     void handleClientMsg(ClientConn &client, const Message &msg);
     void handleWorker(WorkerProc &w);
+    bool processWorkerMsg(WorkerProc &w, const Message &msg);
     void sendToClient(std::uint64_t client_id, const Message &msg);
+    void closeClient(ClientConn &client);
+    void flushClient(ClientConn &client);
     void killExpired(std::uint64_t now_ms);
     void dispatch(std::uint64_t now_ms);
     bool tryCacheHit(Job &job);
@@ -96,6 +118,9 @@ class Daemon
     std::map<std::uint64_t, ClientConn> _clients; // id -> conn
     std::uint64_t _nextClientId = 1;
     std::vector<std::uint64_t> _closedClients;
+    /** 0 until the queue first drains with replies still unflushed;
+     *  then the wall-clock deadline for giving up on slow clients. */
+    std::uint64_t _flushDeadlineMs = 0;
 
     // Lifetime counters for the metrics manifest.
     std::uint64_t _submitted = 0;
@@ -191,6 +216,10 @@ Daemon::reapWorkers()
         WorkerProc *w = findWorker(pid);
         if (!w)
             continue;
+        // The worker may have sent a DoneMsg right before dying; drain
+        // its pipe first so a finished job completes instead of being
+        // requeued for a wasted re-execution.
+        drainDeadWorker(*w);
         std::string why;
         if (!w->killReason.empty()) {
             why = w->killReason;
@@ -241,28 +270,76 @@ Daemon::acceptClient()
     int fd = ::accept(_listenFd, nullptr, nullptr);
     if (fd < 0)
         return;
+    // Non-blocking: a client that stops reading must never stall the
+    // poll loop; its replies buffer in outbuf and flush on POLLOUT.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, (flags < 0 ? 0 : flags) | O_NONBLOCK);
     ClientConn conn;
     conn.id = _nextClientId++;
     conn.fd = fd;
-    std::string magic;
-    appendMagic(magic);
-    writeAll(fd, magic);
+    appendMagic(conn.outbuf);
     std::uint64_t id = conn.id;
-    _clients.emplace(id, std::move(conn));
+    auto placed = _clients.emplace(id, std::move(conn));
+    flushClient(placed.first->second);
+}
+
+/**
+ * Mark a client dead: close the fd now, but leave the map entry in
+ * place (erased by the run loop once no caller can still hold a
+ * reference). Never erase from _clients here — handleClient may be on
+ * the stack with a reference to this very entry.
+ */
+void
+Daemon::closeClient(ClientConn &client)
+{
+    if (client.fd < 0)
+        return;
+    ::close(client.fd);
+    client.fd = -1;
+    client.outbuf.clear();
+    client.outOff = 0;
+    _closedClients.push_back(client.id);
+}
+
+/** Push buffered output until the socket would block. */
+void
+Daemon::flushClient(ClientConn &client)
+{
+    while (client.pendingOut()) {
+        ssize_t n =
+            ::write(client.fd, client.outbuf.data() + client.outOff,
+                    client.outbuf.size() - client.outOff);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return; // poll() will tell us via POLLOUT
+            closeClient(client);
+            return;
+        }
+        client.outOff += static_cast<std::size_t>(n);
+    }
+    client.outbuf.clear();
+    client.outOff = 0;
 }
 
 void
 Daemon::sendToClient(std::uint64_t client_id, const Message &msg)
 {
     auto it = _clients.find(client_id);
-    if (it == _clients.end())
+    if (it == _clients.end() || it->second.fd < 0)
         return; // client disconnected; its jobs still ran to term
-    std::string out;
-    appendMessage(out, msg);
-    if (!writeAll(it->second.fd, out)) {
-        ::close(it->second.fd);
-        _clients.erase(it);
+    ClientConn &client = it->second;
+    appendMessage(client.outbuf, msg);
+    if (client.outbuf.size() - client.outOff > kClientOutbufCap) {
+        warn("client %llu: %zu unsent bytes (not reading); "
+             "disconnecting",
+             static_cast<unsigned long long>(client.id),
+             client.outbuf.size() - client.outOff);
+        closeClient(client);
+        return;
     }
+    flushClient(client);
 }
 
 void
@@ -319,14 +396,16 @@ Daemon::handleClientMsg(ClientConn &client, const Message &msg)
     }
     warn("client %llu: unexpected message tag %zu; disconnecting",
          static_cast<unsigned long long>(client.id), msg.index());
-    _closedClients.push_back(client.id);
+    closeClient(client);
 }
 
 void
 Daemon::handleClient(ClientConn &client)
 {
+    if (client.fd < 0)
+        return; // closed earlier this iteration, not yet erased
     if (!readInto(client.fd, client.decoder)) {
-        _closedClients.push_back(client.id);
+        closeClient(client);
         return;
     }
     for (;;) {
@@ -334,13 +413,62 @@ Daemon::handleClient(ClientConn &client)
         if (!msg)
             break;
         handleClientMsg(client, *msg);
+        if (client.fd < 0)
+            return; // a handler disconnected us mid-stream
     }
     if (!client.decoder.ok()) {
         warn("client %llu: %s; disconnecting",
              static_cast<unsigned long long>(client.id),
              client.decoder.error()->describe().c_str());
-        _closedClients.push_back(client.id);
+        closeClient(client);
     }
+}
+
+/**
+ * Handle one worker→daemon message. @return false on an unexpected
+ * tag (protocol violation; the caller decides how hard to react —
+ * handleWorker kills the worker, drainDeadWorker just stops).
+ */
+bool
+Daemon::processWorkerMsg(WorkerProc &w, const Message &msg)
+{
+    if (const auto *progress = std::get_if<ProgressMsg>(&msg)) {
+        Job *job = _queue.find(progress->jobId);
+        bool live = job && job->state != JobState::Done &&
+                    job->state != JobState::Failed;
+        if (live && job->client != 0)
+            sendToClient(job->client, *progress);
+        return true;
+    }
+    if (const auto *done = std::get_if<DoneMsg>(&msg)) {
+        // Capture the owner before complete(): the job moves into the
+        // terminal archive there, invalidating the pointer. Only a
+        // live job notifies — a duplicate DoneMsg must not re-send.
+        Job *job = _queue.find(done->jobId);
+        bool live = job && job->state != JobState::Done &&
+                    job->state != JobState::Failed;
+        std::uint64_t client = live ? job->client : 0;
+        _queue.complete(done->jobId);
+        if (client != 0)
+            sendToClient(client, *done);
+        if (w.jobId == done->jobId)
+            w.jobId = 0;
+        return true;
+    }
+    if (const auto *failed = std::get_if<FailedMsg>(&msg)) {
+        // Worker-declared non-retryable failure (unknown demo).
+        Job *job = _queue.find(failed->jobId);
+        bool live = job && job->state != JobState::Done &&
+                    job->state != JobState::Failed;
+        std::uint64_t client = live ? job->client : 0;
+        _queue.fail(failed->jobId, failed->reason);
+        if (client != 0)
+            sendToClient(client, *failed);
+        if (w.jobId == failed->jobId)
+            w.jobId = 0;
+        return true;
+    }
+    return false;
 }
 
 void
@@ -356,40 +484,45 @@ Daemon::handleWorker(WorkerProc &w)
         std::optional<Message> msg = w.decoder.next();
         if (!msg)
             break;
-        if (const auto *progress = std::get_if<ProgressMsg>(&*msg)) {
-            Job *job = _queue.find(progress->jobId);
-            if (job)
-                sendToClient(job->client, *progress);
-            continue;
+        if (!processWorkerMsg(w, *msg)) {
+            warn("worker %d: unexpected message tag %zu; killing",
+                 static_cast<int>(w.pid), msg->index());
+            killWorker(w, "protocol violation");
+            return;
         }
-        if (const auto *done = std::get_if<DoneMsg>(&*msg)) {
-            Job *job = _queue.find(done->jobId);
-            _queue.complete(done->jobId);
-            if (job)
-                sendToClient(job->client, *done);
-            if (w.jobId == done->jobId)
-                w.jobId = 0;
-            continue;
-        }
-        if (const auto *failed = std::get_if<FailedMsg>(&*msg)) {
-            // Worker-declared non-retryable failure (unknown demo).
-            Job *job = _queue.find(failed->jobId);
-            _queue.fail(failed->jobId, failed->reason);
-            if (job)
-                sendToClient(job->client, *failed);
-            if (w.jobId == failed->jobId)
-                w.jobId = 0;
-            continue;
-        }
-        warn("worker %d: unexpected message tag %zu; killing",
-             static_cast<int>(w.pid), msg->index());
-        killWorker(w, "protocol violation");
-        return;
     }
     if (!w.decoder.ok()) {
         warn("worker %d: %s; killing", static_cast<int>(w.pid),
              w.decoder.error()->describe().c_str());
         killWorker(w, w.decoder.error()->describe());
+    }
+}
+
+/**
+ * Final read of an already-reaped worker's pipe. The process is gone,
+ * so reads return buffered bytes then EOF — they cannot block. Honors
+ * terminal messages (a DoneMsg sent just before death completes its
+ * job and clears w.jobId, so reapWorkers won't requeue it); must not
+ * kill: the pid is reaped and may already be reused.
+ */
+void
+Daemon::drainDeadWorker(WorkerProc &w)
+{
+    while (w.fd >= 0) {
+        if (!readInto(w.fd, w.decoder)) {
+            ::close(w.fd);
+            w.fd = -1;
+            return;
+        }
+        for (;;) {
+            std::optional<Message> msg = w.decoder.next();
+            if (!msg)
+                break;
+            if (!processWorkerMsg(w, *msg))
+                return; // protocol junk from a dying worker: give up
+        }
+        if (!w.decoder.ok())
+            return;
     }
 }
 
@@ -425,13 +558,16 @@ Daemon::tryCacheHit(Job &job)
         run.height != spec.config.height)
         return false;
     ++_cacheHits;
-    _queue.complete(job.id);
+    // Build the reply before complete(): the job moves into the
+    // terminal archive there, invalidating the reference.
     DoneMsg done;
     done.jobId = job.id;
     done.fromCache = 1;
     done.attempts = static_cast<std::uint8_t>(job.attempts);
     done.result = core::encodeMicroRun(run);
-    sendToClient(job.client, done);
+    std::uint64_t client = job.client;
+    _queue.complete(done.jobId);
+    sendToClient(client, done);
     return true;
 }
 
@@ -502,6 +638,12 @@ Daemon::writeMetrics()
     doc.set("timeouts", json::Value::number(_timeouts));
     doc.set("worker_deaths", json::Value::number(_workerDeaths));
     doc.set("cache_hits", json::Value::number(_cacheHits));
+    // The per-job list is bounded (JobQueue::kTerminalKeep newest);
+    // jobs_evicted says how many aged out — the counters above still
+    // cover the daemon's whole lifetime.
+    doc.set("jobs_evicted",
+            json::Value::number(static_cast<std::uint64_t>(
+                _queue.terminalEvicted())));
     json::Value jobs = json::Value::array();
     for (const Job *job : _queue.terminalJobs()) {
         json::Value j = json::Value::object();
@@ -610,7 +752,12 @@ Daemon::run()
         fds.push_back({_listenFd, POLLIN, 0});
         std::vector<std::uint64_t> client_ids;
         for (auto &kv : _clients) {
-            fds.push_back({kv.second.fd, POLLIN, 0});
+            if (kv.second.fd < 0)
+                continue;
+            short events = POLLIN;
+            if (kv.second.pendingOut())
+                events |= POLLOUT;
+            fds.push_back({kv.second.fd, events, 0});
             client_ids.push_back(kv.first);
         }
         std::vector<pid_t> worker_pids;
@@ -651,10 +798,15 @@ Daemon::run()
             ++idx;
             for (std::size_t c = 0; c < client_ids.size();
                  ++c, ++idx) {
-                if (!(fds[idx].revents & (POLLIN | POLLHUP)))
+                if (!fds[idx].revents)
                     continue;
                 auto it = _clients.find(client_ids[c]);
-                if (it != _clients.end())
+                if (it == _clients.end() || it->second.fd < 0)
+                    continue;
+                if (fds[idx].revents & POLLOUT)
+                    flushClient(it->second);
+                if (it->second.fd >= 0 &&
+                    (fds[idx].revents & (POLLIN | POLLHUP)))
                     handleClient(it->second);
             }
             for (std::size_t wi = 0; wi < worker_pids.size();
@@ -667,10 +819,13 @@ Daemon::run()
             }
         }
 
+        // closeClient() already shut the fds; with no handler on the
+        // stack anymore it is safe to erase the map entries.
         for (std::uint64_t id : _closedClients) {
             auto it = _clients.find(id);
             if (it != _clients.end()) {
-                ::close(it->second.fd);
+                if (it->second.fd >= 0)
+                    ::close(it->second.fd);
                 _clients.erase(it);
             }
         }
@@ -683,8 +838,25 @@ Daemon::run()
         killExpired(now);
         dispatch(now);
 
-        if (_queue.draining() && _queue.drained())
-            return shutdown();
+        if (_queue.draining() && _queue.drained()) {
+            // Every job is terminal, but replies may still sit in
+            // client outbufs (non-blocking sockets). Keep polling so
+            // POLLOUT can deliver them, with a bounded grace window
+            // so a client that never reads cannot pin the daemon.
+            bool pending = false;
+            for (auto &kv : _clients)
+                pending |= kv.second.fd >= 0 && kv.second.pendingOut();
+            if (!pending)
+                return shutdown();
+            if (_flushDeadlineMs == 0) {
+                _flushDeadlineMs = monotonicMs() + kDrainFlushMs;
+            } else if (monotonicMs() >= _flushDeadlineMs) {
+                warn("drain: dropping undelivered replies to slow "
+                     "client(s) after %llu ms",
+                     static_cast<unsigned long long>(kDrainFlushMs));
+                return shutdown();
+            }
+        }
     }
 }
 

@@ -71,26 +71,38 @@ JobQueue::expired(std::uint64_t now_ms) const
 }
 
 void
+JobQueue::archive(Job &&job)
+{
+    _terminal.push_back(std::move(job));
+    while (_terminal.size() > kTerminalKeep) {
+        _terminal.pop_front();
+        ++_terminalEvicted;
+    }
+}
+
+void
 JobQueue::complete(std::uint64_t id)
 {
-    Job *job = find(id);
-    if (!job || job->state == JobState::Done ||
-        job->state == JobState::Failed)
-        return;
-    job->state = JobState::Done;
+    auto it = _jobs.find(id);
+    if (it == _jobs.end())
+        return; // unknown, or already terminal (archived)
+    it->second.state = JobState::Done;
     ++_done;
+    archive(std::move(it->second));
+    _jobs.erase(it);
 }
 
 void
 JobQueue::fail(std::uint64_t id, std::string reason)
 {
-    Job *job = find(id);
-    if (!job || job->state == JobState::Done ||
-        job->state == JobState::Failed)
-        return;
-    job->state = JobState::Failed;
-    job->failReason = std::move(reason);
+    auto it = _jobs.find(id);
+    if (it == _jobs.end())
+        return; // unknown, or already terminal (archived)
+    it->second.state = JobState::Failed;
+    it->second.failReason = std::move(reason);
     ++_failed;
+    archive(std::move(it->second));
+    _jobs.erase(it);
 }
 
 bool
@@ -117,12 +129,8 @@ JobQueue::retryOrFail(std::uint64_t id, std::uint64_t now_ms,
 bool
 JobQueue::drained() const
 {
-    for (const auto &kv : _jobs) {
-        JobState s = kv.second.state;
-        if (s != JobState::Done && s != JobState::Failed)
-            return false;
-    }
-    return true;
+    // _jobs holds only live jobs; terminal ones moved to _terminal.
+    return _jobs.empty();
 }
 
 std::uint64_t
@@ -149,7 +157,16 @@ Job *
 JobQueue::find(std::uint64_t id)
 {
     auto it = _jobs.find(id);
-    return it != _jobs.end() ? &it->second : nullptr;
+    if (it != _jobs.end())
+        return &it->second;
+    // Terminal jobs live in the bounded archive; scan newest first
+    // (late crash reports and duplicate completions look up recent
+    // ids). O(kTerminalKeep) worst case.
+    for (auto rit = _terminal.rbegin(); rit != _terminal.rend(); ++rit) {
+        if (rit->id == id)
+            return &*rit;
+    }
+    return nullptr;
 }
 
 std::size_t
@@ -176,11 +193,9 @@ std::vector<const Job *>
 JobQueue::terminalJobs() const
 {
     std::vector<const Job *> out;
-    for (const auto &kv : _jobs) {
-        JobState s = kv.second.state;
-        if (s == JobState::Done || s == JobState::Failed)
-            out.push_back(&kv.second);
-    }
+    out.reserve(_terminal.size());
+    for (const Job &job : _terminal)
+        out.push_back(&job);
     return out;
 }
 

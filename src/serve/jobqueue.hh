@@ -26,6 +26,7 @@
 #define WC3D_SERVE_JOBQUEUE_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -79,6 +80,11 @@ struct Job
 class JobQueue
 {
   public:
+    /** Terminal jobs kept findable after completion (manifest export,
+     *  late crash reports). Older ones are evicted so a long-running
+     *  daemon's memory stays bounded by live jobs + this constant. */
+    static constexpr std::size_t kTerminalKeep = 256;
+
     JobQueue(std::size_t capacity, RetryPolicy policy)
         : _capacity(capacity), _policy(policy)
     {
@@ -137,6 +143,11 @@ class JobQueue
     std::uint64_t nextEventDelay(std::uint64_t now_ms,
                                  std::uint64_t cap_ms) const;
 
+    /**
+     * Live jobs, then the bounded terminal archive (newest first).
+     * nullptr for unknown ids and for terminal jobs older than the
+     * kTerminalKeep most recent.
+     */
     Job *find(std::uint64_t id);
 
     /** @name Counters (live states count jobs, terminal ones events) */
@@ -146,18 +157,29 @@ class JobQueue
     std::size_t doneCount() const { return _done; }
     std::size_t failedCount() const { return _failed; }
     std::size_t retryCount() const { return _retries; }
+    /** Terminal jobs aged out of the archive (counters above still
+     *  include them). */
+    std::size_t terminalEvicted() const { return _terminalEvicted; }
     /// @}
 
-    /** Terminal jobs, oldest first (manifest export). */
+    /** Archived terminal jobs, completion order (manifest export);
+     *  at most the kTerminalKeep most recent. */
     std::vector<const Job *> terminalJobs() const;
 
   private:
+    /** Move a job that just went terminal into the bounded archive. */
+    void archive(Job &&job);
+
     std::size_t _capacity;
     RetryPolicy _policy;
     bool _draining = false;
     std::uint64_t _nextId = 1;
     std::uint64_t _nextSeq = 1;
+    /** Live jobs only (Queued/Waiting/Running); terminal jobs move to
+     *  _terminal so every per-poll scan is O(live), not O(lifetime). */
     std::map<std::uint64_t, Job> _jobs; // id -> job (ids ascend = FIFO)
+    std::deque<Job> _terminal; // completion order, ≤ kTerminalKeep
+    std::size_t _terminalEvicted = 0;
     std::size_t _done = 0;
     std::size_t _failed = 0;
     std::size_t _retries = 0;

@@ -502,3 +502,39 @@ TEST(JobQueue, DrainRejectsNewAndFinishesAccepted)
     EXPECT_TRUE(q.drained());
     EXPECT_EQ(q.doneCount(), 2u);
 }
+
+TEST(JobQueue, TerminalArchiveIsBounded)
+{
+    const std::size_t keep = JobQueue::kTerminalKeep;
+    const std::size_t total = keep + 10;
+    JobQueue q(4, testPolicy());
+    std::uint64_t first_id = 0, last_id = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+        std::uint64_t id = q.submit(sampleSpec(), 7, nullptr);
+        ASSERT_NE(id, 0u); // terminal jobs must not eat capacity
+        if (first_id == 0)
+            first_id = id;
+        last_id = id;
+        q.markRunning(id, 0);
+        q.complete(id);
+    }
+    // Lifetime counters see everything; the findable archive is
+    // bounded so a long-running daemon's memory does not grow with
+    // every job ever served.
+    EXPECT_EQ(q.doneCount(), total);
+    EXPECT_EQ(q.terminalJobs().size(), keep);
+    EXPECT_EQ(q.terminalEvicted(), total - keep);
+    EXPECT_EQ(q.find(first_id), nullptr); // aged out of the archive
+    Job *last = q.find(last_id);
+    ASSERT_TRUE(last);
+    EXPECT_EQ(last->state, JobState::Done);
+    EXPECT_EQ(last->client, 7u);
+    // Archived jobs are out of every live-state scan.
+    EXPECT_EQ(q.queuedCount(), 0u);
+    EXPECT_EQ(q.runningCount(), 0u);
+    q.beginDrain();
+    EXPECT_TRUE(q.drained());
+    // A stale crash report for an archived job must not resurrect it.
+    EXPECT_FALSE(q.retryOrFail(last_id, 0, "late report"));
+    EXPECT_EQ(q.find(last_id)->state, JobState::Done);
+}
