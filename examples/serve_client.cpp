@@ -6,12 +6,15 @@
  *           [--frames N] [--frame-begin N] [--size WxH] [--no-hz]
  *           [--timeout-ms N] [--out PATH]
  *     ./wc3d-serve-client [--socket PATH] status
+ *     ./wc3d-serve-client [--socket PATH] stats
  *     ./wc3d-serve-client [--socket PATH] drain
  *     ./wc3d-serve-client [--socket PATH] kill-worker
  *
  * submit queues one job, streams its progress, and exits 0 when the
  * job completes (writing the result document to --out when given) or
- * 1 when it fails. status/drain/kill-worker are thin admin wrappers.
+ * 1 when it fails. status/drain/kill-worker are thin admin wrappers;
+ * stats dumps the daemon's full live telemetry (queue depths, worker
+ * utilization, lifetime counters, latency percentiles).
  */
 
 #include <cstdio>
@@ -21,6 +24,7 @@
 
 #include "common/env.hh"
 #include "serve/client.hh"
+#include "serve/jobqueue.hh"
 
 using namespace wc3d;
 
@@ -34,7 +38,7 @@ usage(const char *argv0)
         "usage: %s [--socket PATH] submit DEMO [--frames N] "
         "[--frame-begin N] [--size WxH] [--no-hz] [--timeout-ms N] "
         "[--out PATH]\n"
-        "       %s [--socket PATH] status|drain|kill-worker\n",
+        "       %s [--socket PATH] status|stats|drain|kill-worker\n",
         argv0, argv0);
     return 2;
 }
@@ -128,6 +132,51 @@ main(int argc, char **argv)
                     status->queued, status->running, status->done,
                     status->failed, status->workers,
                     status->draining);
+        return 0;
+    }
+    if (cmd == "stats") {
+        if (!client.requestStats())
+            return 1;
+        auto msg = client.next(5000);
+        const auto *s =
+            msg ? std::get_if<serve::StatsMsg>(&*msg) : nullptr;
+        if (!s) {
+            std::fprintf(stderr, "error: no stats reply\n");
+            return 1;
+        }
+        std::printf(
+            "uptime_ms=%llu draining=%u\n"
+            "queued=%u waiting=%u running=%u\n"
+            "workers=%u busy=%u\n"
+            "submitted=%llu rejected=%llu done=%llu failed=%llu\n"
+            "retries=%llu timeouts=%llu worker_deaths=%llu "
+            "cache_hits=%llu jobs_evicted=%llu\n"
+            "done_latency_ms p50=%llu p90=%llu p99=%llu\n"
+            "failed_latency_ms p50=%llu p90=%llu p99=%llu\n",
+            static_cast<unsigned long long>(s->uptimeMs),
+            static_cast<unsigned>(s->draining), s->queued,
+            s->waiting, s->running, s->workers, s->workersBusy,
+            static_cast<unsigned long long>(s->submitted),
+            static_cast<unsigned long long>(s->rejected),
+            static_cast<unsigned long long>(s->done),
+            static_cast<unsigned long long>(s->failed),
+            static_cast<unsigned long long>(s->retries),
+            static_cast<unsigned long long>(s->timeouts),
+            static_cast<unsigned long long>(s->workerDeaths),
+            static_cast<unsigned long long>(s->cacheHits),
+            static_cast<unsigned long long>(s->jobsEvicted),
+            static_cast<unsigned long long>(
+                serve::percentileFromHistogram(s->doneLatency, 0.50)),
+            static_cast<unsigned long long>(
+                serve::percentileFromHistogram(s->doneLatency, 0.90)),
+            static_cast<unsigned long long>(
+                serve::percentileFromHistogram(s->doneLatency, 0.99)),
+            static_cast<unsigned long long>(
+                serve::percentileFromHistogram(s->failedLatency, 0.50)),
+            static_cast<unsigned long long>(
+                serve::percentileFromHistogram(s->failedLatency, 0.90)),
+            static_cast<unsigned long long>(
+                serve::percentileFromHistogram(s->failedLatency, 0.99)));
         return 0;
     }
     if (cmd == "drain")

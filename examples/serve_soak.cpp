@@ -185,6 +185,10 @@ main(int argc, char **argv)
     opts.policy.backoffBaseMs = 25;
     opts.policy.backoffCapMs = 200;
     opts.metricsPath = metrics_path;
+    // Opt-in fleet ingest of the drained daemon's manifest, same knob
+    // a standalone wc3d-served honours.
+    if (const char *fleet = std::getenv("WC3D_SERVE_FLEET_DIR"))
+        opts.fleetDir = fleet;
 
     pid_t daemon_pid = ::fork();
     if (daemon_pid < 0) {
@@ -321,6 +325,13 @@ main(int argc, char **argv)
         fail("only %zu of %zu jobs accepted", submitted.size(),
              plan.size());
 
+    // Live telemetry: the daemon has processed (and acknowledged)
+    // every submission, so a stats snapshot taken now must satisfy
+    // the accounting identity live + terminal == submitted.
+    bool stats_seen = false;
+    if (!client.requestStats())
+        fail("stats request failed: %s", client.lastError().c_str());
+
     // Await every terminal message, injecting worker kills while the
     // run is in full swing (spaced by completed-job count).
     std::map<std::uint64_t, Terminal> terminal;
@@ -343,6 +354,36 @@ main(int argc, char **argv)
             continue;
         }
         idle_waits = 0;
+        if (const auto *st = std::get_if<serve::StatsMsg>(&*msg)) {
+            stats_seen = true;
+            std::uint64_t live = std::uint64_t(st->queued) +
+                                 st->waiting + st->running;
+            bool plausible =
+                st->submitted == submitted.size() &&
+                live + st->done + st->failed == st->submitted &&
+                st->workers == static_cast<std::uint32_t>(workers) &&
+                st->workersBusy <= st->workers &&
+                st->running <= st->workers && st->draining == 0;
+            if (plausible)
+                pass("live stats consistent (%u queued, %u waiting, "
+                     "%u running, %llu done, %llu failed of %llu "
+                     "submitted; %u/%u workers busy)",
+                     st->queued, st->waiting, st->running,
+                     static_cast<unsigned long long>(st->done),
+                     static_cast<unsigned long long>(st->failed),
+                     static_cast<unsigned long long>(st->submitted),
+                     st->workersBusy, st->workers);
+            else
+                fail("live stats implausible: %u+%u+%u live, %llu "
+                     "done, %llu failed, %llu submitted, %u/%u busy, "
+                     "draining=%u",
+                     st->queued, st->waiting, st->running,
+                     static_cast<unsigned long long>(st->done),
+                     static_cast<unsigned long long>(st->failed),
+                     static_cast<unsigned long long>(st->submitted),
+                     st->workersBusy, st->workers, st->draining);
+            continue;
+        }
         if (const auto *d = std::get_if<serve::DoneMsg>(&*msg)) {
             Terminal &t = terminal[d->jobId];
             t.done = true;
@@ -365,6 +406,9 @@ main(int argc, char **argv)
                 terminal.size() + submitted.size() / 4 + 1;
         }
     }
+
+    if (!stats_seen)
+        fail("no StatsMsg reply arrived during the soak");
 
     // Contract: zero lost jobs, exactly one terminal state each.
     std::size_t lost = 0, duplicated = 0;
@@ -511,6 +555,62 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(failed_seen));
         else
             fail("manifest counts disagree with client view");
+        // Per-class latency percentiles: every terminal job is
+        // accounted in its class histogram and the quantiles are
+        // ordered.
+        const json::Value *latency = manifest.find("latency");
+        if (!latency || !latency->isObject()) {
+            fail("manifest lacks a latency object");
+        } else {
+            struct ClassCheck
+            {
+                const char *name;
+                std::uint64_t expect;
+            } checks[] = {{"done", done_seen}, {"failed", failed_seen}};
+            for (const ClassCheck &c : checks) {
+                const json::Value *cls = latency->find(c.name);
+                if (!cls || !cls->isObject()) {
+                    fail("manifest latency.%s missing", c.name);
+                    continue;
+                }
+                const json::Value *count = cls->find("count");
+                const json::Value *p50 = cls->find("p50_ms");
+                const json::Value *p90 = cls->find("p90_ms");
+                const json::Value *p99 = cls->find("p99_ms");
+                if (!count || !p50 || !p90 || !p99) {
+                    fail("manifest latency.%s lacks count/quantiles",
+                         c.name);
+                    continue;
+                }
+                if (count->asU64() != c.expect) {
+                    fail("latency.%s.count %llu != %llu terminal "
+                         "job(s)",
+                         c.name,
+                         static_cast<unsigned long long>(
+                             count->asU64()),
+                         static_cast<unsigned long long>(c.expect));
+                    continue;
+                }
+                if (p50->asU64() > p90->asU64() ||
+                    p90->asU64() > p99->asU64()) {
+                    fail("latency.%s quantiles unordered "
+                         "(%llu/%llu/%llu)",
+                         c.name,
+                         static_cast<unsigned long long>(p50->asU64()),
+                         static_cast<unsigned long long>(p90->asU64()),
+                         static_cast<unsigned long long>(
+                             p99->asU64()));
+                    continue;
+                }
+                pass("latency.%s: %llu job(s), p50/p90/p99 = "
+                     "%llu/%llu/%llu ms",
+                     c.name,
+                     static_cast<unsigned long long>(count->asU64()),
+                     static_cast<unsigned long long>(p50->asU64()),
+                     static_cast<unsigned long long>(p90->asU64()),
+                     static_cast<unsigned long long>(p99->asU64()));
+            }
+        }
         const json::Value *deaths = manifest.find("worker_deaths");
         std::uint64_t min_deaths = static_cast<std::uint64_t>(
             kills - kills_left + crash_jobs + timeout_jobs);

@@ -1,6 +1,9 @@
 #include "common/fs.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstring>
+#include <dirent.h>
 #include <sys/stat.h>
 
 namespace wc3d {
@@ -33,6 +36,24 @@ makeDirs(const std::string &path)
     }
     struct stat st;
     return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool
+listDir(const std::string &path, std::vector<std::string> &names)
+{
+    DIR *dir = ::opendir(path.c_str());
+    if (!dir)
+        return false;
+    names.clear();
+    while (struct dirent *entry = ::readdir(dir)) {
+        if (std::strcmp(entry->d_name, ".") == 0 ||
+            std::strcmp(entry->d_name, "..") == 0)
+            continue;
+        names.emplace_back(entry->d_name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return true;
 }
 
 } // namespace wc3d

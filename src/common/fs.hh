@@ -8,6 +8,7 @@
 #define WC3D_COMMON_FS_HH
 
 #include <string>
+#include <vector>
 
 namespace wc3d {
 
@@ -16,6 +17,13 @@ namespace wc3d {
  * @return true when the directory exists on return.
  */
 bool makeDirs(const std::string &path);
+
+/**
+ * Plain filenames (no "." / "..") in directory @p path, sorted.
+ * @return false when the directory cannot be read.
+ */
+bool listDir(const std::string &path,
+             std::vector<std::string> &names);
 
 } // namespace wc3d
 

@@ -1,6 +1,7 @@
 #include "common/json.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -332,6 +333,11 @@ class Parser
                 ++_pos;
                 return true;
             }
+            // RFC 8259: raw control characters must be escaped. The
+            // writer escapes them, so rejecting keeps round-trips
+            // lossless and the parser strict under fuzzed input.
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
             if (c == '\\') {
                 if (_pos + 1 >= _text.size())
                     return fail("truncated escape");
@@ -452,6 +458,11 @@ class Parser
             double d = std::strtod(repr.c_str(), &end);
             if (end != repr.c_str() + repr.size())
                 return fail("malformed number");
+            // Strict: a literal that does not fit a finite double
+            // (1e999, ...) is rejected, not silently turned into inf —
+            // a fleet-store counter must never round-trip as infinity.
+            if (errno == ERANGE || !std::isfinite(d))
+                return fail("number out of range");
             out = Value::number(d);
         }
         return true;

@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/env.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
 #include "common/threadpool.hh"
+#include "raster/tilegrid.hh"
 #include "stats/jsonio.hh"
 
 namespace wc3d::core {
@@ -15,6 +18,9 @@ namespace wc3d::core {
 namespace {
 
 constexpr const char *kSchema = "wc3d-metrics-v1";
+/** Minor schema revision: 1 added the host block (older readers that
+ *  only check the schema tag still accept the document). */
+constexpr std::uint64_t kSchemaMinor = 1;
 
 double
 nowSeconds()
@@ -307,6 +313,8 @@ RunMeta::toJson() const
 
     json::Value doc = json::Value::object();
     doc.set("schema", json::Value::str(kSchema));
+    doc.set("schemaMinor", json::Value::number(kSchemaMinor));
+    doc.set("host", hostInfoJson());
     doc.set("config", std::move(config));
     doc.set("phases", std::move(phases));
     doc.set("runs", std::move(runs));
@@ -354,6 +362,39 @@ metricsPath()
     return envString("WC3D_METRICS_OUT", "");
 }
 
+json::Value
+hostInfoJson()
+{
+    char name[256] = {};
+    if (::gethostname(name, sizeof(name) - 1) != 0)
+        std::snprintf(name, sizeof(name), "unknown");
+    json::Value host = json::Value::object();
+    host.set("hostname", json::Value::str(name));
+    host.set("hardwareThreads",
+             json::Value::number(static_cast<std::uint64_t>(
+                 std::thread::hardware_concurrency())));
+    host.set("tileSize",
+             json::Value::number(raster::resolveTileSize(0)));
+    host.set("threads",
+             json::Value::number(ThreadPool::configuredThreads()));
+    return host;
+}
+
+std::string
+hostFingerprint(const json::Value &doc)
+{
+    const json::Value *host = doc.find("host");
+    if (!host || !host->isObject())
+        return "unknown";
+    const json::Value *name = host->find("hostname");
+    const json::Value *hw = host->find("hardwareThreads");
+    if (!name || !name->isString() || name->asString().empty())
+        return "unknown";
+    return format("%s/%llu", name->asString().c_str(),
+                  static_cast<unsigned long long>(
+                      hw && hw->isNumber() ? hw->asU64() : 0));
+}
+
 std::string
 gitDescribe()
 {
@@ -392,6 +433,29 @@ validateMetrics(const json::Value &doc, std::string *error)
         schema->asString() != kSchema) {
         return fail(format("missing or wrong schema tag (want '%s')",
                            kSchema));
+    }
+    // schemaMinor is optional: minor 0 documents predate the host
+    // block, minor >= 1 documents must carry one. Both validate.
+    const json::Value *minor = doc.find("schemaMinor");
+    std::uint64_t minor_rev = 0;
+    if (minor) {
+        if (!minor->isNumber())
+            return fail("schemaMinor is not numeric");
+        minor_rev = minor->asU64();
+    }
+    const json::Value *host = doc.find("host");
+    if (minor_rev >= 1 && (!host || !host->isObject()))
+        return fail("schemaMinor >= 1 but host block missing");
+    if (host) {
+        if (!host->isObject())
+            return fail("host is not an object");
+        const json::Value *hostname = host->find("hostname");
+        const json::Value *hw = host->find("hardwareThreads");
+        if (!hostname || !hostname->isString() ||
+            hostname->asString().empty())
+            return fail("host.hostname missing");
+        if (!hw || !hw->isNumber())
+            return fail("host.hardwareThreads missing");
     }
     const json::Value *config = doc.find("config");
     if (!config || !config->isObject())

@@ -91,6 +91,20 @@ std::string metricsPath();
 std::string gitDescribe();
 
 /**
+ * The manifest `host` block: hostname, hardware threads and the
+ * machine-shaping knobs (resolved WC3D_TILE_SIZE / WC3D_THREADS).
+ * Shared by the metrics and serve manifests so the fleet store can
+ * group runs by host.
+ */
+json::Value hostInfoJson();
+
+/**
+ * "hostname/NT" fingerprint of a manifest's `host` block (any schema
+ * that embeds hostInfoJson()), or "unknown" for pre-v1.1 documents.
+ */
+std::string hostFingerprint(const json::Value &doc);
+
+/**
  * Structural validation of a parsed metrics document: schema tag,
  * config/runs/registry sections, every registry counter numeric.
  */

@@ -143,6 +143,12 @@ ServeClient::requestStatus()
 }
 
 bool
+ServeClient::requestStats()
+{
+    return send(StatsReqMsg());
+}
+
+bool
 ServeClient::requestKillWorker()
 {
     return send(KillWorkerMsg());

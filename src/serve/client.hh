@@ -47,6 +47,7 @@ class ServeClient
     /** @name Fire-and-forget admin requests */
     /// @{
     bool requestStatus();     ///< reply arrives via next() as StatusMsg
+    bool requestStats();      ///< reply arrives via next() as StatsMsg
     bool requestKillWorker(); ///< SIGKILL one worker (fault injection)
     bool requestDrain();      ///< daemon finishes accepted work, exits
     /// @}

@@ -17,7 +17,9 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "core/runmeta.hh"
 #include "core/runner.hh"
+#include "fleet/store.hh"
 #include "serve/protocol.hh"
 #include "serve/sockio.hh"
 #include "serve/worker.hh"
@@ -106,7 +108,8 @@ class Daemon
     bool tryCacheHit(Job &job);
     void beginDrain(const char *why);
     int shutdown();
-    void writeMetrics();
+    void writeMetrics(bool clean);
+    StatsMsg buildStats() const;
     WorkerProc *idleWorker();
     WorkerProc *findWorker(pid_t pid);
 
@@ -121,6 +124,7 @@ class Daemon
     /** 0 until the queue first drains with replies still unflushed;
      *  then the wall-clock deadline for giving up on slow clients. */
     std::uint64_t _flushDeadlineMs = 0;
+    std::uint64_t _startMs = 0; ///< run() entry; uptime baseline
 
     // Lifetime counters for the metrics manifest.
     std::uint64_t _submitted = 0;
@@ -347,8 +351,8 @@ Daemon::handleClientMsg(ClientConn &client, const Message &msg)
 {
     if (const auto *submit = std::get_if<SubmitMsg>(&msg)) {
         std::string why;
-        std::uint64_t id =
-            _queue.submit(submit->spec, client.id, &why);
+        std::uint64_t id = _queue.submit(submit->spec, client.id,
+                                         &why, monotonicMs());
         if (id == 0) {
             ++_rejected;
             RejectedMsg rejected;
@@ -392,6 +396,10 @@ Daemon::handleClientMsg(ClientConn &client, const Message &msg)
     }
     if (std::holds_alternative<DrainMsg>(msg)) {
         beginDrain("drain requested by client");
+        return;
+    }
+    if (std::holds_alternative<StatsReqMsg>(msg)) {
+        sendToClient(client.id, buildStats());
         return;
     }
     warn("client %llu: unexpected message tag %zu; disconnecting",
@@ -448,7 +456,7 @@ Daemon::processWorkerMsg(WorkerProc &w, const Message &msg)
         bool live = job && job->state != JobState::Done &&
                     job->state != JobState::Failed;
         std::uint64_t client = live ? job->client : 0;
-        _queue.complete(done->jobId);
+        _queue.complete(done->jobId, monotonicMs());
         if (client != 0)
             sendToClient(client, *done);
         if (w.jobId == done->jobId)
@@ -461,7 +469,7 @@ Daemon::processWorkerMsg(WorkerProc &w, const Message &msg)
         bool live = job && job->state != JobState::Done &&
                     job->state != JobState::Failed;
         std::uint64_t client = live ? job->client : 0;
-        _queue.fail(failed->jobId, failed->reason);
+        _queue.fail(failed->jobId, failed->reason, monotonicMs());
         if (client != 0)
             sendToClient(client, *failed);
         if (w.jobId == failed->jobId)
@@ -566,7 +574,7 @@ Daemon::tryCacheHit(Job &job)
     done.attempts = static_cast<std::uint8_t>(job.attempts);
     done.result = core::encodeMicroRun(run);
     std::uint64_t client = job.client;
-    _queue.complete(done.jobId);
+    _queue.complete(done.jobId, monotonicMs());
     sendToClient(client, done);
     return true;
 }
@@ -613,13 +621,78 @@ Daemon::beginDrain(const char *why)
     _queue.beginDrain();
 }
 
-void
-Daemon::writeMetrics()
+/** Snapshot every live counter for a StatsMsg reply. */
+StatsMsg
+Daemon::buildStats() const
 {
-    if (_opts.metricsPath.empty())
+    StatsMsg stats;
+    std::uint64_t now = monotonicMs();
+    stats.uptimeMs = now > _startMs ? now - _startMs : 0;
+    stats.queued =
+        static_cast<std::uint32_t>(_queue.readyCount());
+    stats.waiting =
+        static_cast<std::uint32_t>(_queue.waitingCount());
+    stats.running =
+        static_cast<std::uint32_t>(_queue.runningCount());
+    stats.done = _queue.doneCount();
+    stats.failed = _queue.failedCount();
+    stats.retries = _queue.retryCount();
+    stats.timeouts = _timeouts;
+    stats.workerDeaths = _workerDeaths;
+    stats.cacheHits = _cacheHits;
+    stats.submitted = _submitted;
+    stats.rejected = _rejected;
+    stats.jobsEvicted = _queue.terminalEvicted();
+    stats.workers = static_cast<std::uint32_t>(_workers.size());
+    std::uint32_t busy = 0;
+    for (const auto &w : _workers)
+        busy += w.jobId != 0;
+    stats.workersBusy = busy;
+    stats.draining = _queue.draining() ? 1 : 0;
+    stats.doneLatency = _queue.doneLatencyHistogram();
+    stats.failedLatency = _queue.failedLatencyHistogram();
+    return stats;
+}
+
+namespace {
+
+/** Manifest section for one latency histogram: count, percentile
+ *  estimates (bucket ceilings) and the raw log2-ms buckets. */
+json::Value
+latencyJson(const std::array<std::uint64_t, kLatencyBuckets> &hist)
+{
+    json::Value out = json::Value::object();
+    std::uint64_t count = 0;
+    for (std::uint64_t b : hist)
+        count += b;
+    out.set("count", json::Value::number(count));
+    out.set("p50_ms",
+            json::Value::number(percentileFromHistogram(hist, 0.50)));
+    out.set("p90_ms",
+            json::Value::number(percentileFromHistogram(hist, 0.90)));
+    out.set("p99_ms",
+            json::Value::number(percentileFromHistogram(hist, 0.99)));
+    json::Value buckets = json::Value::array();
+    for (std::uint64_t b : hist)
+        buckets.push(json::Value::number(b));
+    out.set("buckets", std::move(buckets));
+    return out;
+}
+
+} // namespace
+
+void
+Daemon::writeMetrics(bool clean)
+{
+    if (_opts.metricsPath.empty() && _opts.fleetDir.empty())
         return;
     json::Value doc = json::Value::object();
     doc.set("schema", json::Value::str("wc3d-serve-metrics-v1"));
+    doc.set("git", json::Value::str(core::gitDescribe()));
+    doc.set("host", core::hostInfoJson());
+    // false = the daemon exited on an error path (poll failure); the
+    // counters are still truthful, the run just didn't drain cleanly.
+    doc.set("clean", json::Value::boolean(clean));
     doc.set("workers", json::Value::number(
                            static_cast<std::int64_t>(_opts.workers)));
     doc.set("queue_bound",
@@ -638,6 +711,11 @@ Daemon::writeMetrics()
     doc.set("timeouts", json::Value::number(_timeouts));
     doc.set("worker_deaths", json::Value::number(_workerDeaths));
     doc.set("cache_hits", json::Value::number(_cacheHits));
+    json::Value latency = json::Value::object();
+    latency.set("done", latencyJson(_queue.doneLatencyHistogram()));
+    latency.set("failed",
+                latencyJson(_queue.failedLatencyHistogram()));
+    doc.set("latency", std::move(latency));
     // The per-job list is bounded (JobQueue::kTerminalKeep newest);
     // jobs_evicted says how many aged out — the counters above still
     // cover the daemon's whole lifetime.
@@ -660,13 +738,32 @@ Daemon::writeMetrics()
         jobs.push(std::move(j));
     }
     doc.set("jobs", std::move(jobs));
-    std::string error;
-    if (!json::writeFileAtomic(_opts.metricsPath,
-                               doc.serialize(2) + "\n", &error))
-        warn("could not write serve metrics: %s", error.c_str());
-    else
-        inform("serve metrics written to %s",
-               _opts.metricsPath.c_str());
+    if (!_opts.metricsPath.empty()) {
+        std::string error;
+        if (!json::writeFileAtomic(_opts.metricsPath,
+                                   doc.serialize(2) + "\n", &error))
+            warn("could not write serve metrics: %s", error.c_str());
+        else
+            inform("serve metrics written to %s",
+                   _opts.metricsPath.c_str());
+    }
+    if (!_opts.fleetDir.empty()) {
+        fleet::FleetStore store(_opts.fleetDir);
+        fleet::FleetError ferr;
+        if (!store.open(&ferr)) {
+            warn("fleet store: %s", ferr.describe().c_str());
+            return;
+        }
+        std::string source =
+            _opts.metricsPath.empty() ? "wc3d-served"
+                                      : _opts.metricsPath;
+        auto rc = store.ingestDocument(doc, source, &ferr);
+        if (rc == fleet::FleetStore::IngestResult::Error)
+            warn("fleet ingest: %s", ferr.describe().c_str());
+        else
+            inform("serve metrics ingested into fleet store %s",
+                   _opts.fleetDir.c_str());
+    }
 }
 
 int
@@ -695,7 +792,7 @@ Daemon::shutdown()
     if (_listenFd >= 0)
         ::close(_listenFd);
     ::unlink(_opts.socketPath.c_str());
-    writeMetrics();
+    writeMetrics(true);
     inform("drain complete: %zu done, %zu failed, %zu retries, "
            "%llu timeouts, %llu worker death(s)",
            _queue.doneCount(), _queue.failedCount(),
@@ -708,6 +805,7 @@ Daemon::shutdown()
 int
 Daemon::run()
 {
+    _startMs = monotonicMs();
     ServeError error;
     _listenFd = listenUnix(_opts.socketPath, &error);
     if (_listenFd < 0) {
@@ -774,6 +872,9 @@ Daemon::run()
         int rc = ::poll(fds.data(), fds.size(), timeout);
         if (rc < 0 && errno != EINTR) {
             warn("poll(): %s", std::strerror(errno));
+            // Unclean exit, but don't lose the run's telemetry: the
+            // manifest goes out with clean=false.
+            writeMetrics(false);
             return 1;
         }
 
@@ -877,6 +978,7 @@ DaemonOptions::fromEnv()
     opts.policy.backoffBaseMs = static_cast<std::uint64_t>(
         std::max(1, envInt("WC3D_SERVE_BACKOFF_MS", 100)));
     opts.metricsPath = envString("WC3D_SERVE_METRICS_OUT", "");
+    opts.fleetDir = envString("WC3D_SERVE_FLEET_DIR", "");
     return opts;
 }
 

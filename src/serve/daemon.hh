@@ -27,13 +27,19 @@ struct DaemonOptions
     std::size_t queueBound = 64; ///< max queued+running jobs
     RetryPolicy policy;
     /** Where to write the wc3d-serve-metrics-v1 manifest on exit
-     *  ("" = skip). */
+     *  ("" = skip). Written on every exit path — clean drain, SIGTERM
+     *  and poll failure alike (the manifest's `clean` flag tells them
+     *  apart). */
     std::string metricsPath;
+    /** Fleet store directory to ingest the manifest into on exit
+     *  ("" = skip). Independent of metricsPath. */
+    std::string fleetDir;
 
     /**
      * Defaults overridden by WC3D_SERVE_SOCKET, WC3D_SERVE_WORKERS,
      * WC3D_SERVE_QUEUE, WC3D_SERVE_TIMEOUT_MS, WC3D_SERVE_RETRIES,
-     * WC3D_SERVE_BACKOFF_MS and WC3D_SERVE_METRICS_OUT.
+     * WC3D_SERVE_BACKOFF_MS, WC3D_SERVE_METRICS_OUT and
+     * WC3D_SERVE_FLEET_DIR.
      */
     static DaemonOptions fromEnv();
 };

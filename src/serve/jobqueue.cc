@@ -5,8 +5,37 @@
 namespace wc3d::serve {
 
 std::uint64_t
+percentileFromHistogram(
+    const std::array<std::uint64_t, kLatencyBuckets> &hist, double q)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t bucket : hist)
+        total += bucket;
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // The smallest rank covering quantile q, 1-based.
+    std::uint64_t rank = static_cast<std::uint64_t>(q * total);
+    if (rank < 1)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < hist.size(); ++b) {
+        seen += hist[b];
+        if (seen >= rank) {
+            // Bucket b holds latencies with bit_width(ms) == b:
+            // ceiling 2^b - 1 (bucket 0 is exactly 0 ms).
+            return b == 0 ? 0 : (1ull << b) - 1;
+        }
+    }
+    return (1ull << (kLatencyBuckets - 1)) - 1;
+}
+
+std::uint64_t
 JobQueue::submit(const JobSpec &spec, std::uint64_t client,
-                 std::string *why_not)
+                 std::string *why_not, std::uint64_t now_ms)
 {
     if (_draining) {
         if (why_not)
@@ -23,6 +52,7 @@ JobQueue::submit(const JobSpec &spec, std::uint64_t client,
     job.spec = spec;
     job.seq = _nextSeq++;
     job.client = client;
+    job.submittedAtMs = now_ms;
     std::uint64_t id = job.id;
     _jobs.emplace(id, std::move(job));
     return id;
@@ -81,19 +111,36 @@ JobQueue::archive(Job &&job)
 }
 
 void
-JobQueue::complete(std::uint64_t id)
+JobQueue::recordLatency(
+    Job &job, std::uint64_t now_ms,
+    std::array<std::uint64_t, kLatencyBuckets> &hist)
+{
+    job.latencyMs = now_ms > job.submittedAtMs
+                        ? now_ms - job.submittedAtMs
+                        : 0;
+    std::size_t bucket = static_cast<std::size_t>(
+        std::bit_width(job.latencyMs));
+    if (bucket >= kLatencyBuckets)
+        bucket = kLatencyBuckets - 1;
+    ++hist[bucket];
+}
+
+void
+JobQueue::complete(std::uint64_t id, std::uint64_t now_ms)
 {
     auto it = _jobs.find(id);
     if (it == _jobs.end())
         return; // unknown, or already terminal (archived)
     it->second.state = JobState::Done;
     ++_done;
+    recordLatency(it->second, now_ms, _doneLatency);
     archive(std::move(it->second));
     _jobs.erase(it);
 }
 
 void
-JobQueue::fail(std::uint64_t id, std::string reason)
+JobQueue::fail(std::uint64_t id, std::string reason,
+               std::uint64_t now_ms)
 {
     auto it = _jobs.find(id);
     if (it == _jobs.end())
@@ -101,6 +148,7 @@ JobQueue::fail(std::uint64_t id, std::string reason)
     it->second.state = JobState::Failed;
     it->second.failReason = std::move(reason);
     ++_failed;
+    recordLatency(it->second, now_ms, _failedLatency);
     archive(std::move(it->second));
     _jobs.erase(it);
 }
@@ -113,9 +161,11 @@ JobQueue::retryOrFail(std::uint64_t id, std::uint64_t now_ms,
     if (!job || job->state != JobState::Running)
         return false;
     if (job->attempts >= _policy.maxAttempts) {
-        fail(id, format("poison job: %d attempt(s) exhausted, last "
-                        "failure: %s",
-                        job->attempts, why.c_str()));
+        fail(id,
+             format("poison job: %d attempt(s) exhausted, last "
+                    "failure: %s",
+                    job->attempts, why.c_str()),
+             now_ms);
         return false;
     }
     ++_retries;
@@ -177,6 +227,24 @@ JobQueue::queuedCount() const
         JobState s = kv.second.state;
         n += s == JobState::Queued || s == JobState::Waiting;
     }
+    return n;
+}
+
+std::size_t
+JobQueue::readyCount() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : _jobs)
+        n += kv.second.state == JobState::Queued;
+    return n;
+}
+
+std::size_t
+JobQueue::waitingCount() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : _jobs)
+        n += kv.second.state == JobState::Waiting;
     return n;
 }
 

@@ -25,6 +25,8 @@
 #ifndef WC3D_SERVE_JOBQUEUE_HH
 #define WC3D_SERVE_JOBQUEUE_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -74,8 +76,20 @@ struct Job
     std::uint64_t readyAtMs = 0; ///< Waiting: earliest re-dispatch
     std::uint64_t deadlineMs = 0; ///< Running: wall-clock timeout
     std::uint64_t client = 0; ///< opaque owner token (0 = orphaned)
+    std::uint64_t submittedAtMs = 0; ///< submit() wall clock
+    std::uint64_t latencyMs = 0; ///< submit -> terminal (set on term)
     std::string failReason;
 };
+
+/**
+ * Estimate the @p q quantile (0..1) of a log2-ms latency histogram:
+ * the ceiling of the bucket where the cumulative count crosses the
+ * quantile (bucket b spans latencies with bit_width(ms) == b). 0 when
+ * the histogram is empty.
+ */
+std::uint64_t
+percentileFromHistogram(const std::array<std::uint64_t, kLatencyBuckets> &hist,
+                        double q);
 
 class JobQueue
 {
@@ -94,10 +108,12 @@ class JobQueue
 
     /**
      * Queue a job. @return the new job id, or 0 with @p why_not set
-     * when rejected (queue at capacity, or draining).
+     * when rejected (queue at capacity, or draining). @p now_ms
+     * stamps the submission for latency accounting.
      */
     std::uint64_t submit(const JobSpec &spec, std::uint64_t client,
-                         std::string *why_not);
+                         std::string *why_not,
+                         std::uint64_t now_ms = 0);
 
     /**
      * Oldest dispatchable job at @p now_ms (Queued, or Waiting whose
@@ -113,11 +129,12 @@ class JobQueue
     /** Running jobs whose deadline passed at @p now_ms. */
     std::vector<std::uint64_t> expired(std::uint64_t now_ms) const;
 
-    /** Terminal success. */
-    void complete(std::uint64_t id);
+    /** Terminal success (@p now_ms closes the latency clock). */
+    void complete(std::uint64_t id, std::uint64_t now_ms = 0);
 
     /** Terminal failure (no retry — e.g. unknown demo id). */
-    void fail(std::uint64_t id, std::string reason);
+    void fail(std::uint64_t id, std::string reason,
+              std::uint64_t now_ms = 0);
 
     /**
      * The running attempt died (worker crash or timeout). Requeues
@@ -153,6 +170,8 @@ class JobQueue
     /** @name Counters (live states count jobs, terminal ones events) */
     /// @{
     std::size_t queuedCount() const;  ///< Queued + Waiting
+    std::size_t readyCount() const;   ///< Queued only
+    std::size_t waitingCount() const; ///< Waiting (backoff) only
     std::size_t runningCount() const;
     std::size_t doneCount() const { return _done; }
     std::size_t failedCount() const { return _failed; }
@@ -162,6 +181,20 @@ class JobQueue
     std::size_t terminalEvicted() const { return _terminalEvicted; }
     /// @}
 
+    /** @name Lifetime submit->terminal latency, log2-ms buckets */
+    /// @{
+    const std::array<std::uint64_t, kLatencyBuckets> &
+    doneLatencyHistogram() const
+    {
+        return _doneLatency;
+    }
+    const std::array<std::uint64_t, kLatencyBuckets> &
+    failedLatencyHistogram() const
+    {
+        return _failedLatency;
+    }
+    /// @}
+
     /** Archived terminal jobs, completion order (manifest export);
      *  at most the kTerminalKeep most recent. */
     std::vector<const Job *> terminalJobs() const;
@@ -169,6 +202,10 @@ class JobQueue
   private:
     /** Move a job that just went terminal into the bounded archive. */
     void archive(Job &&job);
+
+    /** Close the latency clock on a job going terminal. */
+    void recordLatency(Job &job, std::uint64_t now_ms,
+                       std::array<std::uint64_t, kLatencyBuckets> &hist);
 
     std::size_t _capacity;
     RetryPolicy _policy;
@@ -183,6 +220,8 @@ class JobQueue
     std::size_t _done = 0;
     std::size_t _failed = 0;
     std::size_t _retries = 0;
+    std::array<std::uint64_t, kLatencyBuckets> _doneLatency{};
+    std::array<std::uint64_t, kLatencyBuckets> _failedLatency{};
 };
 
 } // namespace wc3d::serve

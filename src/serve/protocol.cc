@@ -295,8 +295,30 @@ appendMessage(std::string &out, const Message &msg)
                 body.u64(m.jobId);
                 body.u8(m.attempt);
                 encodeSpec(body, m.spec);
+            } else if constexpr (std::is_same_v<T, StatsMsg>) {
+                body.u64(m.uptimeMs);
+                body.u32(m.queued);
+                body.u32(m.waiting);
+                body.u32(m.running);
+                body.u64(m.done);
+                body.u64(m.failed);
+                body.u64(m.retries);
+                body.u64(m.timeouts);
+                body.u64(m.workerDeaths);
+                body.u64(m.cacheHits);
+                body.u64(m.submitted);
+                body.u64(m.rejected);
+                body.u64(m.jobsEvicted);
+                body.u32(m.workers);
+                body.u32(m.workersBusy);
+                body.u8(m.draining);
+                for (std::uint64_t bucket : m.doneLatency)
+                    body.u64(bucket);
+                for (std::uint64_t bucket : m.failedLatency)
+                    body.u64(bucket);
             }
-            // StatusReqMsg/KillWorkerMsg/DrainMsg/QuitMsg: empty payload.
+            // StatusReqMsg/KillWorkerMsg/DrainMsg/QuitMsg/StatsReqMsg:
+            // empty payload.
         },
         msg);
 
@@ -449,6 +471,37 @@ MessageDecoder::next()
     case 11:
         msg = QuitMsg{};
         break;
+    case 12:
+        msg = StatsReqMsg{};
+        break;
+    case 13: {
+        StatsMsg m;
+        m.uptimeMs = in.u64();
+        m.queued = in.u32();
+        m.waiting = in.u32();
+        m.running = in.u32();
+        m.done = in.u64();
+        m.failed = in.u64();
+        m.retries = in.u64();
+        m.timeouts = in.u64();
+        m.workerDeaths = in.u64();
+        m.cacheHits = in.u64();
+        m.submitted = in.u64();
+        m.rejected = in.u64();
+        m.jobsEvicted = in.u64();
+        m.workers = in.u32();
+        m.workersBusy = in.u32();
+        m.draining = in.boolByte("draining");
+        for (std::uint64_t &bucket : m.doneLatency)
+            bucket = in.u64();
+        for (std::uint64_t &bucket : m.failedLatency)
+            bucket = in.u64();
+        if (!in.failed() && m.workersBusy > m.workers)
+            in.fail(format("stats claims %u busy of %u worker(s)",
+                           m.workersBusy, m.workers));
+        msg = m;
+        break;
+    }
     }
 
     if (in.failed()) {

@@ -21,6 +21,7 @@
 #ifndef WC3D_SERVE_PROTOCOL_HH
 #define WC3D_SERVE_PROTOCOL_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -174,10 +175,50 @@ struct QuitMsg
 {
 };
 
+/** Job-latency histogram size: log2 millisecond buckets. Bucket b
+ *  counts latencies with bit_width(ms) == b (0 ms lands in bucket 0,
+ *  1 ms in 1, 2-3 ms in 2, ...); the last bucket absorbs the tail. */
+constexpr std::size_t kLatencyBuckets = 16;
+
+/** client -> daemon: request the live telemetry snapshot. */
+struct StatsReqMsg
+{
+};
+
+/**
+ * daemon -> client: live telemetry — queue depth by state, worker
+ * utilization, the daemon's lifetime fault counters and per-class
+ * job-latency histograms (submit -> terminal wall clock). Streamed by
+ * `wc3d-serve-client stats`; the same numbers land in the
+ * wc3d-serve-metrics-v1 manifest at shutdown.
+ */
+struct StatsMsg
+{
+    std::uint64_t uptimeMs = 0;
+    std::uint32_t queued = 0;  ///< ready to dispatch
+    std::uint32_t waiting = 0; ///< backing off after a failure
+    std::uint32_t running = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t workerDeaths = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t jobsEvicted = 0;
+    std::uint32_t workers = 0;
+    std::uint32_t workersBusy = 0; ///< <= workers
+    std::uint8_t draining = 0;
+    std::array<std::uint64_t, kLatencyBuckets> doneLatency{};
+    std::array<std::uint64_t, kLatencyBuckets> failedLatency{};
+};
+
 using Message =
     std::variant<SubmitMsg, StatusReqMsg, KillWorkerMsg, DrainMsg,
                  AcceptedMsg, RejectedMsg, ProgressMsg, DoneMsg,
-                 FailedMsg, StatusMsg, ExecMsg, QuitMsg>;
+                 FailedMsg, StatusMsg, ExecMsg, QuitMsg, StatsReqMsg,
+                 StatsMsg>;
 /// @}
 
 /** Append the 8-byte stream magic to @p out (once per direction). */

@@ -1,15 +1,19 @@
 /**
  * @file
- * Unit tests for RNG, image, string and env utilities.
+ * Unit tests for RNG, image, string and env utilities, plus the
+ * seeded mutation fuzzer for the common/json parser (the fleet store
+ * ingests attacker-shaped files; see the JsonFuzz suite below).
  */
 
 #include <cstdlib>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "common/env.hh"
 #include "common/image.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "common/strutil.hh"
 
@@ -233,4 +237,165 @@ TEST(Env, StringFallback)
     setenv("WC3D_TEST_ENV2", "abc", 1);
     EXPECT_EQ(envString("WC3D_TEST_ENV2", "dflt"), "abc");
     unsetenv("WC3D_TEST_ENV2");
+}
+
+// --- JSON parser hardening -----------------------------------------
+//
+// The fleet store (src/fleet) feeds the common/json parser files from
+// disk that CI jobs, other hosts and hand edits may have mangled. The
+// parser's contract is the WC3DTRC2 one: any input either parses or is
+// rejected with a structured "json: byte N: reason" error — never a
+// crash, hang or silent misparse.
+
+namespace {
+
+/** A corpus document touching every value type the model supports. */
+std::string
+jsonFuzzCorpus()
+{
+    return "{\"schema\":\"wc3d-fuzz-v1\",\"u\":18446744073709551615,"
+           "\"i\":-42,\"d\":-1.25e-3,\"s\":\"esc \\\" \\\\ \\n \\t "
+           "\\u0041\",\"b\":[true,false,null],\"nested\":{\"a\":[1,"
+           "2.5,{\"deep\":[[],{}]}],\"empty\":\"\"},\"end\":0}";
+}
+
+} // namespace
+
+TEST(JsonFuzz, SeededMutationsNeverCrashAndAlwaysExplain)
+{
+    const std::string base = jsonFuzzCorpus();
+    {
+        // The corpus itself must parse cleanly first.
+        json::Value doc;
+        std::string error;
+        ASSERT_TRUE(json::parse(base, doc, &error)) << error;
+        EXPECT_EQ(doc.find("u")->asU64(), 18446744073709551615ull);
+    }
+
+    const int kMutations = 2000;
+    int rejected = 0;
+    int clean = 0;
+    for (int seed = 0; seed < kMutations; ++seed) {
+        Rng rng(static_cast<std::uint64_t>(seed), /*stream=*/0x77aa);
+        std::string bytes = base;
+        switch (seed % 4) {
+        case 0: // truncate at an arbitrary byte
+            bytes.resize(rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size())));
+            break;
+        case 1: { // flip 1..8 random bits
+            int flips = 1 + static_cast<int>(rng.nextBounded(8));
+            for (int i = 0; i < flips; ++i) {
+                std::uint32_t at = rng.nextBounded(
+                    static_cast<std::uint32_t>(bytes.size()));
+                bytes[static_cast<std::size_t>(at)] ^=
+                    static_cast<char>(1u << rng.nextBounded(8));
+            }
+            break;
+        }
+        case 2: { // overwrite one byte with a random value
+            std::uint32_t at = rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size()));
+            bytes[static_cast<std::size_t>(at)] =
+                static_cast<char>(rng.nextBounded(256));
+            break;
+        }
+        case 3: { // splice a random structural token anywhere
+            static const char *kTokens[] = {"{",  "}",    "[",
+                                            "]",  ",",    ":",
+                                            "\"", "1e99", "-"};
+            std::uint32_t at = rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size() + 1));
+            bytes.insert(at, kTokens[rng.nextBounded(9)]);
+            break;
+        }
+        }
+
+        json::Value doc;
+        std::string error;
+        if (!json::parse(bytes, doc, &error)) {
+            ++rejected;
+            // Structured diagnostic, pointing inside the input.
+            EXPECT_EQ(error.compare(0, 11, "json: byte "), 0)
+                << "seed " << seed << ": " << error;
+        } else {
+            ++clean;
+            error.clear();
+            // Whatever parsed must re-serialize and re-parse: no
+            // half-constructed values escape the parser.
+            json::Value back;
+            EXPECT_TRUE(json::parse(doc.serialize(0), back, &error))
+                << "seed " << seed << ": " << error;
+        }
+    }
+    // The corpus must exercise both outcomes: most mutants break the
+    // document, but single-char flips inside string literals survive.
+    EXPECT_GT(rejected, kMutations / 2);
+    EXPECT_GT(clean, kMutations / 100);
+}
+
+TEST(JsonFuzz, DepthBombIsRejectedNotOverflowed)
+{
+    // 10k open brackets: must hit the depth cap with a structured
+    // error, not recurse off the stack.
+    for (const char *open : {"[", "{\"k\":"}) {
+        std::string bomb;
+        for (int i = 0; i < 10000; ++i)
+            bomb += open;
+        json::Value doc;
+        std::string error;
+        EXPECT_FALSE(json::parse(bomb, doc, &error));
+        EXPECT_NE(error.find("nesting too deep"), std::string::npos)
+            << error;
+    }
+    // A comfortably-deep document still parses.
+    std::string deep;
+    for (int i = 0; i < 32; ++i)
+        deep += "[";
+    deep += "1";
+    for (int i = 0; i < 32; ++i)
+        deep += "]";
+    json::Value doc;
+    std::string error;
+    EXPECT_TRUE(json::parse(deep, doc, &error)) << error;
+}
+
+TEST(JsonFuzz, NumberOverflowIsRejectedNotSaturated)
+{
+    const char *bad[] = {"1e999", "-1e999", "[1e400]",
+                         "{\"x\":-2e308}"};
+    for (const char *text : bad) {
+        json::Value doc;
+        std::string error;
+        EXPECT_FALSE(json::parse(text, doc, &error)) << text;
+        EXPECT_NE(error.find("out of range"), std::string::npos)
+            << text << ": " << error;
+    }
+    // Integers beyond u64/i64 fall back to double — not an error.
+    json::Value doc;
+    std::string error;
+    ASSERT_TRUE(
+        json::parse("[18446744073709551616,-9223372036854775809]",
+                    doc, &error))
+        << error;
+    EXPECT_EQ(doc.at(0).type(), json::Value::Type::Double);
+    EXPECT_EQ(doc.at(1).type(), json::Value::Type::Double);
+}
+
+TEST(JsonFuzz, RawControlCharactersInStringsAreRejected)
+{
+    std::string raw_newline = "{\"k\":\"a\nb\"}";
+    std::string raw_nul = std::string("[\"a") + '\0' + "b\"]";
+    for (const std::string &text : {raw_newline, raw_nul}) {
+        json::Value doc;
+        std::string error;
+        EXPECT_FALSE(json::parse(text, doc, &error));
+        EXPECT_NE(error.find("control character"), std::string::npos)
+            << error;
+    }
+    // The escaped spellings remain fine.
+    json::Value doc;
+    std::string error;
+    EXPECT_TRUE(json::parse("\"a\\nb\\u0000c\"", doc, &error))
+        << error;
 }

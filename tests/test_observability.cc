@@ -344,6 +344,68 @@ TEST(RunMeta, ValidatorRejectsBrokenDocuments)
     EXPECT_FALSE(validateMetrics(doc, &error));
 }
 
+// Fleet ingest keys entries by host; the manifest must identify where
+// it was produced, and the validator must keep accepting pre-host
+// (schemaMinor 0) documents so old archives still lint.
+TEST(RunMeta, HostBlockVersioningAndValidation)
+{
+    RunMeta &meta = RunMeta::global();
+    meta.reset();
+    json::Value doc = meta.toJson();
+    std::string error;
+    ASSERT_TRUE(validateMetrics(doc, &error)) << error;
+
+    const json::Value *minor = doc.find("schemaMinor");
+    ASSERT_NE(minor, nullptr);
+    EXPECT_GE(minor->asU64(), 1u);
+    const json::Value *host = doc.find("host");
+    ASSERT_NE(host, nullptr);
+    ASSERT_TRUE(host->isObject());
+    ASSERT_NE(host->find("hostname"), nullptr);
+    EXPECT_FALSE(host->find("hostname")->asString().empty());
+    ASSERT_NE(host->find("hardwareThreads"), nullptr);
+    EXPECT_TRUE(host->find("hardwareThreads")->isNumber());
+
+    // The fingerprint is "<hostname>/<hardwareThreads>".
+    std::string fp = hostFingerprint(doc);
+    EXPECT_NE(fp.find(host->find("hostname")->asString()),
+              std::string::npos);
+    EXPECT_NE(fp.find('/'), std::string::npos);
+    json::Value bare = json::Value::object();
+    EXPECT_EQ(hostFingerprint(bare), "unknown");
+
+    // A legacy minor-0 document — no schemaMinor, no host block —
+    // still validates.
+    json::Value rebuilt = json::Value::object();
+    for (const auto &member : doc.members()) {
+        if (member.first != "host" && member.first != "schemaMinor")
+            rebuilt.set(member.first, member.second);
+    }
+    ASSERT_TRUE(validateMetrics(rebuilt, &error)) << error;
+
+    // Claiming minor >= 1 without the host block is rejected, as are
+    // host blocks with a missing/empty hostname.
+    json::Value lying = rebuilt;
+    lying.set("schemaMinor", json::Value::number(std::uint64_t(1)));
+    EXPECT_FALSE(validateMetrics(lying, &error));
+    EXPECT_NE(error.find("host"), std::string::npos);
+
+    json::Value anon = doc;
+    json::Value bad_host = json::Value::object();
+    bad_host.set("hostname", json::Value::str(""));
+    bad_host.set("hardwareThreads", json::Value::number(8));
+    anon.set("host", std::move(bad_host));
+    EXPECT_FALSE(validateMetrics(anon, &error));
+    EXPECT_NE(error.find("hostname"), std::string::npos);
+
+    json::Value no_hw = doc;
+    json::Value host2 = json::Value::object();
+    host2.set("hostname", json::Value::str("h"));
+    no_hw.set("host", std::move(host2));
+    EXPECT_FALSE(validateMetrics(no_hw, &error));
+    EXPECT_NE(error.find("hardwareThreads"), std::string::npos);
+}
+
 // --- Log levels ----------------------------------------------------
 
 TEST(Log, ParsesDocumentedLevelSpellings)

@@ -97,11 +97,33 @@ TEST(ServeProtocol, RoundTripsEveryMessageType)
     exec.jobId = 44;
     exec.attempt = 2;
     exec.spec = sampleSpec("doom3", 1);
+    StatsMsg stats;
+    stats.uptimeMs = 123456;
+    stats.queued = 3;
+    stats.waiting = 1;
+    stats.running = 2;
+    stats.done = 100;
+    stats.failed = 4;
+    stats.retries = 9;
+    stats.timeouts = 2;
+    stats.workerDeaths = 3;
+    stats.cacheHits = 17;
+    stats.submitted = 111;
+    stats.rejected = 5;
+    stats.jobsEvicted = 6;
+    stats.workers = 4;
+    stats.workersBusy = 2;
+    stats.draining = 1;
+    stats.doneLatency[0] = 8;
+    stats.doneLatency[5] = 90;
+    stats.doneLatency[kLatencyBuckets - 1] = 2;
+    stats.failedLatency[3] = 4;
 
     std::vector<Message> in = {submit,   StatusReqMsg{}, KillWorkerMsg{},
                                DrainMsg{}, accepted,     rejected,
                                progress, done,           failed,
-                               status,   exec,           QuitMsg{}};
+                               status,   exec,           QuitMsg{},
+                               StatsReqMsg{}, stats};
     auto out = decodeAll(encodeStream(in));
     ASSERT_EQ(out.size(), in.size());
     for (std::size_t i = 0; i < in.size(); ++i)
@@ -131,6 +153,47 @@ TEST(ServeProtocol, RoundTripsEveryMessageType)
     EXPECT_EQ(e.jobId, 44u);
     EXPECT_EQ(e.attempt, 2);
     EXPECT_EQ(e.spec.demo, "doom3");
+    const auto &sm = std::get<StatsMsg>(out[13]);
+    EXPECT_EQ(sm.uptimeMs, 123456u);
+    EXPECT_EQ(sm.queued, 3u);
+    EXPECT_EQ(sm.waiting, 1u);
+    EXPECT_EQ(sm.running, 2u);
+    EXPECT_EQ(sm.done, 100u);
+    EXPECT_EQ(sm.jobsEvicted, 6u);
+    EXPECT_EQ(sm.workers, 4u);
+    EXPECT_EQ(sm.workersBusy, 2u);
+    EXPECT_EQ(sm.draining, 1);
+    EXPECT_EQ(sm.doneLatency, stats.doneLatency);
+    EXPECT_EQ(sm.failedLatency, stats.failedLatency);
+}
+
+// StatsMsg carries cross-field invariants the decoder must enforce:
+// more busy workers than workers is a protocol violation, and the
+// draining flag is a strict wire bool.
+TEST(ServeProtocol, RejectsInconsistentStatsMsg)
+{
+    StatsMsg stats;
+    stats.workers = 2;
+    stats.workersBusy = 3;
+    {
+        MessageDecoder dec;
+        std::string bytes = encodeStream({stats});
+        dec.feed(bytes.data(), bytes.size());
+        EXPECT_FALSE(dec.next().has_value());
+        ASSERT_FALSE(dec.ok());
+        EXPECT_NE(dec.error()->reason.find("busy"),
+                  std::string::npos)
+            << dec.error()->reason;
+    }
+    stats.workersBusy = 2;
+    stats.draining = 2;
+    {
+        MessageDecoder dec;
+        std::string bytes = encodeStream({stats});
+        dec.feed(bytes.data(), bytes.size());
+        EXPECT_FALSE(dec.next().has_value());
+        ASSERT_FALSE(dec.ok());
+    }
 }
 
 TEST(ServeProtocol, DecodesAcrossArbitraryFeedBoundaries)
@@ -274,10 +337,17 @@ TEST(ServeFuzz, SeededMutationsNeverCrashAndAlwaysExplain)
     failed.jobId = 10;
     failed.attempts = 2;
     failed.reason = "worker killed by signal 9";
+    StatsMsg stats;
+    stats.uptimeMs = 5000;
+    stats.done = 40;
+    stats.workers = 4;
+    stats.workersBusy = 3;
+    stats.doneLatency[6] = 40;
     const std::string base =
         encodeStream({submit, StatusReqMsg{}, exec,
                       ProgressMsg{9, 1, 1}, done, failed,
-                      StatusMsg{1, 2, 3, 4, 5, 0}, QuitMsg{}});
+                      StatusMsg{1, 2, 3, 4, 5, 0}, StatsReqMsg{},
+                      stats, QuitMsg{}});
     ASSERT_GT(base.size(), 64u);
 
     const int kMutations = 1500;
@@ -537,4 +607,83 @@ TEST(JobQueue, TerminalArchiveIsBounded)
     // A stale crash report for an archived job must not resurrect it.
     EXPECT_FALSE(q.retryOrFail(last_id, 0, "late report"));
     EXPECT_EQ(q.find(last_id)->state, JobState::Done);
+}
+
+TEST(JobQueue, LatencyHistogramsTrackSubmitToTerminal)
+{
+    JobQueue q(8, testPolicy());
+
+    // 100 ms submit->done: bit_width(100) == 7.
+    std::uint64_t a = q.submit(sampleSpec("a"), 1, nullptr, 1000);
+    q.markRunning(a, 1000);
+    q.complete(a, 1100);
+    EXPECT_EQ(q.find(a)->latencyMs, 100u);
+    EXPECT_EQ(q.doneLatencyHistogram()[7], 1u);
+
+    // 3 ms submit->failed: bit_width(3) == 2.
+    std::uint64_t b = q.submit(sampleSpec("b"), 1, nullptr, 0);
+    q.markRunning(b, 0);
+    q.fail(b, "unknown demo", 3);
+    EXPECT_EQ(q.find(b)->latencyMs, 3u);
+    EXPECT_EQ(q.failedLatencyHistogram()[2], 1u);
+
+    // Instant completion lands in bucket 0; a clock that appears to
+    // run backwards clamps to 0 rather than wrapping.
+    std::uint64_t c = q.submit(sampleSpec("c"), 1, nullptr, 500);
+    q.markRunning(c, 500);
+    q.complete(c, 500);
+    EXPECT_EQ(q.find(c)->latencyMs, 0u);
+    EXPECT_EQ(q.doneLatencyHistogram()[0], 1u);
+    std::uint64_t d = q.submit(sampleSpec("d"), 1, nullptr, 900);
+    q.markRunning(d, 900);
+    q.complete(d, 100);
+    EXPECT_EQ(q.find(d)->latencyMs, 0u);
+    EXPECT_EQ(q.doneLatencyHistogram()[0], 2u);
+
+    // Latencies past the top bucket's range clamp to the last bucket.
+    std::uint64_t e = q.submit(sampleSpec("e"), 1, nullptr, 0);
+    q.markRunning(e, 0);
+    q.complete(e, 1ull << 40);
+    EXPECT_EQ(q.doneLatencyHistogram()[kLatencyBuckets - 1], 1u);
+}
+
+TEST(JobQueue, PercentileFromHistogramReturnsBucketCeilings)
+{
+    std::array<std::uint64_t, kLatencyBuckets> hist{};
+    EXPECT_EQ(serve::percentileFromHistogram(hist, 0.5), 0u);
+
+    // All mass in bucket 0 (sub-millisecond jobs) reads as 0 ms.
+    hist[0] = 10;
+    EXPECT_EQ(serve::percentileFromHistogram(hist, 0.99), 0u);
+
+    // Half the jobs in bucket 3 (<=7 ms), half in bucket 7 (<=127 ms):
+    // the median reports the low bucket's ceiling, the tail the high
+    // bucket's.
+    hist = {};
+    hist[3] = 50;
+    hist[7] = 50;
+    EXPECT_EQ(serve::percentileFromHistogram(hist, 0.0), 7u);
+    EXPECT_EQ(serve::percentileFromHistogram(hist, 0.5), 7u);
+    EXPECT_EQ(serve::percentileFromHistogram(hist, 0.9), 127u);
+    EXPECT_EQ(serve::percentileFromHistogram(hist, 1.0), 127u);
+}
+
+TEST(JobQueue, ReadyAndWaitingCountsDistinguishBackoff)
+{
+    JobQueue q(8, testPolicy());
+    std::uint64_t a = q.submit(sampleSpec("a"), 1, nullptr);
+    q.submit(sampleSpec("b"), 1, nullptr);
+    EXPECT_EQ(q.readyCount(), 2u);
+    EXPECT_EQ(q.waitingCount(), 0u);
+    EXPECT_EQ(q.queuedCount(), 2u);
+
+    q.markRunning(a, 0);
+    EXPECT_EQ(q.readyCount(), 1u);
+    EXPECT_EQ(q.runningCount(), 1u);
+    EXPECT_TRUE(q.retryOrFail(a, 10, "worker crashed"));
+    // The retried job is backing off, not dispatchable.
+    EXPECT_EQ(q.readyCount(), 1u);
+    EXPECT_EQ(q.waitingCount(), 1u);
+    EXPECT_EQ(q.queuedCount(), 2u);
+    EXPECT_EQ(q.runningCount(), 0u);
 }

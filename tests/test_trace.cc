@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "api/device.hh"
@@ -29,7 +31,11 @@ using Bytes = std::vector<unsigned char>;
 std::string
 tempPath(const char *name)
 {
-    return ::testing::TempDir() + name;
+    // Per-process uniqueness: ctest runs each TEST as its own process
+    // in parallel, and two tests reusing a name (wc3d_trace_base.bin)
+    // must not clobber each other's files.
+    return ::testing::TempDir() +
+           std::to_string(static_cast<long>(::getpid())) + "_" + name;
 }
 
 Bytes
