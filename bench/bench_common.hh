@@ -213,7 +213,13 @@ loadBenchJson()
     return doc;
 }
 
-/** Atomically rewrite BENCH_speed.json with @p doc. */
+/**
+ * Atomically rewrite BENCH_speed.json with @p doc. The write goes
+ * through the faultio-checked durable helper, so a short write or
+ * ENOSPC surfaces as a structured warning here and the previous
+ * document survives intact — the bench never gates against a
+ * truncated baseline.
+ */
 inline void
 storeBenchJson(const json::Value &doc)
 {

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * serve_crash_recovery: the durability soak for wc3d-served.
+ *
+ * Forks a journaling daemon (library call), floods it with slow jobs,
+ * SIGKILLs the daemon mid-run — no drain, no warning — then restarts
+ * a second daemon against the same journal directory and asserts the
+ * crash-recovery contract:
+ *
+ *   - zero lost acknowledged jobs: the recovered daemon's submitted
+ *     counter equals everything the dead daemon accepted, and every
+ *     one of those jobs reaches exactly one terminal state
+ *     (done + failed == submitted, no duplicates);
+ *   - the journal survives the kill and is replayed (StatsMsg reports
+ *     journaling active and recovered jobs);
+ *   - recovered work produces results bit-identical to a direct,
+ *     cache-free core::runMicroarch() execution of the same spec;
+ *   - the recovered daemon drains cleanly, removes the journal file,
+ *     and its wc3d-serve-metrics-v1 manifest carries a truthful
+ *     journal block.
+ *
+ *     ./serve_crash_recovery [--jobs N] [--workers N] [--sleep-ms N]
+ *                            [--socket PATH] [--journal-dir DIR]
+ *                            [--metrics PATH]
+ *
+ * Exits 0 when every assertion holds. Registered in ctest as
+ * ServeCrashRecovery at reduced scale; CI runs a larger standalone
+ * pass in the crash-recovery smoke job.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/strutil.hh"
+#include "core/runner.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "workloads/games.hh"
+
+using namespace wc3d;
+
+namespace {
+
+int g_failures = 0;
+
+void
+pass(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::printf("  PASS ");
+    std::vprintf(fmt, args);
+    std::printf("\n");
+    va_end(args);
+}
+
+void
+fail(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::printf("  FAIL ");
+    std::vprintf(fmt, args);
+    std::printf("\n");
+    va_end(args);
+    ++g_failures;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+pid_t
+forkDaemon(const serve::DaemonOptions &opts)
+{
+    // The child's exit() flushes inherited stdio buffers; drain ours
+    // first so the soak's own output is not printed twice.
+    std::fflush(stdout);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        // exit(), not _exit(): run atexit handlers like a standalone
+        // wc3d-served would.
+        std::exit(serve::runDaemon(opts));
+    }
+    return pid;
+}
+
+bool
+connectWithRetry(serve::ServeClient &client, const std::string &path)
+{
+    for (int i = 0; i < 100; ++i) {
+        if (client.connect(path))
+            return true;
+        ::usleep(50 * 1000);
+    }
+    return false;
+}
+
+/** Await the next StatsMsg reply, discarding other updates. */
+std::optional<serve::StatsMsg>
+awaitStats(serve::ServeClient &client)
+{
+    if (!client.requestStats())
+        return std::nullopt;
+    for (int i = 0; i < 100; ++i) {
+        auto msg = client.next(2000);
+        if (!msg) {
+            if (!client.ok())
+                return std::nullopt;
+            continue;
+        }
+        if (const auto *st = std::get_if<serve::StatsMsg>(&*msg))
+            return *st;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = 24, workers = 3, sleep_ms = 200;
+    int pid = static_cast<int>(::getpid());
+    std::string socket_path = format("wc3d-crash-%d.sock", pid);
+    std::string journal_dir = format(".wc3d-crash-journal-%d", pid);
+    std::string metrics_path =
+        format("wc3d-crash-metrics-%d.json", pid);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        auto intArg = [&](const char *name, int *out) {
+            if (std::strcmp(arg, name) != 0 || !val)
+                return false;
+            *out = std::atoi(val);
+            ++i;
+            return true;
+        };
+        if (intArg("--jobs", &jobs) || intArg("--workers", &workers) ||
+            intArg("--sleep-ms", &sleep_ms))
+            continue;
+        if (std::strcmp(arg, "--socket") == 0 && val) {
+            socket_path = val;
+            ++i;
+        } else if (std::strcmp(arg, "--journal-dir") == 0 && val) {
+            journal_dir = val;
+            ++i;
+        } else if (std::strcmp(arg, "--metrics") == 0 && val) {
+            metrics_path = val;
+            ++i;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg);
+            return 2;
+        }
+    }
+
+    // A private run cache: recovery must not be answered by artifacts
+    // an earlier tool invocation left behind.
+    std::string cache_dir = format(".wc3d-crash-cache-%d", pid);
+    ::setenv("WC3D_CACHE_DIR", cache_dir.c_str(), 1);
+    ::unsetenv("WC3D_METRICS_OUT"); // daemon metrics only
+
+    serve::DaemonOptions opts;
+    opts.socketPath = socket_path;
+    opts.workers = workers;
+    opts.queueBound = static_cast<std::size_t>(jobs) + 16;
+    opts.policy.timeoutMs = 60000;
+    opts.policy.backoffBaseMs = 25;
+    opts.policy.backoffCapMs = 200;
+    opts.journalDir = journal_dir;
+    // A small snapshot threshold so the soak also exercises
+    // compaction while records stream in.
+    opts.journalCompactBytes = 8192;
+
+    std::string journal_file = journal_dir + "/journal.wc3djrn";
+    std::printf("crash-recovery soak: %d jobs, %d workers, %d ms "
+                "sleep, journal %s\n",
+                jobs, workers, sleep_ms, journal_dir.c_str());
+
+    // Phase 1: journaling daemon under load, killed mid-run.
+    pid_t daemon1 = forkDaemon(opts);
+    if (daemon1 < 0) {
+        std::fprintf(stderr, "fork(): %s\n", std::strerror(errno));
+        return 1;
+    }
+    serve::ServeClient client1;
+    if (!connectWithRetry(client1, socket_path)) {
+        std::fprintf(stderr, "cannot reach daemon: %s\n",
+                     client1.lastError().c_str());
+        ::kill(daemon1, SIGKILL);
+        return 1;
+    }
+
+    // Unique frame windows so the run cache cannot pre-answer any
+    // job: every accepted job costs real work, keeping the queue busy
+    // when the kill lands. The sleep stretches each attempt.
+    auto pool = workloads::simulatedTimedemoIds();
+    std::vector<serve::JobSpec> specs;
+    for (int i = 0; i < jobs; ++i) {
+        serve::JobSpec spec;
+        spec.demo = pool[static_cast<std::size_t>(i) % pool.size()];
+        spec.frames = 1;
+        spec.width = 192;
+        spec.height = 144;
+        spec.frameBegin = 5000 + static_cast<std::uint32_t>(i);
+        spec.debugSleepMs =
+            static_cast<std::uint32_t>(sleep_ms > 0 ? sleep_ms : 0);
+        specs.push_back(std::move(spec));
+    }
+    std::size_t accepted = 0;
+    for (const auto &spec : specs) {
+        std::string why;
+        if (client1.submit(spec, &why) != 0)
+            ++accepted;
+        else
+            fail("job rejected unexpectedly: %s", why.c_str());
+    }
+    if (accepted == specs.size())
+        pass("all %zu jobs accepted and journaled", accepted);
+
+    // Let the run get properly underway — some jobs terminal, the
+    // rest queued or on workers — then kill without mercy.
+    std::size_t terminal_before = 0;
+    std::size_t want = accepted / 4 + 1;
+    int idle_waits = 0;
+    while (terminal_before < want) {
+        auto msg = client1.next(2000);
+        if (!msg) {
+            if (!client1.ok() || ++idle_waits > 60) {
+                fail("phase 1 stalled: %zu of %zu wanted terminal "
+                     "messages",
+                     terminal_before, want);
+                break;
+            }
+            continue;
+        }
+        idle_waits = 0;
+        if (std::holds_alternative<serve::DoneMsg>(*msg) ||
+            std::holds_alternative<serve::FailedMsg>(*msg))
+            ++terminal_before;
+    }
+    ::kill(daemon1, SIGKILL);
+    int status = 0;
+    ::waitpid(daemon1, &status, 0);
+    client1.close();
+    std::printf("  daemon SIGKILLed with %zu of %zu jobs terminal\n",
+                terminal_before, accepted);
+
+    if (fileExists(journal_file))
+        pass("journal survived the crash");
+    else
+        fail("journal file %s missing after crash",
+             journal_file.c_str());
+
+    // Phase 2: a fresh daemon against the same journal directory.
+    serve::DaemonOptions opts2 = opts;
+    opts2.metricsPath = metrics_path;
+    pid_t daemon2 = forkDaemon(opts2);
+    if (daemon2 < 0) {
+        std::fprintf(stderr, "fork(): %s\n", std::strerror(errno));
+        return 1;
+    }
+    serve::ServeClient client2;
+    if (!connectWithRetry(client2, socket_path)) {
+        std::fprintf(stderr, "cannot reach recovered daemon: %s\n",
+                     client2.lastError().c_str());
+        ::kill(daemon2, SIGKILL);
+        return 1;
+    }
+
+    auto first = awaitStats(client2);
+    if (!first) {
+        fail("no StatsMsg from the recovered daemon");
+    } else {
+        if (first->journaling == 1 && first->journalDegraded == 0)
+            pass("recovered daemon is journaling (%llu append(s), "
+                 "%llu compaction(s))",
+                 static_cast<unsigned long long>(
+                     first->journalAppends),
+                 static_cast<unsigned long long>(
+                     first->journalCompactions));
+        else
+            fail("journaling=%u degraded=%u after recovery",
+                 first->journaling, first->journalDegraded);
+        if (first->recoveredJobs > 0)
+            pass("replay recovered %llu job(s)",
+                 static_cast<unsigned long long>(
+                     first->recoveredJobs));
+        else
+            fail("replay recovered no jobs");
+        if (first->submitted == accepted)
+            pass("submitted counter restored to %zu", accepted);
+        else
+            fail("submitted counter %llu != %zu accepted by the "
+                 "dead daemon",
+                 static_cast<unsigned long long>(first->submitted),
+                 accepted);
+    }
+
+    // Every acknowledged job must reach exactly one terminal state.
+    std::uint64_t final_done = 0, final_failed = 0;
+    bool settled = false;
+    for (int i = 0; i < 600; ++i) {
+        auto st = awaitStats(client2);
+        if (!st) {
+            fail("stats stream died while awaiting recovery drain");
+            break;
+        }
+        std::uint64_t live =
+            std::uint64_t(st->queued) + st->waiting + st->running;
+        if (live == 0) {
+            final_done = st->done;
+            final_failed = st->failed;
+            settled = true;
+            break;
+        }
+        ::usleep(200 * 1000);
+    }
+    if (!settled)
+        fail("recovered jobs never settled");
+    else if (final_done + final_failed == accepted)
+        pass("zero lost acknowledged jobs (%llu done + %llu failed "
+             "== %zu accepted)",
+             static_cast<unsigned long long>(final_done),
+             static_cast<unsigned long long>(final_failed),
+             accepted);
+    else
+        fail("terminal accounting broken: %llu done + %llu failed "
+             "!= %zu accepted",
+             static_cast<unsigned long long>(final_done),
+             static_cast<unsigned long long>(final_failed), accepted);
+
+    // Bit-identity: resubmitting a recovered job's spec is answered
+    // from the shared run cache; the document must match a direct,
+    // cache-free execution byte for byte.
+    std::string why;
+    std::uint64_t verify_id = client2.submit(specs[0], &why);
+    std::size_t resubmitted = 0;
+    if (verify_id == 0) {
+        fail("verification resubmit rejected: %s", why.c_str());
+    } else {
+        ++resubmitted;
+        std::string result;
+        for (int i = 0; i < 60 && result.empty(); ++i) {
+            auto msg = client2.next(2000);
+            if (!msg) {
+                if (!client2.ok())
+                    break;
+                continue;
+            }
+            if (const auto *d = std::get_if<serve::DoneMsg>(&*msg)) {
+                if (d->jobId == verify_id)
+                    result = d->result;
+            } else if (const auto *f =
+                           std::get_if<serve::FailedMsg>(&*msg)) {
+                if (f->jobId == verify_id) {
+                    fail("verification job failed: %s",
+                         f->reason.c_str());
+                    break;
+                }
+            }
+        }
+        if (!result.empty()) {
+            core::MicroRun direct = core::runMicroarch(
+                specs[0].toMicroSpec(), /*allow_cache=*/false);
+            if (core::encodeMicroRun(direct) == result)
+                pass("recovered result bit-identical to direct "
+                     "execution");
+            else
+                fail("recovered result diverges from direct "
+                     "execution");
+        } else {
+            fail("verification job never completed");
+        }
+    }
+
+    // Clean drain: exit 0, manifest with a truthful journal block,
+    // journal file removed (nothing left to recover).
+    client2.requestDrain();
+    client2.close();
+    pid_t waited = 0;
+    for (int i = 0; i < 300; ++i) {
+        waited = ::waitpid(daemon2, &status, WNOHANG);
+        if (waited == daemon2)
+            break;
+        ::usleep(100 * 1000);
+    }
+    if (waited != daemon2) {
+        fail("recovered daemon did not exit within 30 s of drain");
+        ::kill(daemon2, SIGKILL);
+        ::waitpid(daemon2, &status, 0);
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        pass("recovered daemon drained and exited 0");
+    } else {
+        fail("recovered daemon exit status %d", status);
+    }
+
+    if (!fileExists(journal_file))
+        pass("journal removed after clean drain");
+    else
+        fail("stale journal %s left after clean drain",
+             journal_file.c_str());
+
+    json::Value manifest;
+    std::string error;
+    if (!json::parseFile(metrics_path, manifest, &error)) {
+        fail("metrics manifest unreadable: %s", error.c_str());
+    } else {
+        const json::Value *clean = manifest.find("clean");
+        const json::Value *done = manifest.find("done");
+        const json::Value *failed = manifest.find("failed");
+        std::uint64_t expect = accepted + resubmitted;
+        if (clean && clean->asBool())
+            pass("manifest marks the recovered run clean");
+        else
+            fail("manifest clean flag wrong");
+        if (done && failed && done->asU64() + failed->asU64() == expect)
+            pass("manifest accounts for every job (%llu done, %llu "
+                 "failed of %llu)",
+                 static_cast<unsigned long long>(done->asU64()),
+                 static_cast<unsigned long long>(failed->asU64()),
+                 static_cast<unsigned long long>(expect));
+        else
+            fail("manifest counts disagree with the accepted total");
+        const json::Value *journal = manifest.find("journal");
+        if (!journal || !journal->isObject()) {
+            fail("manifest lacks a journal block");
+        } else {
+            const json::Value *active = journal->find("active");
+            const json::Value *degraded = journal->find("degraded");
+            const json::Value *rlive = journal->find("recovered_live");
+            const json::Value *rterm =
+                journal->find("recovered_terminal");
+            bool ok = active && active->asBool() && degraded &&
+                      !degraded->asBool() && rlive && rterm;
+            std::uint64_t recovered =
+                (rlive ? rlive->asU64() : 0) +
+                (rterm ? rterm->asU64() : 0);
+            if (ok && recovered > 0 && recovered <= accepted)
+                pass("manifest journal block: %llu live + %llu "
+                     "terminal job(s) recovered",
+                     static_cast<unsigned long long>(rlive->asU64()),
+                     static_cast<unsigned long long>(rterm->asU64()));
+            else
+                fail("manifest journal block implausible");
+        }
+    }
+
+    std::printf("%s (%d failure(s))\n",
+                g_failures == 0 ? "CRASH RECOVERY PASSED"
+                                : "CRASH RECOVERY FAILED",
+                g_failures);
+    return g_failures == 0 ? 0 : 1;
+}

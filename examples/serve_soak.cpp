@@ -189,6 +189,10 @@ main(int argc, char **argv)
     // a standalone wc3d-served honours.
     if (const char *fleet = std::getenv("WC3D_SERVE_FLEET_DIR"))
         opts.fleetDir = fleet;
+    // Opt-in durability: the soak's fault-tolerance contract must
+    // hold identically with the journal enabled.
+    if (const char *jdir = std::getenv("WC3D_SERVE_JOURNAL_DIR"))
+        opts.journalDir = jdir;
 
     pid_t daemon_pid = ::fork();
     if (daemon_pid < 0) {

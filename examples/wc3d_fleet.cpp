@@ -9,7 +9,7 @@
  *     ./wc3d-fleet [--dir DIR] query --regress BASE CUR
  *           [--threshold F] [--prefix P]
  *     ./wc3d-fleet [--dir DIR] report [--out PATH]
- *     ./wc3d-fleet [--dir DIR] check
+ *     ./wc3d-fleet [--dir DIR] check [--repair]
  *
  * The store directory defaults to WC3D_FLEET_DIR (".wc3d-fleet").
  * Exit codes are a CI contract: 0 = ok, 1 = operational error,
@@ -49,8 +49,11 @@ usage()
         "                                  counter drift gate (exit 3 "
         "on drift)\n"
         "  report [--out PATH]             self-contained HTML report\n"
-        "  check                           store consistency (exit 3 "
-        "on problems)\n");
+        "  check [--repair]                store consistency (exit 3 "
+        "on problems);\n"
+        "                                  --repair quarantines bad "
+        "blobs and prunes\n"
+        "                                  the index, then re-checks\n");
     return 2;
 }
 
@@ -254,7 +257,7 @@ cmdReport(const fleet::FleetStore &store, const std::string &out)
 }
 
 int
-cmdCheck(const fleet::FleetStore &store)
+cmdCheck(fleet::FleetStore &store, bool repair)
 {
     std::vector<std::string> problems;
     if (store.check(&problems)) {
@@ -266,6 +269,27 @@ cmdCheck(const fleet::FleetStore &store)
         std::fprintf(stderr, "problem: %s\n", p.c_str());
     std::fprintf(stderr, "%zu problem(s) in %s\n", problems.size(),
                  store.dir().c_str());
+    if (!repair)
+        return 3;
+
+    std::vector<std::string> actions;
+    fleet::FleetError err;
+    if (!store.repair(&actions, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.describe().c_str());
+        return 1;
+    }
+    for (const std::string &a : actions)
+        std::printf("repair: %s\n", a.c_str());
+    problems.clear();
+    if (store.check(&problems)) {
+        std::printf("store %s repaired (%zu entries kept, %zu "
+                    "action(s))\n",
+                    store.dir().c_str(), store.entries().size(),
+                    actions.size());
+        return 0;
+    }
+    for (const std::string &p : problems)
+        std::fprintf(stderr, "still broken: %s\n", p.c_str());
     return 3;
 }
 
@@ -343,7 +367,12 @@ main(int argc, char **argv)
         return i == argc ? cmdReport(store, out) : usage();
     }
     if (cmd == "check") {
-        return i == argc ? cmdCheck(store) : usage();
+        bool repair = false;
+        if (i < argc && std::strcmp(argv[i], "--repair") == 0) {
+            repair = true;
+            ++i;
+        }
+        return i == argc ? cmdCheck(store, repair) : usage();
     }
     return usage();
 }

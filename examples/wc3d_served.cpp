@@ -8,7 +8,7 @@
  *
  *     ./wc3d-served [--socket PATH] [--workers N] [--queue N]
  *                   [--timeout-ms N] [--retries N] [--backoff-ms N]
- *                   [--metrics-out PATH]
+ *                   [--metrics-out PATH] [--journal-dir DIR]
  *
  * Defaults come from the WC3D_SERVE_* environment knobs (see README).
  * Submit work with wc3d-serve-client.
@@ -30,7 +30,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--workers N] [--queue N] "
                  "[--timeout-ms N] [--retries N] [--backoff-ms N] "
-                 "[--metrics-out PATH]\n",
+                 "[--metrics-out PATH] [--journal-dir DIR]\n",
                  argv0);
     return 2;
 }
@@ -67,6 +67,9 @@ main(int argc, char **argv)
             ++i;
         } else if (std::strcmp(arg, "--metrics-out") == 0 && val) {
             opts.metricsPath = val;
+            ++i;
+        } else if (std::strcmp(arg, "--journal-dir") == 0 && val) {
+            opts.journalDir = val;
             ++i;
         } else {
             return usage(argv[0]);

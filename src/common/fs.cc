@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/faultio.hh"
+#include "common/strutil.hh"
 
 namespace wc3d {
 
@@ -53,6 +59,46 @@ listDir(const std::string &path, std::vector<std::string> &names)
     }
     ::closedir(dir);
     std::sort(names.begin(), names.end());
+    return true;
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content,
+                std::string *error)
+{
+    std::string tmp = path + format(".tmp%d", ::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (error) {
+            *error = format("open '%s': %s", tmp.c_str(),
+                            std::strerror(errno));
+        }
+        return false;
+    }
+
+    faultio::IoError io;
+    bool ok = faultio::writeAll(fd, content.data(), content.size(), tmp,
+                                &io) &&
+              faultio::syncFd(fd, tmp, &io);
+    if (::close(fd) != 0 && ok) {
+        ok = false;
+        io = {"close", tmp, std::strerror(errno)};
+    }
+    if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ok = false;
+        io = {"rename", path, std::strerror(errno)};
+    }
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        if (error)
+            *error = io.describe();
+        return false;
+    }
+    if (!faultio::syncDirOf(path, &io)) {
+        if (error)
+            *error = io.describe();
+        return false;
+    }
     return true;
 }
 

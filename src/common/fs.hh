@@ -25,6 +25,18 @@ bool makeDirs(const std::string &path);
 bool listDir(const std::string &path,
              std::vector<std::string> &names);
 
+/**
+ * Durably replace @p path with @p content: write a temp file in the
+ * same directory through the faultio shim (short writes and ENOSPC are
+ * detected, not silently truncated), fsync it, rename(2) it over
+ * @p path, then fsync the directory. On any failure the temp file is
+ * removed, the previous @p path content is untouched, and @p error
+ * (when non-null) receives a structured "op 'path': reason" line.
+ * Never calls fatal().
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content,
+                     std::string *error);
+
 } // namespace wc3d
 
 #endif // WC3D_COMMON_FS_HH

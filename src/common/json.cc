@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <unistd.h>
 
+#include "common/fs.hh"
 #include "common/strutil.hh"
 
 namespace wc3d::json {
@@ -624,23 +625,10 @@ bool
 writeFileAtomic(const std::string &path, const std::string &content,
                 std::string *error)
 {
-    std::string tmp = path + format(".tmp%d", ::getpid());
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        if (error)
-            *error = format("cannot create '%s'", tmp.c_str());
-        return false;
-    }
-    bool ok =
-        std::fwrite(content.data(), 1, content.size(), f) == content.size();
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        if (error)
-            *error = format("cannot write '%s'", path.c_str());
-        return false;
-    }
-    return true;
+    // Delegates to the faultio-checked durable writer so every JSON
+    // artifact (metrics, runmeta, bench documents, fleet index/blobs)
+    // gets fsync discipline and structured short-write/ENOSPC errors.
+    return wc3d::atomicWriteFile(path, content, error);
 }
 
 } // namespace wc3d::json

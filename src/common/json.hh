@@ -118,8 +118,10 @@ bool parse(const std::string &text, Value &out, std::string *error);
 bool parseFile(const std::string &path, Value &out, std::string *error);
 
 /**
- * Write @p content to @p path atomically (temp file + rename), so
- * concurrent readers never observe a torn document.
+ * Write @p content to @p path atomically and durably (temp file +
+ * fsync + rename via the faultio-checked helper in common/fs), so
+ * concurrent readers never observe a torn document and short writes /
+ * ENOSPC surface as structured errors instead of truncated output.
  */
 bool writeFileAtomic(const std::string &path, const std::string &content,
                      std::string *error);

@@ -58,7 +58,11 @@ class RunMeta
     /** The full metrics document. */
     json::Value toJson() const;
 
-    /** Serialize to @p path (atomic write, pretty-printed). */
+    /**
+     * Serialize to @p path (durable atomic write, pretty-printed).
+     * Short writes and ENOSPC come back as structured errors via the
+     * faultio-checked helper; an existing manifest is never truncated.
+     */
     bool write(const std::string &path,
                std::string *error = nullptr) const;
 

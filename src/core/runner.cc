@@ -247,25 +247,15 @@ saveMicroRun(const MicroRun &run, const std::string &path)
 {
     std::string out = encodeMicroRun(run);
 
-    // Write-then-rename so concurrent readers never see a torn file.
-    // The pid suffix keeps simultaneous writers (parallel fan-out,
+    // Durable temp-write + fsync + rename through the faultio shim so
+    // concurrent readers never see a torn file and a short write or
+    // ENOSPC can never rename a partial temp file into the cache. The
+    // pid-suffixed temp keeps simultaneous writers (parallel fan-out,
     // several processes sharing one cache dir) off each other's temp
     // files; whoever renames last wins with identical content.
-    std::string tmp = path + format(".tmp%d", ::getpid());
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        return false;
-    // A short write renamed into place would poison the cache; check
-    // both the write and the close (flush) and never rename a partial
-    // temp file.
-    bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+    std::string error;
+    if (!atomicWriteFile(path, out, &error)) {
+        warn("run cache write failed: %s", error.c_str());
         return false;
     }
     return true;
@@ -477,8 +467,11 @@ runMicroarch(const MicroSpec &spec, bool allow_cache,
     if (cache_enabled) {
         WC3D_PROF_SCOPE("run.cache.save");
         std::string dir = envString("WC3D_CACHE_DIR", ".wc3d-cache");
-        if (!makeDirs(dir) || !saveMicroRun(run, path))
-            warn("could not write run cache '%s'", path.c_str());
+        if (!makeDirs(dir))
+            warn("could not create run cache dir '%s'", dir.c_str());
+        else
+            saveMicroRun(run, path); // warns with the faultio reason
+
     }
     RunMeta::global().noteMicroRun(run, secondsSince(start),
                                    /*from_cache=*/false);

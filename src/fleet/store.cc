@@ -621,4 +621,83 @@ FleetStore::check(std::vector<std::string> *problems) const
     return clean;
 }
 
+bool
+FleetStore::repair(std::vector<std::string> *actions, FleetError *err)
+{
+    auto note = [&](std::string what) {
+        if (actions)
+            actions->push_back(std::move(what));
+    };
+    auto fail = [&](std::string path, std::string reason) {
+        if (err)
+            *err = FleetError{std::move(path), std::move(reason)};
+        return false;
+    };
+    std::string quarantine = _dir + "/quarantine";
+    auto quarantineBlob = [&](const std::string &name) {
+        if (!makeDirs(quarantine))
+            return false;
+        return std::rename((_dir + "/blobs/" + name).c_str(),
+                           (quarantine + "/" + name).c_str()) == 0;
+    };
+
+    bool changed = false;
+    std::vector<IndexEntry> kept;
+    std::vector<std::string> referenced;
+    for (IndexEntry &e : _entries) {
+        json::Value doc;
+        FleetError load;
+        std::string why;
+        if (!loadEntry(e, doc, &load))
+            why = load.reason;
+        else if (contentHash(doc.serialize(0)) != e.blob)
+            why = format("blob content does not match its address %s",
+                         e.blob.c_str());
+        if (why.empty()) {
+            referenced.push_back(e.blob + ".json");
+            kept.push_back(std::move(e));
+            continue;
+        }
+        changed = true;
+        // Keep a present-but-bad blob as evidence; a missing one
+        // needs only the index entry dropped.
+        std::FILE *f = std::fopen(blobPath(e.blob).c_str(), "rb");
+        if (f) {
+            std::fclose(f);
+            if (!quarantineBlob(e.blob + ".json"))
+                return fail(blobPath(e.blob),
+                            "cannot move blob to quarantine/");
+            note(format("dropped entry %llu (%s); blob %s "
+                        "quarantined",
+                        static_cast<unsigned long long>(e.seq),
+                        why.c_str(), e.blob.c_str()));
+        } else {
+            note(format("dropped entry %llu (%s)",
+                        static_cast<unsigned long long>(e.seq),
+                        why.c_str()));
+        }
+    }
+
+    std::vector<std::string> names;
+    if (listDir(_dir + "/blobs", names)) {
+        for (const std::string &name : names) {
+            if (std::find(referenced.begin(), referenced.end(),
+                          name) != referenced.end())
+                continue;
+            if (!quarantineBlob(name))
+                return fail(_dir + "/blobs/" + name,
+                            "cannot move orphaned blob to "
+                            "quarantine/");
+            note(format("orphaned blob blobs/%s quarantined",
+                        name.c_str()));
+            changed = true;
+        }
+    }
+
+    _entries = std::move(kept);
+    if (changed && !saveIndex(err))
+        return false;
+    return true;
+}
+
 } // namespace wc3d::fleet

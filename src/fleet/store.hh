@@ -122,6 +122,19 @@ class FleetStore
      */
     bool check(std::vector<std::string> *problems) const;
 
+    /**
+     * Bring an inconsistent store back to a state check() accepts:
+     * index entries whose blobs are missing, unparsable, invalid or
+     * no longer hash to their address are dropped (a present-but-bad
+     * blob is moved to <dir>/quarantine/ as evidence, never deleted),
+     * and orphaned blob files are quarantined the same way. Surviving
+     * entries keep their sequence numbers; the index is rewritten
+     * atomically only when something changed. One line per action is
+     * appended to @p actions (when non-null).
+     * @return false with @p err on an I/O failure mid-repair.
+     */
+    bool repair(std::vector<std::string> *actions, FleetError *err);
+
     std::string indexPath() const;
     std::string blobPath(const std::string &hash) const;
 

@@ -20,6 +20,7 @@
 #include "core/runmeta.hh"
 #include "core/runner.hh"
 #include "fleet/store.hh"
+#include "serve/journal.hh"
 #include "serve/protocol.hh"
 #include "serve/sockio.hh"
 #include "serve/worker.hh"
@@ -112,6 +113,11 @@ class Daemon
     StatsMsg buildStats() const;
     WorkerProc *idleWorker();
     WorkerProc *findWorker(pid_t pid);
+    void openJournal();
+    void restoreRecovery(const JournalRecovery &rec);
+    void journalCheck(bool append_ok);
+    void journalMaintain();
+    void degradeJournal(const char *stage);
 
     DaemonOptions _opts;
     JobQueue _queue;
@@ -132,6 +138,16 @@ class Daemon
     std::uint64_t _timeouts = 0;
     std::uint64_t _workerDeaths = 0;
     std::uint64_t _cacheHits = 0;
+
+    /** Durable job journal (inactive unless _opts.journalDir set). */
+    Journal _journal;
+    /** Journaling was requested but hit an unrecoverable I/O failure;
+     *  the daemon keeps serving without durability and flags it in
+     *  the manifest. */
+    bool _journalDegraded = false;
+    std::uint64_t _recoveredLive = 0;
+    std::uint64_t _recoveredTerminal = 0;
+    bool _recoveryTruncated = false;
 };
 
 void
@@ -211,6 +227,123 @@ Daemon::findWorker(pid_t pid)
     return nullptr;
 }
 
+/** Give up on durability but keep serving: close the journal and
+ *  flag the degradation for the manifest and StatsMsg. */
+void
+Daemon::degradeJournal(const char *stage)
+{
+    warn("journal %s failed: %s; journaling disabled for the rest of "
+         "this run",
+         stage,
+         _journal.lastError() ? _journal.lastError()->describe().c_str()
+                              : "unknown error");
+    _journal.close();
+    _journalDegraded = true;
+}
+
+/**
+ * React to one append's outcome. An append can fail transiently (the
+ * fault-injection shim, a full disk that gets space back); a snapshot
+ * compaction rewrites the whole journal through a fresh temp file and
+ * re-encodes the state the failed append was trying to record, so it
+ * doubles as the rescue path. If even that fails, degrade.
+ */
+void
+Daemon::journalCheck(bool append_ok)
+{
+    if (append_ok || !_journal.ok())
+        return;
+    warn("journal append failed: %s; attempting snapshot rescue",
+         _journal.lastError() ? _journal.lastError()->describe().c_str()
+                              : "unknown error");
+    if (_journal.compact(_queue)) {
+        _queue.takeEvictions(); // the snapshot already reflects them
+        inform("journal rescued by snapshot compaction");
+        return;
+    }
+    degradeJournal("snapshot rescue");
+}
+
+/** Per-iteration journal upkeep: record archive evictions and take
+ *  the size-triggered snapshot. */
+void
+Daemon::journalMaintain()
+{
+    if (!_journal.ok()) {
+        _queue.takeEvictions(); // nobody consumes them; don't grow
+        return;
+    }
+    for (std::uint64_t id : _queue.takeEvictions()) {
+        journalCheck(_journal.appendEvicted(id));
+        if (!_journal.ok())
+            return;
+    }
+    if (_journal.wantsCompact() && !_journal.compact(_queue))
+        degradeJournal("compaction");
+}
+
+/** Rebuild queue state from a replayed journal (startup only). */
+void
+Daemon::restoreRecovery(const JournalRecovery &rec)
+{
+    if (rec.truncated) {
+        _recoveryTruncated = true;
+        warn("journal: torn tail dropped: %s",
+             rec.truncation.describe().c_str());
+    }
+    _queue.restoreBaseline(rec.baseDone, rec.baseFailed,
+                           rec.baseEvicted, rec.baseRetries);
+    for (const JournalJob &job : rec.jobs) {
+        if (job.state == JobState::Queued) {
+            // The interrupted attempt died with the old daemon, so
+            // re-queue even at the poison cap: the job gets one
+            // post-recovery attempt before retryOrFail can fail it.
+            _queue.restoreLive(job.id, job.spec, job.attempts,
+                               job.submittedAtMs);
+            ++_recoveredLive;
+        } else {
+            _queue.restoreTerminal(
+                job.id, job.spec, job.attempts,
+                job.state == JobState::Done, job.failReason,
+                job.latencyMs, job.evicted, job.submittedAtMs);
+            ++_recoveredTerminal;
+        }
+    }
+    // Every recovered job was acknowledged by the previous daemon;
+    // keep the manifest's submitted >= done + failed identity.
+    _submitted = rec.baseDone + rec.baseFailed + rec.jobs.size();
+    if (_submitted || rec.records)
+        inform("journal: recovered %llu live and %llu terminal "
+               "job(s) from %zu record(s) (%zu anomalies)",
+               static_cast<unsigned long long>(_recoveredLive),
+               static_cast<unsigned long long>(_recoveredTerminal),
+               rec.records, rec.anomalies);
+}
+
+/** Open/replay the journal at startup (no-op without a journal dir). */
+void
+Daemon::openJournal()
+{
+    if (_opts.journalDir.empty())
+        return;
+    if (_opts.journalCompactBytes)
+        _journal.setCompactThreshold(_opts.journalCompactBytes);
+    JournalRecovery rec;
+    if (!_journal.open(_opts.journalDir, &rec)) {
+        degradeJournal("open");
+        return;
+    }
+    restoreRecovery(rec);
+    // Snapshot right away: the replayed history (and any evictions
+    // the restore itself caused) collapses to a clean baseline, so
+    // the next crash replays a short log.
+    if (!_journal.compact(_queue)) {
+        degradeJournal("post-recovery compaction");
+        return;
+    }
+    _queue.takeEvictions(); // absorbed into the snapshot above
+}
+
 void
 Daemon::reapWorkers()
 {
@@ -244,8 +377,18 @@ Daemon::reapWorkers()
             std::uint64_t now = monotonicMs();
             warn("job %llu attempt lost: %s",
                  static_cast<unsigned long long>(id), why.c_str());
+            Job *pre = _queue.find(id);
+            bool was_running =
+                pre && pre->state == JobState::Running;
             if (!_queue.retryOrFail(id, now, why)) {
                 Job *job = _queue.find(id);
+                // Journal only a transition that happened right now
+                // (Running -> poison Failed), never a stale lookup.
+                if (job && was_running &&
+                    job->state == JobState::Failed && _journal.ok())
+                    journalCheck(_journal.appendFailed(
+                        id, job->attempts, job->latencyMs,
+                        job->failReason));
                 if (job) {
                     FailedMsg failed;
                     failed.jobId = id;
@@ -351,8 +494,9 @@ Daemon::handleClientMsg(ClientConn &client, const Message &msg)
 {
     if (const auto *submit = std::get_if<SubmitMsg>(&msg)) {
         std::string why;
+        std::uint64_t now = monotonicMs();
         std::uint64_t id = _queue.submit(submit->spec, client.id,
-                                         &why, monotonicMs());
+                                         &why, now);
         if (id == 0) {
             ++_rejected;
             RejectedMsg rejected;
@@ -361,6 +505,11 @@ Daemon::handleClientMsg(ClientConn &client, const Message &msg)
             return;
         }
         ++_submitted;
+        // Journal before the ack: once the client sees Accepted, the
+        // job must survive a daemon crash.
+        if (_journal.ok())
+            journalCheck(
+                _journal.appendAccepted(id, submit->spec, now));
         AcceptedMsg accepted;
         accepted.jobId = id;
         sendToClient(client.id, accepted);
@@ -457,6 +606,14 @@ Daemon::processWorkerMsg(WorkerProc &w, const Message &msg)
                     job->state != JobState::Failed;
         std::uint64_t client = live ? job->client : 0;
         _queue.complete(done->jobId, monotonicMs());
+        if (live && _journal.ok()) {
+            // Re-find: complete() moved the job into the archive.
+            Job *term = _queue.find(done->jobId);
+            journalCheck(_journal.appendDone(
+                done->jobId,
+                term ? term->attempts : done->attempts,
+                done->fromCache != 0, term ? term->latencyMs : 0));
+        }
         if (client != 0)
             sendToClient(client, *done);
         if (w.jobId == done->jobId)
@@ -470,6 +627,13 @@ Daemon::processWorkerMsg(WorkerProc &w, const Message &msg)
                     job->state != JobState::Failed;
         std::uint64_t client = live ? job->client : 0;
         _queue.fail(failed->jobId, failed->reason, monotonicMs());
+        if (live && _journal.ok()) {
+            Job *term = _queue.find(failed->jobId);
+            journalCheck(_journal.appendFailed(
+                failed->jobId,
+                term ? term->attempts : failed->attempts,
+                term ? term->latencyMs : 0, failed->reason));
+        }
         if (client != 0)
             sendToClient(client, *failed);
         if (w.jobId == failed->jobId)
@@ -575,6 +739,12 @@ Daemon::tryCacheHit(Job &job)
     done.result = core::encodeMicroRun(run);
     std::uint64_t client = job.client;
     _queue.complete(done.jobId, monotonicMs());
+    if (_journal.ok()) {
+        Job *term = _queue.find(done.jobId);
+        journalCheck(_journal.appendDone(done.jobId, done.attempts,
+                                         true,
+                                         term ? term->latencyMs : 0));
+    }
     sendToClient(client, done);
     return true;
 }
@@ -596,6 +766,9 @@ Daemon::dispatch(std::uint64_t now_ms)
         if (!w)
             return; // all workers busy; stay FIFO and wait
         _queue.markRunning(job->id, now_ms);
+        if (_journal.ok())
+            journalCheck(
+                _journal.appendRunning(job->id, job->attempts));
         w->jobId = job->id;
         ExecMsg exec;
         exec.jobId = job->id;
@@ -649,6 +822,11 @@ Daemon::buildStats() const
         busy += w.jobId != 0;
     stats.workersBusy = busy;
     stats.draining = _queue.draining() ? 1 : 0;
+    stats.journaling = _journal.ok() ? 1 : 0;
+    stats.journalDegraded = _journalDegraded ? 1 : 0;
+    stats.journalAppends = _journal.appends();
+    stats.journalCompactions = _journal.compactions();
+    stats.recoveredJobs = _recoveredLive + _recoveredTerminal;
     stats.doneLatency = _queue.doneLatencyHistogram();
     stats.failedLatency = _queue.failedLatencyHistogram();
     return stats;
@@ -738,6 +916,23 @@ Daemon::writeMetrics(bool clean)
         jobs.push(std::move(j));
     }
     doc.set("jobs", std::move(jobs));
+    if (!_opts.journalDir.empty()) {
+        json::Value journal = json::Value::object();
+        journal.set("dir", json::Value::str(_opts.journalDir));
+        journal.set("active", json::Value::boolean(_journal.ok()));
+        journal.set("degraded",
+                    json::Value::boolean(_journalDegraded));
+        journal.set("appends", json::Value::number(_journal.appends()));
+        journal.set("compactions",
+                    json::Value::number(_journal.compactions()));
+        journal.set("recovered_live",
+                    json::Value::number(_recoveredLive));
+        journal.set("recovered_terminal",
+                    json::Value::number(_recoveredTerminal));
+        journal.set("recovery_truncated",
+                    json::Value::boolean(_recoveryTruncated));
+        doc.set("journal", std::move(journal));
+    }
     if (!_opts.metricsPath.empty()) {
         std::string error;
         if (!json::writeFileAtomic(_opts.metricsPath,
@@ -792,7 +987,13 @@ Daemon::shutdown()
     if (_listenFd >= 0)
         ::close(_listenFd);
     ::unlink(_opts.socketPath.c_str());
-    writeMetrics(true);
+    writeMetrics(true); // before removeFile: the manifest reports the
+                        // journal as it ran, not as it is being torn
+                        // down
+    // A drained daemon has nothing to recover; a stale journal left
+    // behind would resurrect already-delivered jobs on the next run.
+    if (!_opts.journalDir.empty())
+        _journal.removeFile();
     inform("drain complete: %zu done, %zu failed, %zu retries, "
            "%llu timeouts, %llu worker death(s)",
            _queue.doneCount(), _queue.failedCount(),
@@ -806,6 +1007,10 @@ int
 Daemon::run()
 {
     _startMs = monotonicMs();
+    // Replay before listening: recovered jobs must be queued before
+    // any client can submit new ones (id allocation resumes past
+    // them) and before the workers spawn.
+    openJournal();
     ServeError error;
     _listenFd = listenUnix(_opts.socketPath, &error);
     if (_listenFd < 0) {
@@ -938,6 +1143,7 @@ Daemon::run()
         now = monotonicMs();
         killExpired(now);
         dispatch(now);
+        journalMaintain();
 
         if (_queue.draining() && _queue.drained()) {
             // Every job is terminal, but replies may still sit in
@@ -979,6 +1185,9 @@ DaemonOptions::fromEnv()
         std::max(1, envInt("WC3D_SERVE_BACKOFF_MS", 100)));
     opts.metricsPath = envString("WC3D_SERVE_METRICS_OUT", "");
     opts.fleetDir = envString("WC3D_SERVE_FLEET_DIR", "");
+    opts.journalDir = envString("WC3D_SERVE_JOURNAL_DIR", "");
+    opts.journalCompactBytes = static_cast<std::uint64_t>(
+        std::max(0, envInt("WC3D_SERVE_JOURNAL_COMPACT", 0)));
     return opts;
 }
 

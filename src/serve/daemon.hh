@@ -34,12 +34,27 @@ struct DaemonOptions
     /** Fleet store directory to ingest the manifest into on exit
      *  ("" = skip). Independent of metricsPath. */
     std::string fleetDir;
+    /**
+     * Directory for the durable job journal ("" = journaling off).
+     * With journaling on, every job state transition is fsynced to
+     * disk before it is acknowledged, and on startup an existing
+     * journal is replayed: live jobs are re-queued with their attempt
+     * counts preserved, terminal jobs are restored into the archive —
+     * a crashed daemon restarted against the same directory never
+     * loses an acknowledged job. A cleanly drained daemon removes the
+     * journal file.
+     */
+    std::string journalDir;
+    /** Snapshot-compaction threshold override in bytes appended since
+     *  the last snapshot (0 = Journal::kDefaultCompactBytes). */
+    std::uint64_t journalCompactBytes = 0;
 
     /**
      * Defaults overridden by WC3D_SERVE_SOCKET, WC3D_SERVE_WORKERS,
      * WC3D_SERVE_QUEUE, WC3D_SERVE_TIMEOUT_MS, WC3D_SERVE_RETRIES,
-     * WC3D_SERVE_BACKOFF_MS, WC3D_SERVE_METRICS_OUT and
-     * WC3D_SERVE_FLEET_DIR.
+     * WC3D_SERVE_BACKOFF_MS, WC3D_SERVE_METRICS_OUT,
+     * WC3D_SERVE_FLEET_DIR, WC3D_SERVE_JOURNAL_DIR and
+     * WC3D_SERVE_JOURNAL_COMPACT.
      */
     static DaemonOptions fromEnv();
 };

@@ -1,5 +1,8 @@
 #include "serve/jobqueue.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/strutil.hh"
 
 namespace wc3d::serve {
@@ -105,9 +108,17 @@ JobQueue::archive(Job &&job)
 {
     _terminal.push_back(std::move(job));
     while (_terminal.size() > kTerminalKeep) {
+        _pendingEvictions.push_back(_terminal.front().id);
         _terminal.pop_front();
         ++_terminalEvicted;
     }
+}
+
+std::size_t
+JobQueue::latencyBucket(std::uint64_t ms)
+{
+    std::size_t bucket = static_cast<std::size_t>(std::bit_width(ms));
+    return bucket < kLatencyBuckets ? bucket : kLatencyBuckets - 1;
 }
 
 void
@@ -118,11 +129,7 @@ JobQueue::recordLatency(
     job.latencyMs = now_ms > job.submittedAtMs
                         ? now_ms - job.submittedAtMs
                         : 0;
-    std::size_t bucket = static_cast<std::size_t>(
-        std::bit_width(job.latencyMs));
-    if (bucket >= kLatencyBuckets)
-        bucket = kLatencyBuckets - 1;
-    ++hist[bucket];
+    ++hist[latencyBucket(job.latencyMs)];
 }
 
 void
@@ -265,6 +272,91 @@ JobQueue::terminalJobs() const
     for (const Job &job : _terminal)
         out.push_back(&job);
     return out;
+}
+
+std::vector<const Job *>
+JobQueue::liveJobs() const
+{
+    std::vector<const Job *> out;
+    out.reserve(_jobs.size());
+    for (const auto &kv : _jobs)
+        out.push_back(&kv.second);
+    std::sort(out.begin(), out.end(),
+              [](const Job *a, const Job *b) { return a->seq < b->seq; });
+    return out;
+}
+
+std::vector<std::uint64_t>
+JobQueue::takeEvictions()
+{
+    return std::exchange(_pendingEvictions, {});
+}
+
+void
+JobQueue::restoreLive(std::uint64_t id, const JobSpec &spec,
+                      int attempts, std::uint64_t submitted_at_ms)
+{
+    if (id == 0 || _jobs.count(id))
+        return;
+    Job job;
+    job.id = id;
+    job.spec = spec;
+    job.state = JobState::Queued;
+    job.attempts = attempts;
+    job.seq = _nextSeq++;
+    job.client = 0; // the submitter died with the old daemon
+    job.submittedAtMs = submitted_at_ms;
+    _jobs.emplace(id, std::move(job));
+    if (id >= _nextId)
+        _nextId = id + 1;
+    if (attempts > 1)
+        _retries += static_cast<std::size_t>(attempts - 1);
+}
+
+void
+JobQueue::restoreTerminal(std::uint64_t id, const JobSpec &spec,
+                          int attempts, bool done,
+                          const std::string &fail_reason,
+                          std::uint64_t latency_ms, bool evicted,
+                          std::uint64_t submitted_at_ms)
+{
+    if (id == 0)
+        return;
+    if (done)
+        ++_done;
+    else
+        ++_failed;
+    if (attempts > 1)
+        _retries += static_cast<std::size_t>(attempts - 1);
+    ++(done ? _doneLatency : _failedLatency)[latencyBucket(latency_ms)];
+    if (id >= _nextId)
+        _nextId = id + 1;
+    if (evicted) {
+        // Aged out of the archive before the crash: counters only.
+        ++_terminalEvicted;
+        return;
+    }
+    Job job;
+    job.id = id;
+    job.spec = spec;
+    job.state = done ? JobState::Done : JobState::Failed;
+    job.attempts = attempts;
+    job.seq = _nextSeq++;
+    job.client = 0;
+    job.submittedAtMs = submitted_at_ms;
+    job.latencyMs = latency_ms;
+    job.failReason = fail_reason;
+    archive(std::move(job));
+}
+
+void
+JobQueue::restoreBaseline(std::uint64_t done, std::uint64_t failed,
+                          std::uint64_t evicted, std::uint64_t retries)
+{
+    _done += static_cast<std::size_t>(done);
+    _failed += static_cast<std::size_t>(failed);
+    _terminalEvicted += static_cast<std::size_t>(evicted);
+    _retries += static_cast<std::size_t>(retries);
 }
 
 } // namespace wc3d::serve

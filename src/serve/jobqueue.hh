@@ -199,9 +199,45 @@ class JobQueue
      *  at most the kTerminalKeep most recent. */
     std::vector<const Job *> terminalJobs() const;
 
+    /** Live jobs (Queued/Waiting/Running), submission order (journal
+     *  snapshot export). */
+    std::vector<const Job *> liveJobs() const;
+
+    /**
+     * Ids of terminal jobs aged out of the archive since the last
+     * call (cleared on return). The daemon drains this after each
+     * terminal transition to journal the evictions.
+     */
+    std::vector<std::uint64_t> takeEvictions();
+
+    /** @name Journal-replay restoration (daemon startup only).
+     * Rebuild queue state from a replayed journal: restored jobs keep
+     * their original ids (id allocation resumes past them), live jobs
+     * re-enter as Queued with their attempt counts preserved — the
+     * interrupted attempt died with the old daemon — and terminal
+     * jobs land in the archive (or only in the counters when the
+     * journal recorded their eviction). Restored jobs are orphaned
+     * (client 0): their submitter's connection died with the crash.
+     */
+    /// @{
+    void restoreLive(std::uint64_t id, const JobSpec &spec,
+                     int attempts, std::uint64_t submitted_at_ms);
+    void restoreTerminal(std::uint64_t id, const JobSpec &spec,
+                         int attempts, bool done,
+                         const std::string &fail_reason,
+                         std::uint64_t latency_ms, bool evicted,
+                         std::uint64_t submitted_at_ms);
+    /** Fold in the counter baseline of snapshot-compacted history. */
+    void restoreBaseline(std::uint64_t done, std::uint64_t failed,
+                         std::uint64_t evicted, std::uint64_t retries);
+    /// @}
+
   private:
     /** Move a job that just went terminal into the bounded archive. */
     void archive(Job &&job);
+
+    /** The log2-ms histogram bucket for a latency. */
+    static std::size_t latencyBucket(std::uint64_t ms);
 
     /** Close the latency clock on a job going terminal. */
     void recordLatency(Job &job, std::uint64_t now_ms,
@@ -216,6 +252,7 @@ class JobQueue
      *  _terminal so every per-poll scan is O(live), not O(lifetime). */
     std::map<std::uint64_t, Job> _jobs; // id -> job (ids ascend = FIFO)
     std::deque<Job> _terminal; // completion order, ≤ kTerminalKeep
+    std::vector<std::uint64_t> _pendingEvictions;
     std::size_t _terminalEvicted = 0;
     std::size_t _done = 0;
     std::size_t _failed = 0;

@@ -258,6 +258,32 @@ appendMagic(std::string &out)
 }
 
 void
+appendJobSpec(std::string &out, const JobSpec &spec)
+{
+    Out body{out};
+    encodeSpec(body, spec);
+}
+
+std::optional<JobSpec>
+parseJobSpec(const unsigned char *data, std::size_t size,
+             std::size_t *pos, std::string *error)
+{
+    Cursor in;
+    in.data = data;
+    in.size = size;
+    in.pos = pos ? *pos : 0;
+    JobSpec spec = decodeSpec(in);
+    if (in.failed()) {
+        if (error)
+            *error = in.err->reason;
+        return std::nullopt;
+    }
+    if (pos)
+        *pos = in.pos;
+    return spec;
+}
+
+void
 appendMessage(std::string &out, const Message &msg)
 {
     std::string payload;
@@ -312,6 +338,11 @@ appendMessage(std::string &out, const Message &msg)
                 body.u32(m.workers);
                 body.u32(m.workersBusy);
                 body.u8(m.draining);
+                body.u8(m.journaling);
+                body.u8(m.journalDegraded);
+                body.u64(m.journalAppends);
+                body.u64(m.journalCompactions);
+                body.u64(m.recoveredJobs);
                 for (std::uint64_t bucket : m.doneLatency)
                     body.u64(bucket);
                 for (std::uint64_t bucket : m.failedLatency)
@@ -492,6 +523,11 @@ MessageDecoder::next()
         m.workers = in.u32();
         m.workersBusy = in.u32();
         m.draining = in.boolByte("draining");
+        m.journaling = in.boolByte("journaling");
+        m.journalDegraded = in.boolByte("journal degraded");
+        m.journalAppends = in.u64();
+        m.journalCompactions = in.u64();
+        m.recoveredJobs = in.u64();
         for (std::uint64_t &bucket : m.doneLatency)
             bucket = in.u64();
         for (std::uint64_t &bucket : m.failedLatency)

@@ -210,6 +210,16 @@ struct StatsMsg
     std::uint32_t workers = 0;
     std::uint32_t workersBusy = 0; ///< <= workers
     std::uint8_t draining = 0;
+    /** @name Durability (all 0 when journaling is off) */
+    /// @{
+    std::uint8_t journaling = 0; ///< journal open and accepting appends
+    /** Journaling was on but hit an unrecoverable I/O failure; the
+     *  daemon kept serving without durability. */
+    std::uint8_t journalDegraded = 0;
+    std::uint64_t journalAppends = 0;
+    std::uint64_t journalCompactions = 0;
+    std::uint64_t recoveredJobs = 0; ///< restored by startup replay
+    /// @}
     std::array<std::uint64_t, kLatencyBuckets> doneLatency{};
     std::array<std::uint64_t, kLatencyBuckets> failedLatency{};
 };
@@ -223,6 +233,23 @@ using Message =
 
 /** Append the 8-byte stream magic to @p out (once per direction). */
 void appendMagic(std::string &out);
+
+/**
+ * Append the wire encoding of @p spec to @p out — the same field
+ * layout SubmitMsg/ExecMsg payloads use. Public so the journal can
+ * persist specs without re-inventing the encoding.
+ */
+void appendJobSpec(std::string &out, const JobSpec &spec);
+
+/**
+ * Decode a JobSpec written by appendJobSpec() from
+ * [data + *pos, data + size), advancing *pos past it. Runs the full
+ * field validation (caps, ranges, bool bytes).
+ * @return nullopt with *error set (when non-null) on any malformation.
+ */
+std::optional<JobSpec> parseJobSpec(const unsigned char *data,
+                                    std::size_t size, std::size_t *pos,
+                                    std::string *error);
 
 /** Append one framed record encoding @p msg to @p out. */
 void appendMessage(std::string &out, const Message &msg);

@@ -5,13 +5,19 @@
  * ingests attacker-shaped files; see the JsonFuzz suite below).
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <string>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "common/env.hh"
+#include "common/faultio.hh"
+#include "common/fs.hh"
 #include "common/image.hh"
 #include "common/json.hh"
 #include "common/rng.hh"
@@ -398,4 +404,147 @@ TEST(JsonFuzz, RawControlCharactersInStringsAreRejected)
     std::string error;
     EXPECT_TRUE(json::parse("\"a\\nb\\u0000c\"", doc, &error))
         << error;
+}
+
+// --- faultio: injected filesystem failure modes --------------------
+//
+// Every durable write (serve journal, run cache, fleet index, metrics
+// manifests) funnels through faultio::writeAll/syncFd, so injecting
+// failures here exercises the recovery paths of all of them. The plan
+// is process-global state: each test restores the no-fault plan
+// before returning.
+
+namespace {
+
+/** RAII: whatever a test injects, the next test starts fault-free. */
+struct FaultPlanGuard
+{
+    FaultPlanGuard() { faultio::setPlan(faultio::FaultPlan{}); }
+    ~FaultPlanGuard() { faultio::setPlan(faultio::FaultPlan{}); }
+};
+
+std::string
+faultTestFile(const char *name)
+{
+    return ::testing::TempDir() + "wc3d_faultio_" +
+           std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
+
+std::string
+readAllOf(const std::string &path)
+{
+    std::string out;
+    FILE *f = fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    fclose(f);
+    return out;
+}
+
+} // namespace
+
+TEST(FaultIo, FailNthWriteInjectsStructuredEnospc)
+{
+    FaultPlanGuard guard;
+    std::string path = faultTestFile("failnth");
+    int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+
+    faultio::FaultPlan plan;
+    plan.failNthWrite = 2;
+    faultio::setPlan(plan);
+    EXPECT_EQ(faultio::writesAttempted(), 0u);
+
+    faultio::IoError err;
+    EXPECT_TRUE(faultio::writeAll(fd, "one", 3, path, &err));
+    EXPECT_FALSE(faultio::writeAll(fd, "two", 3, path, &err));
+    EXPECT_EQ(err.op, "write");
+    EXPECT_EQ(err.path, path);
+    EXPECT_NE(err.reason.find("injected ENOSPC"), std::string::npos)
+        << err.reason;
+    EXPECT_NE(err.describe().find(path), std::string::npos);
+    // One-shot: the third write goes through again.
+    EXPECT_TRUE(faultio::writeAll(fd, "three", 5, path, &err));
+    EXPECT_EQ(faultio::writesAttempted(), 3u);
+    ::close(fd);
+    EXPECT_EQ(readAllOf(path), "onethree");
+    std::remove(path.c_str());
+}
+
+TEST(FaultIo, ShortWritePersistsHalfThenReports)
+{
+    FaultPlanGuard guard;
+    std::string path = faultTestFile("short");
+    int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+
+    faultio::FaultPlan plan;
+    plan.shortNthWrite = 1;
+    faultio::setPlan(plan);
+    faultio::IoError err;
+    // The torn half reaches the disk for real — exactly the artifact
+    // recovery code has to face — and the caller is told it failed.
+    EXPECT_FALSE(faultio::writeAll(fd, "0123456789", 10, path, &err));
+    EXPECT_NE(err.reason.find("short write"), std::string::npos)
+        << err.reason;
+    ::close(fd);
+    EXPECT_EQ(readAllOf(path), "01234");
+    std::remove(path.c_str());
+}
+
+TEST(FaultIo, AtomicWriteFileLeavesOldContentIntactOnFailure)
+{
+    FaultPlanGuard guard;
+    std::string dir = faultTestFile("atomic_dir");
+    ASSERT_TRUE(makeDirs(dir));
+    std::string path = dir + "/target.json";
+
+    std::string error;
+    ASSERT_TRUE(atomicWriteFile(path, "original content", &error))
+        << error;
+    EXPECT_EQ(readAllOf(path), "original content");
+
+    faultio::FaultPlan plan;
+    plan.allEnospc = true;
+    faultio::setPlan(plan);
+    error.clear();
+    EXPECT_FALSE(atomicWriteFile(path, "replacement", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_NE(error.find("injected ENOSPC"), std::string::npos)
+        << error;
+
+    // The previous content survived and no temp file leaked.
+    faultio::setPlan(faultio::FaultPlan{});
+    EXPECT_EQ(readAllOf(path), "original content");
+    std::vector<std::string> names;
+    ASSERT_TRUE(listDir(dir, names));
+    ASSERT_EQ(names.size(), 1u) << "stray temp file: " << names.back();
+    EXPECT_EQ(names[0], "target.json");
+
+    // With the fault cleared the replacement lands atomically.
+    ASSERT_TRUE(atomicWriteFile(path, "replacement", &error)) << error;
+    EXPECT_EQ(readAllOf(path), "replacement");
+    std::remove(path.c_str());
+    ::rmdir(dir.c_str());
+}
+
+TEST(FaultIo, EnvKnobsLoadAndReset)
+{
+    FaultPlanGuard guard;
+    setenv("WC3D_FAULT_WRITE_FAIL_NTH", "7", 1);
+    setenv("WC3D_FAULT_ENOSPC", "1", 1);
+    faultio::resetFromEnv();
+    EXPECT_EQ(faultio::plan().failNthWrite, 7u);
+    EXPECT_TRUE(faultio::plan().allEnospc);
+    EXPECT_EQ(faultio::plan().shortNthWrite, 0u);
+    EXPECT_EQ(faultio::writesAttempted(), 0u);
+    unsetenv("WC3D_FAULT_WRITE_FAIL_NTH");
+    unsetenv("WC3D_FAULT_ENOSPC");
+    faultio::resetFromEnv();
+    EXPECT_EQ(faultio::plan().failNthWrite, 0u);
+    EXPECT_FALSE(faultio::plan().allEnospc);
 }

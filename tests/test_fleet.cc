@@ -7,6 +7,7 @@
  * self-contained HTML report.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -38,12 +39,14 @@ storeDir(const char *name)
 void
 removeStore(const std::string &dir)
 {
-    std::vector<std::string> names;
-    if (listDir(dir + "/blobs", names)) {
-        for (const std::string &n : names)
-            std::remove((dir + "/blobs/" + n).c_str());
+    for (const char *sub : {"/blobs", "/quarantine"}) {
+        std::vector<std::string> names;
+        if (listDir(dir + sub, names)) {
+            for (const std::string &n : names)
+                std::remove((dir + sub + "/" + n).c_str());
+        }
+        ::rmdir((dir + sub).c_str());
     }
-    ::rmdir((dir + "/blobs").c_str());
     std::remove((dir + "/index.json").c_str());
     ::rmdir(dir.c_str());
 }
@@ -456,6 +459,102 @@ TEST(Fleet, CheckDetectsCorruptBlobsAndOrphans)
         << problems[0];
     EXPECT_NE(problems[1].find("orphaned blob"), std::string::npos)
         << problems[1];
+    removeStore(dir);
+}
+
+TEST(Fleet, RepairQuarantinesEvidenceAndDropsBrokenEntries)
+{
+    std::string dir = storeDir("repair");
+    removeStore(dir);
+    FleetStore store(dir);
+    FleetError err;
+    ASSERT_TRUE(store.open(&err));
+    ASSERT_EQ(store.ingestDocument(metricsDoc("v1", 1, 1, 1), "u", &err),
+              FleetStore::IngestResult::Added);
+    ASSERT_EQ(store.ingestDocument(serveDoc(3), "u", &err),
+              FleetStore::IngestResult::Added);
+    ASSERT_EQ(store.ingestDocument(benchDoc(10.0, 40.0), "u", &err),
+              FleetStore::IngestResult::Added);
+    const std::string tampered_blob = store.entries()[0].blob;
+    const std::string missing_blob = store.entries()[1].blob;
+    const std::uint64_t surviving_seq = store.entries()[2].seq;
+
+    // Break the store three ways: a blob that no longer hashes to its
+    // address, a blob deleted out from under its entry, and an orphan
+    // no entry references.
+    std::string error;
+    ASSERT_TRUE(json::writeFileAtomic(store.blobPath(tampered_blob),
+                                      "{\"tampered\":true}", &error));
+    ASSERT_EQ(std::remove(store.blobPath(missing_blob).c_str()), 0);
+    ASSERT_TRUE(json::writeFileAtomic(
+        dir + "/blobs/feedfeedfeedfeed.json", "{}", &error));
+    std::vector<std::string> problems;
+    EXPECT_FALSE(store.check(&problems));
+
+    std::vector<std::string> actions;
+    ASSERT_TRUE(store.repair(&actions, &err)) << err.describe();
+    ASSERT_EQ(actions.size(), 3u);
+    EXPECT_NE(actions[0].find("quarantined"), std::string::npos)
+        << actions[0];
+    EXPECT_NE(actions[1].find("dropped entry"), std::string::npos)
+        << actions[1];
+    EXPECT_NE(actions[2].find("orphaned blob"), std::string::npos)
+        << actions[2];
+
+    // The store now passes check; the survivor kept its seq (gaps in
+    // the sequence are legal — it only ever ascends).
+    problems.clear();
+    EXPECT_TRUE(store.check(&problems))
+        << (problems.empty() ? "" : problems.front());
+    ASSERT_EQ(store.entries().size(), 1u);
+    EXPECT_EQ(store.entries()[0].seq, surviving_seq);
+    EXPECT_EQ(store.entries()[0].kind, Kind::Bench);
+
+    // Evidence preserved, not deleted: both bad blobs moved to
+    // quarantine/ and are gone from blobs/.
+    std::vector<std::string> q;
+    ASSERT_TRUE(listDir(dir + "/quarantine", q));
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_TRUE(std::find(q.begin(), q.end(),
+                          tampered_blob + ".json") != q.end());
+    EXPECT_TRUE(std::find(q.begin(), q.end(),
+                          "feedfeedfeedfeed.json") != q.end());
+    std::vector<std::string> blobs;
+    ASSERT_TRUE(listDir(dir + "/blobs", blobs));
+    EXPECT_EQ(blobs.size(), 1u);
+
+    // The rewritten index survives a reopen, and the repaired store
+    // keeps accepting ingests with ascending seqs.
+    FleetStore reopened(dir);
+    ASSERT_TRUE(reopened.open(&err)) << err.describe();
+    ASSERT_EQ(reopened.entries().size(), 1u);
+    EXPECT_EQ(reopened.entries()[0].seq, surviving_seq);
+    ASSERT_EQ(reopened.ingestDocument(metricsDoc("v9", 2, 1, 2), "u",
+                                      &err),
+              FleetStore::IngestResult::Added)
+        << err.describe();
+    EXPECT_GT(reopened.entries()[1].seq, surviving_seq);
+    removeStore(dir);
+}
+
+TEST(Fleet, RepairOnAHealthyStoreIsANoOp)
+{
+    std::string dir = storeDir("repair_noop");
+    removeStore(dir);
+    FleetStore store(dir);
+    FleetError err;
+    ASSERT_TRUE(store.open(&err));
+    ASSERT_EQ(store.ingestDocument(metricsDoc("v1", 1, 1, 1), "u", &err),
+              FleetStore::IngestResult::Added);
+    std::vector<std::string> actions;
+    ASSERT_TRUE(store.repair(&actions, &err)) << err.describe();
+    EXPECT_TRUE(actions.empty());
+    ASSERT_EQ(store.entries().size(), 1u);
+    std::vector<std::string> problems;
+    EXPECT_TRUE(store.check(&problems));
+    // No quarantine directory materializes for a clean store.
+    std::vector<std::string> q;
+    EXPECT_FALSE(listDir(dir + "/quarantine", q));
     removeStore(dir);
 }
 

@@ -15,14 +15,19 @@
  *    against injected clocks.
  */
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include "common/fs.hh"
 #include "common/rng.hh"
 #include "serve/jobqueue.hh"
+#include "serve/journal.hh"
 #include "serve/protocol.hh"
 
 using namespace wc3d;
@@ -114,6 +119,11 @@ TEST(ServeProtocol, RoundTripsEveryMessageType)
     stats.workers = 4;
     stats.workersBusy = 2;
     stats.draining = 1;
+    stats.journaling = 1;
+    stats.journalDegraded = 0;
+    stats.journalAppends = 321;
+    stats.journalCompactions = 2;
+    stats.recoveredJobs = 9;
     stats.doneLatency[0] = 8;
     stats.doneLatency[5] = 90;
     stats.doneLatency[kLatencyBuckets - 1] = 2;
@@ -163,6 +173,11 @@ TEST(ServeProtocol, RoundTripsEveryMessageType)
     EXPECT_EQ(sm.workers, 4u);
     EXPECT_EQ(sm.workersBusy, 2u);
     EXPECT_EQ(sm.draining, 1);
+    EXPECT_EQ(sm.journaling, 1);
+    EXPECT_EQ(sm.journalDegraded, 0);
+    EXPECT_EQ(sm.journalAppends, 321u);
+    EXPECT_EQ(sm.journalCompactions, 2u);
+    EXPECT_EQ(sm.recoveredJobs, 9u);
     EXPECT_EQ(sm.doneLatency, stats.doneLatency);
     EXPECT_EQ(sm.failedLatency, stats.failedLatency);
 }
@@ -187,6 +202,16 @@ TEST(ServeProtocol, RejectsInconsistentStatsMsg)
     }
     stats.workersBusy = 2;
     stats.draining = 2;
+    {
+        MessageDecoder dec;
+        std::string bytes = encodeStream({stats});
+        dec.feed(bytes.data(), bytes.size());
+        EXPECT_FALSE(dec.next().has_value());
+        ASSERT_FALSE(dec.ok());
+    }
+    // The durability flags are strict wire bools too.
+    stats.draining = 0;
+    stats.journaling = 2;
     {
         MessageDecoder dec;
         std::string bytes = encodeStream({stats});
@@ -686,4 +711,472 @@ TEST(JobQueue, ReadyAndWaitingCountsDistinguishBackoff)
     EXPECT_EQ(q.waitingCount(), 1u);
     EXPECT_EQ(q.queuedCount(), 2u);
     EXPECT_EQ(q.runningCount(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Durable job journal (WC3DJRN1): append/replay round trips,
+// JobQueue restoration, snapshot compaction, torn-tail recovery and
+// the seeded mutation fuzzer.
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Fresh per-test journal directory (process-unique for ctest -j). */
+std::string
+journalDir(const char *name)
+{
+    return ::testing::TempDir() + "wc3d_jrn_" +
+           std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
+
+std::string
+journalFile(const std::string &dir)
+{
+    return dir + "/journal.wc3djrn";
+}
+
+void
+removeJournalDir(const std::string &dir)
+{
+    std::remove(journalFile(dir).c_str());
+    ::rmdir(dir.c_str());
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::string out;
+    FILE *f = fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    fclose(f);
+    return out;
+}
+
+/** Write a journal covering the whole job lifecycle: one done job
+ *  (with a retry), one poison failure, one still live. */
+void
+writeLifecycleJournal(Journal &j)
+{
+    ASSERT_TRUE(j.appendAccepted(1, sampleSpec("ut2004"), 5000));
+    ASSERT_TRUE(j.appendRunning(1, 1));
+    ASSERT_TRUE(j.appendRunning(1, 2));
+    ASSERT_TRUE(j.appendDone(1, 2, false, 120));
+    ASSERT_TRUE(j.appendAccepted(2, sampleSpec("doom3", 1), 5100));
+    ASSERT_TRUE(j.appendRunning(2, 1));
+    ASSERT_TRUE(
+        j.appendFailed(2, 1, 300, "poison job: worker crashed"));
+    ASSERT_TRUE(j.appendAccepted(3, sampleSpec("quake4", 3), 5200));
+    ASSERT_TRUE(j.appendRunning(3, 1));
+}
+
+} // namespace
+
+TEST(Journal, AppendReplayRoundTripsTheJobLifecycle)
+{
+    std::string dir = journalDir("roundtrip");
+    removeJournalDir(dir);
+    Journal j;
+    JournalRecovery fresh;
+    ASSERT_TRUE(j.open(dir, &fresh))
+        << (j.lastError() ? j.lastError()->describe() : "");
+    EXPECT_TRUE(fresh.jobs.empty());
+    EXPECT_FALSE(fresh.truncated);
+    writeLifecycleJournal(j);
+    EXPECT_EQ(j.appends(), 9u);
+    j.close();
+    EXPECT_FALSE(j.ok());
+
+    JournalRecovery out;
+    ASSERT_TRUE(Journal::replay(readFileBytes(journalFile(dir)), &out));
+    EXPECT_FALSE(out.truncated);
+    EXPECT_EQ(out.records, 9u);
+    EXPECT_EQ(out.anomalies, 0u);
+    ASSERT_EQ(out.jobs.size(), 3u);
+    EXPECT_EQ(out.liveCount(), 1u);
+    EXPECT_EQ(out.terminalCount(), 2u);
+
+    const JournalJob &a = out.jobs[0];
+    EXPECT_EQ(a.id, 1u);
+    EXPECT_EQ(a.state, JobState::Done);
+    EXPECT_EQ(a.attempts, 2);
+    EXPECT_EQ(a.fromCache, 0);
+    EXPECT_EQ(a.latencyMs, 120u);
+    EXPECT_EQ(a.submittedAtMs, 5000u);
+    EXPECT_EQ(a.spec.demo, "ut2004");
+    const JournalJob &b = out.jobs[1];
+    EXPECT_EQ(b.id, 2u);
+    EXPECT_EQ(b.state, JobState::Failed);
+    EXPECT_EQ(b.failReason, "poison job: worker crashed");
+    EXPECT_EQ(b.latencyMs, 300u);
+    const JournalJob &c = out.jobs[2];
+    EXPECT_EQ(c.id, 3u);
+    EXPECT_EQ(c.state, JobState::Queued);
+    EXPECT_EQ(c.attempts, 1); // the interrupted attempt is preserved
+    EXPECT_EQ(c.spec.frames, 3u);
+
+    // open() replays the same state a daemon restart would see.
+    Journal j2;
+    JournalRecovery rec;
+    ASSERT_TRUE(j2.open(dir, &rec));
+    EXPECT_EQ(rec.jobs.size(), 3u);
+    EXPECT_EQ(rec.records, 9u);
+    j2.removeFile();
+    EXPECT_TRUE(readFileBytes(journalFile(dir)).empty());
+    removeJournalDir(dir);
+}
+
+TEST(Journal, RecoveryRestoresThroughTheJobQueue)
+{
+    std::string dir = journalDir("restore");
+    removeJournalDir(dir);
+    Journal j;
+    JournalRecovery rec;
+    ASSERT_TRUE(j.open(dir, &rec));
+    writeLifecycleJournal(j);
+    j.close();
+    ASSERT_TRUE(Journal::replay(readFileBytes(journalFile(dir)), &rec));
+
+    JobQueue q(8, testPolicy());
+    q.restoreBaseline(rec.baseDone, rec.baseFailed, rec.baseEvicted,
+                      rec.baseRetries);
+    for (const JournalJob &job : rec.jobs) {
+        if (job.state == JobState::Queued)
+            q.restoreLive(job.id, job.spec, job.attempts,
+                          job.submittedAtMs);
+        else
+            q.restoreTerminal(job.id, job.spec, job.attempts,
+                              job.state == JobState::Done,
+                              job.failReason, job.latencyMs,
+                              job.evicted, job.submittedAtMs);
+    }
+    EXPECT_EQ(q.doneCount(), 1u);
+    EXPECT_EQ(q.failedCount(), 1u);
+    EXPECT_EQ(q.queuedCount(), 1u);
+    EXPECT_EQ(q.retryCount(), 1u); // job 1 ran twice
+    // The live job redispatches with its attempt count preserved.
+    Job *ready = q.nextReady(0);
+    ASSERT_TRUE(ready);
+    EXPECT_EQ(ready->id, 3u);
+    EXPECT_EQ(ready->attempts, 1);
+    EXPECT_EQ(ready->client, 0u); // orphaned: its submitter died
+    // Terminal jobs landed in the archive, still terminal.
+    ASSERT_TRUE(q.find(1));
+    EXPECT_EQ(q.find(1)->state, JobState::Done);
+    EXPECT_FALSE(q.retryOrFail(1, 0, "late report"));
+    // Id allocation resumes past every restored id.
+    EXPECT_GT(q.submit(sampleSpec(), 1, nullptr), 3u);
+    removeJournalDir(dir);
+}
+
+TEST(Journal, ReplayNeverResurrectsTerminalJobs)
+{
+    std::string dir = journalDir("terminal");
+    removeJournalDir(dir);
+    Journal j;
+    JournalRecovery rec;
+    ASSERT_TRUE(j.open(dir, &rec));
+    ASSERT_TRUE(j.appendAccepted(1, sampleSpec(), 0));
+    ASSERT_TRUE(j.appendDone(1, 1, false, 10));
+    // Everything after the terminal record is a recorded anomaly,
+    // never obeyed: duplicate terminal states, a late running
+    // transition, a duplicate accept, an eviction of a live job.
+    ASSERT_TRUE(j.appendRunning(1, 7));
+    ASSERT_TRUE(j.appendFailed(1, 7, 99, "late failure"));
+    ASSERT_TRUE(j.appendAccepted(1, sampleSpec("doom3", 1), 1));
+    ASSERT_TRUE(j.appendAccepted(2, sampleSpec(), 2));
+    ASSERT_TRUE(j.appendEvicted(2));
+    j.close();
+
+    JournalRecovery out;
+    ASSERT_TRUE(Journal::replay(readFileBytes(journalFile(dir)), &out));
+    EXPECT_FALSE(out.truncated);
+    EXPECT_EQ(out.records, 7u);
+    EXPECT_EQ(out.anomalies, 4u);
+    ASSERT_EQ(out.jobs.size(), 2u);
+    EXPECT_EQ(out.jobs[0].state, JobState::Done);
+    EXPECT_EQ(out.jobs[0].attempts, 1);
+    EXPECT_EQ(out.jobs[0].spec.demo, "ut2004");
+    EXPECT_TRUE(out.jobs[0].failReason.empty());
+    EXPECT_EQ(out.jobs[1].state, JobState::Queued);
+    EXPECT_FALSE(out.jobs[1].evicted);
+    removeJournalDir(dir);
+}
+
+TEST(Journal, CompactionSnapshotsQueueAndPreservesCounters)
+{
+    std::string dir = journalDir("compact");
+    removeJournalDir(dir);
+    Journal j;
+    JournalRecovery rec;
+    ASSERT_TRUE(j.open(dir, &rec));
+
+    // A queue with history: a done job that needed a retry, a poison
+    // failure, a live job.
+    JobQueue q(8, testPolicy());
+    std::uint64_t a = q.submit(sampleSpec("a"), 1, nullptr, 100);
+    q.markRunning(a, 100);
+    ASSERT_TRUE(q.retryOrFail(a, 200, "worker crashed"));
+    q.markRunning(a, 1000);
+    q.complete(a, 1100);
+    std::uint64_t b = q.submit(sampleSpec("b"), 1, nullptr, 100);
+    std::uint64_t now = 100;
+    for (int i = 0; i < 3; ++i) {
+        q.markRunning(b, now);
+        q.retryOrFail(b, now, "worker crashed");
+        now = 5000;
+    }
+    ASSERT_EQ(q.find(b)->state, JobState::Failed);
+    std::uint64_t c = q.submit(sampleSpec("c"), 1, nullptr, 100);
+
+    ASSERT_TRUE(j.compact(q)) << j.lastError()->describe();
+    EXPECT_EQ(j.compactions(), 1u);
+    j.close();
+
+    // The snapshot restores a queue with identical lifetime counters.
+    JournalRecovery out;
+    ASSERT_TRUE(Journal::replay(readFileBytes(journalFile(dir)), &out));
+    EXPECT_FALSE(out.truncated);
+    JobQueue q2(8, testPolicy());
+    q2.restoreBaseline(out.baseDone, out.baseFailed, out.baseEvicted,
+                       out.baseRetries);
+    for (const JournalJob &job : out.jobs) {
+        if (job.state == JobState::Queued)
+            q2.restoreLive(job.id, job.spec, job.attempts,
+                           job.submittedAtMs);
+        else
+            q2.restoreTerminal(job.id, job.spec, job.attempts,
+                               job.state == JobState::Done,
+                               job.failReason, job.latencyMs,
+                               job.evicted, job.submittedAtMs);
+    }
+    EXPECT_EQ(q2.doneCount(), q.doneCount());
+    EXPECT_EQ(q2.failedCount(), q.failedCount());
+    EXPECT_EQ(q2.retryCount(), q.retryCount());
+    EXPECT_EQ(q2.terminalEvicted(), q.terminalEvicted());
+    EXPECT_EQ(q2.queuedCount(), 1u);
+    ASSERT_TRUE(q2.find(c));
+    EXPECT_EQ(q2.find(c)->state, JobState::Queued);
+    ASSERT_TRUE(q2.find(b));
+    EXPECT_EQ(q2.find(b)->attempts, 3);
+    EXPECT_NE(q2.find(b)->failReason.find("poison"),
+              std::string::npos);
+    removeJournalDir(dir);
+}
+
+TEST(Journal, CompactionTriggersOnAppendedBytesSinceSnapshot)
+{
+    std::string dir = journalDir("threshold");
+    removeJournalDir(dir);
+    Journal j;
+    JournalRecovery rec;
+    ASSERT_TRUE(j.open(dir, &rec));
+    j.setCompactThreshold(1);
+    EXPECT_FALSE(j.wantsCompact()); // nothing appended yet
+    ASSERT_TRUE(j.appendAccepted(1, sampleSpec(), 0));
+    ASSERT_TRUE(j.appendDone(1, 1, false, 5));
+    EXPECT_TRUE(j.wantsCompact());
+    JobQueue q(8, testPolicy());
+    ASSERT_TRUE(j.compact(q));
+    EXPECT_FALSE(j.wantsCompact()); // growth is measured from the snapshot
+    // The empty-queue snapshot still carries the baseline record.
+    j.close();
+    JournalRecovery out;
+    ASSERT_TRUE(Journal::replay(readFileBytes(journalFile(dir)), &out));
+    EXPECT_EQ(out.records, 1u);
+    EXPECT_TRUE(out.jobs.empty());
+    removeJournalDir(dir);
+}
+
+TEST(Journal, TornTailTruncatesAtTheBadRecordAndKeepsThePrefix)
+{
+    std::string dir = journalDir("torn");
+    removeJournalDir(dir);
+    Journal j;
+    JournalRecovery rec;
+    ASSERT_TRUE(j.open(dir, &rec));
+    writeLifecycleJournal(j);
+    j.close();
+    const std::string intact = readFileBytes(journalFile(dir));
+
+    // A crash mid-append leaves half a record header at the tail.
+    FILE *f = fopen(journalFile(dir).c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fwrite("\x09\x00\x00\x00\xff\xee\xdd", 1, 7, f), 7u);
+    fclose(f);
+
+    JournalRecovery out;
+    ASSERT_TRUE(Journal::replay(readFileBytes(journalFile(dir)), &out));
+    EXPECT_TRUE(out.truncated);
+    EXPECT_EQ(out.truncation.offset, intact.size());
+    EXPECT_NE(out.truncation.reason.find("torn"), std::string::npos)
+        << out.truncation.reason;
+    EXPECT_EQ(out.records, 9u); // the prefix survives in full
+    EXPECT_EQ(out.jobs.size(), 3u);
+
+    // open() truncates the torn tail in place; the next open is clean.
+    Journal j2;
+    JournalRecovery rec2;
+    ASSERT_TRUE(j2.open(dir, &rec2))
+        << (j2.lastError() ? j2.lastError()->describe() : "");
+    EXPECT_TRUE(rec2.truncated);
+    EXPECT_EQ(rec2.jobs.size(), 3u);
+    j2.close();
+    EXPECT_EQ(readFileBytes(journalFile(dir)).size(), intact.size());
+    Journal j3;
+    JournalRecovery rec3;
+    ASSERT_TRUE(j3.open(dir, &rec3));
+    EXPECT_FALSE(rec3.truncated);
+    EXPECT_EQ(rec3.jobs.size(), 3u);
+    j3.removeFile();
+    removeJournalDir(dir);
+}
+
+TEST(Journal, RefusesAForeignFile)
+{
+    JournalRecovery out;
+    EXPECT_FALSE(Journal::replay("NOTAJRNL, definitely", &out));
+    EXPECT_TRUE(out.truncated);
+    EXPECT_EQ(out.truncation.offset, 0u);
+    EXPECT_NE(out.truncation.reason.find("magic"), std::string::npos);
+
+    // open() refuses to touch it (the operator pointed the daemon at
+    // the wrong directory) instead of truncating it to nothing.
+    std::string dir = journalDir("foreign");
+    removeJournalDir(dir);
+    ASSERT_TRUE(makeDirs(dir));
+    FILE *f = fopen(journalFile(dir).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("{\"schema\":\"not-a-journal\"}", f);
+    fclose(f);
+    Journal j;
+    JournalRecovery rec;
+    EXPECT_FALSE(j.open(dir, &rec));
+    ASSERT_TRUE(j.lastError().has_value());
+    EXPECT_NE(j.lastError()->reason.find("magic"), std::string::npos);
+    EXPECT_FALSE(readFileBytes(journalFile(dir)).empty());
+    removeJournalDir(dir);
+}
+
+/**
+ * Seeded mutation fuzzer over a valid journal image. Because every
+ * record is length-framed and checksummed, any mutation of a record
+ * body or frame is detected and replay degrades to the longest valid
+ * prefix — it must never crash (ASan/UBSan in CI), never resurrect a
+ * terminal job, and never invent jobs that were not in the prefix.
+ */
+TEST(JournalFuzz, MutationsNeverCrashNeverResurrectAlwaysKeepAPrefix)
+{
+    std::string dir = journalDir("fuzz");
+    removeJournalDir(dir);
+    Journal j;
+    JournalRecovery rec;
+    ASSERT_TRUE(j.open(dir, &rec));
+    writeLifecycleJournal(j);
+    ASSERT_TRUE(j.appendEvicted(1));
+    j.close();
+    const std::string base = readFileBytes(journalFile(dir));
+    removeJournalDir(dir);
+    ASSERT_GT(base.size(), 64u);
+
+    JournalRecovery base_rec;
+    ASSERT_TRUE(Journal::replay(base, &base_rec));
+    ASSERT_FALSE(base_rec.truncated);
+
+    const int kMutations = 1200;
+    int refused = 0;
+    int truncated = 0;
+    int clean = 0;
+    for (int seed = 0; seed < kMutations; ++seed) {
+        Rng rng(static_cast<std::uint64_t>(seed), /*stream=*/0x3a41);
+        std::string bytes = base;
+        switch (seed % 4) {
+        case 0: // truncate at an arbitrary byte
+            bytes.resize(rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size())));
+            break;
+        case 1: { // flip 1..8 random bits
+            int flips = 1 + static_cast<int>(rng.nextBounded(8));
+            for (int i = 0; i < flips; ++i) {
+                std::uint32_t at = rng.nextBounded(
+                    static_cast<std::uint32_t>(bytes.size()));
+                bytes[static_cast<std::size_t>(at)] ^=
+                    static_cast<char>(1u << rng.nextBounded(8));
+            }
+            break;
+        }
+        case 2: { // length-lie: random u32 over a random 4-byte span
+            std::uint32_t at = rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size() - 3));
+            std::uint32_t v = rng.nextU32();
+            std::memcpy(&bytes[at], &v, 4);
+            break;
+        }
+        case 3: { // checksum-lie: random u64 over a random 8-byte span
+            std::uint32_t at = rng.nextBounded(
+                static_cast<std::uint32_t>(bytes.size() - 7));
+            std::uint64_t v =
+                (static_cast<std::uint64_t>(rng.nextU32()) << 32) |
+                rng.nextU32();
+            std::memcpy(&bytes[at], &v, 8);
+            break;
+        }
+        }
+
+        JournalRecovery out;
+        if (!Journal::replay(bytes, &out)) {
+            // Only a damaged magic refuses replay outright.
+            ++refused;
+            EXPECT_TRUE(out.truncated) << "seed " << seed;
+            EXPECT_EQ(out.truncation.offset, 0u) << "seed " << seed;
+            continue;
+        }
+        if (out.truncated) {
+            ++truncated;
+            EXPECT_LE(out.truncation.offset, bytes.size())
+                << "seed " << seed;
+            EXPECT_FALSE(out.truncation.reason.empty())
+                << "seed " << seed;
+        } else {
+            ++clean;
+        }
+        // Whatever survived is a prefix of the original history: no
+        // invented records, jobs recovered in first-accepted order
+        // with sane states, eviction only after a terminal state.
+        EXPECT_LE(out.records, base_rec.records) << "seed " << seed;
+        EXPECT_LE(out.jobs.size(), base_rec.jobs.size())
+            << "seed " << seed;
+        for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+            const JournalJob &job = out.jobs[i];
+            EXPECT_EQ(job.id, base_rec.jobs[i].id)
+                << "seed " << seed << " job " << i;
+            EXPECT_TRUE(job.state == JobState::Queued ||
+                        job.state == JobState::Done ||
+                        job.state == JobState::Failed)
+                << "seed " << seed << " job " << i;
+            if (job.evicted) {
+                EXPECT_NE(job.state, JobState::Queued)
+                    << "seed " << seed << " job " << i;
+            }
+        }
+        // A full replay of an unmutated prefix can never disagree with
+        // the base about a job that reached a terminal state.
+        if (out.records == base_rec.records) {
+            ASSERT_EQ(out.jobs.size(), base_rec.jobs.size());
+            for (std::size_t i = 0; i < out.jobs.size(); ++i)
+                EXPECT_EQ(out.jobs[i].state, base_rec.jobs[i].state)
+                    << "seed " << seed << " job " << i;
+        }
+    }
+    // The corpus must exercise every outcome. Clean survivals are
+    // rare by design — only a truncation landing exactly on a record
+    // boundary replays without complaint — but the deterministic
+    // seeds guarantee a few.
+    EXPECT_GT(refused, 0);
+    EXPECT_GT(truncated, kMutations / 2);
+    EXPECT_GE(clean, 1);
 }
