@@ -9,7 +9,11 @@
  *    the same binary on the same host, so they are machine-independent.
  *    The fragment profile must reach WC3D_GATE_MIN_SPEEDUP (default
  *    2.0); the other profiles must not fall below 1.0 (the decoded
- *    path must never lose to the legacy reference).
+ *    path must never lose to the legacy reference). When the document
+ *    was measured on an x86-64 host (interp.jit_available), every
+ *    profile's jit-vs-decoded speedup must also reach
+ *    WC3D_GATE_MIN_JIT_SPEEDUP (default 1.5); on other hosts the JIT
+ *    gate is skipped with a logged SKIP line.
  *
  * 2. The parallel-speedup gate: the thread sweep's 4-thread point must
  *    be at least WC3D_GATE_MIN_PARALLEL_SPEEDUP (default 1.4) times
@@ -29,7 +33,11 @@
  *    (default 0.20, i.e. +20%) of the baseline seconds. On a
  *    fingerprint mismatch the wall-time gates are skipped with a
  *    warning: absolute seconds from different machines are not
- *    comparable.
+ *    comparable. Sweep points that either document marks (or computes)
+ *    as oversubscribed — more simulation threads than the measuring
+ *    host's hardware threads — are also skipped: such a baseline
+ *    number times kernel time-slicing, not the simulator, and must
+ *    never arm a wall-time gate (see core/benchgate.hh).
  *
  *     ./bench_gate current.json [--baseline BENCH_speed.json]
  *
@@ -146,11 +154,8 @@ gateInterpRatios(const json::Value &doc, double min_fragment)
 }
 
 void
-gateParallelSpeedup(const json::Value &doc, double min_speedup)
+reportGate(const core::GateResult &r)
 {
-    // Shared with tests/test_benchgate.cc: mixed-host sweeps and
-    // missing sweep points skip (with an explanation), never gate.
-    core::GateResult r = core::evalParallelSpeedupGate(doc, min_speedup);
     switch (r.outcome) {
     case core::GateOutcome::Pass:
         pass("%s", r.message.c_str());
@@ -162,6 +167,22 @@ gateParallelSpeedup(const json::Value &doc, double min_speedup)
         std::printf("  SKIP %s\n", r.message.c_str());
         break;
     }
+}
+
+void
+gateParallelSpeedup(const json::Value &doc, double min_speedup)
+{
+    // Shared with tests/test_benchgate.cc: mixed-host sweeps, missing
+    // sweep points and oversubscribed measurements skip (with an
+    // explanation), never gate.
+    reportGate(core::evalParallelSpeedupGate(doc, min_speedup));
+}
+
+void
+gateJitSpeedup(const json::Value &doc, double min_speedup)
+{
+    // Skips (never fails) on hosts that cannot run the x86-64 JIT.
+    reportGate(core::evalJitSpeedupGate(doc, min_speedup));
 }
 
 void
@@ -222,9 +243,22 @@ gateWallTimes(const json::Value &doc, const json::Value &base,
         for (const json::Value &entry : sweep->items()) {
             int threads = static_cast<int>(numberAt(&entry, "threads"));
             double baseline = 0.0;
+            bool stale = core::sweepEntryOversubscribed(entry);
             for (const json::Value &b : base_sweep->items()) {
-                if (static_cast<int>(numberAt(&b, "threads")) == threads)
+                if (static_cast<int>(numberAt(&b, "threads")) == threads) {
                     baseline = numberAt(&b, "seconds");
+                    stale = stale || core::sweepEntryOversubscribed(b);
+                }
+            }
+            if (stale) {
+                // Refuse to arm a wall-time gate against a number that
+                // measured kernel time-slicing rather than the
+                // simulator (threads > host_threads on either side).
+                std::printf("  SKIP sweep %d threads: measurement was "
+                            "oversubscribed (threads > host_threads) — "
+                            "wall time not comparable\n",
+                            threads);
+                continue;
             }
             gateSeconds("sweep", std::to_string(threads) + " threads",
                         numberAt(&entry, "seconds"), baseline, threshold);
@@ -260,12 +294,14 @@ main(int argc, char **argv)
         return 1;
 
     double min_fragment = envDouble("WC3D_GATE_MIN_SPEEDUP", 2.0);
+    double min_jit = envDouble("WC3D_GATE_MIN_JIT_SPEEDUP", 1.5);
     double min_parallel = envDouble("WC3D_GATE_MIN_PARALLEL_SPEEDUP", 1.4);
     double threshold = envDouble("WC3D_GATE_THRESHOLD", 0.20);
 
     std::printf("bench_gate: %s (host %s)\n", current_path.c_str(),
                 hostSummary(doc).c_str());
     gateInterpRatios(doc, min_fragment);
+    gateJitSpeedup(doc, min_jit);
     gateParallelSpeedup(doc, min_parallel);
 
     if (!baseline_path.empty()) {

@@ -1,0 +1,76 @@
+#include "common/execmem.hh"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace wc3d {
+
+namespace {
+
+std::size_t
+roundToPages(std::size_t size)
+{
+    long page = ::sysconf(_SC_PAGESIZE);
+    std::size_t p = page > 0 ? static_cast<std::size_t>(page) : 4096;
+    if (size == 0)
+        size = 1;
+    return (size + p - 1) / p * p;
+}
+
+} // namespace
+
+ExecMemory::~ExecMemory()
+{
+    faultio::unmap(_data, _size);
+}
+
+ExecMemory::ExecMemory(ExecMemory &&other) noexcept
+    : _data(std::exchange(other._data, nullptr)),
+      _size(std::exchange(other._size, 0)),
+      _sealed(std::exchange(other._sealed, false)),
+      _what(std::move(other._what))
+{
+}
+
+ExecMemory &
+ExecMemory::operator=(ExecMemory &&other) noexcept
+{
+    if (this != &other) {
+        faultio::unmap(_data, _size);
+        _data = std::exchange(other._data, nullptr);
+        _size = std::exchange(other._size, 0);
+        _sealed = std::exchange(other._sealed, false);
+        _what = std::move(other._what);
+    }
+    return *this;
+}
+
+ExecMemory
+ExecMemory::map(std::size_t size, const std::string &what,
+                faultio::IoError *err)
+{
+    ExecMemory m;
+    std::size_t bytes = roundToPages(size);
+    void *addr = faultio::mapAnonRw(bytes, what, err);
+    if (addr == nullptr)
+        return m;
+    m._data = static_cast<std::uint8_t *>(addr);
+    m._size = bytes;
+    m._what = what;
+    return m;
+}
+
+bool
+ExecMemory::seal(faultio::IoError *err)
+{
+    WC3D_ASSERT(valid() && !_sealed && "seal() needs a live RW mapping");
+    if (!faultio::protectExec(_data, _size, _what, err))
+        return false;
+    _sealed = true;
+    return true;
+}
+
+} // namespace wc3d

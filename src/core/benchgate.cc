@@ -40,13 +40,18 @@ evalParallelSpeedupGate(const json::Value &doc, double min_speedup)
     std::size_t entries = 0;
     std::size_t tagged = 0;
     bool mismatched = false;
+    bool oversub = false;
     for (const json::Value &entry : sweep->items()) {
         ++entries;
         int threads = static_cast<int>(numberAt(&entry, "threads"));
-        if (threads == 1)
+        if (threads == 1) {
             s1 = numberAt(&entry, "seconds");
-        if (threads == 4)
+            oversub = oversub || sweepEntryOversubscribed(entry);
+        }
+        if (threads == 4) {
             s4 = numberAt(&entry, "seconds");
+            oversub = oversub || sweepEntryOversubscribed(entry);
+        }
         const json::Value *ht = entry.find("host_threads");
         if (ht) {
             int v = static_cast<int>(ht->asDouble());
@@ -75,6 +80,11 @@ evalParallelSpeedupGate(const json::Value &doc, double min_speedup)
             "thread(s), need >= 4 for a meaningful 4-thread "
             "measurement",
             host_threads));
+    if (oversub)
+        return skip("parallel speedup gate: the 1- or 4-thread sweep "
+                    "point was measured oversubscribed (threads > "
+                    "host_threads) — the ratio times time-slicing, "
+                    "not scaling");
     if (s1 <= 0.0 || s4 <= 0.0)
         return skip(format(
             "parallel speedup gate: sweep lacks a usable %s point "
@@ -90,6 +100,71 @@ evalParallelSpeedupGate(const json::Value &doc, double min_speedup)
     return fail(format(
         "parallel speedup 4t vs 1t %.2fx below floor %.2fx", speedup,
         min_speedup));
+}
+
+bool
+sweepEntryOversubscribed(const json::Value &entry)
+{
+    const json::Value *flag = entry.find("oversubscribed");
+    if (flag && flag->asBool())
+        return true;
+    const json::Value *ht = entry.find("host_threads");
+    if (!ht)
+        return false;
+    int threads = static_cast<int>(numberAt(&entry, "threads"));
+    return threads > static_cast<int>(ht->asDouble());
+}
+
+GateResult
+evalJitSpeedupGate(const json::Value &doc, double min_speedup)
+{
+    auto fail = [](std::string msg) {
+        return GateResult{GateOutcome::Fail, std::move(msg)};
+    };
+
+    const json::Value *hot = doc.find("hotpath");
+    const json::Value *interp = hot ? hot->find("interp") : nullptr;
+    if (!interp)
+        return fail("hotpath.interp missing (jit speedup gate)");
+
+    const json::Value *avail = interp->find("jit_available");
+    if (!avail || !avail->asBool())
+        return GateResult{
+            GateOutcome::Skip,
+            "jit speedup gate: the measuring host cannot run the "
+            "x86-64 shader JIT (interp.jit_available is false or "
+            "absent) — nothing to gate"};
+
+    double worst = 0.0;
+    const char *worst_profile = nullptr;
+    for (const char *profile : {"vertex", "fragment", "texture"}) {
+        const json::Value *entry = interp->find(profile);
+        if (!entry)
+            return fail(format("hotpath.interp.%s missing "
+                               "(jit speedup gate)",
+                               profile));
+        const json::Value *s = entry->find("speedup_vs_decoded");
+        if (!s)
+            return fail(format(
+                "hotpath.interp.%s.speedup_vs_decoded missing even "
+                "though jit_available is true — the jit measurement "
+                "did not run",
+                profile));
+        double speedup = s->asDouble();
+        if (!worst_profile || speedup < worst) {
+            worst = speedup;
+            worst_profile = profile;
+        }
+    }
+    if (worst >= min_speedup)
+        return GateResult{
+            GateOutcome::Pass,
+            format("jit speedup vs decoded: worst profile %s %.2fx "
+                   "(floor %.2fx)",
+                   worst_profile, worst, min_speedup)};
+    return fail(format(
+        "jit speedup vs decoded %.2fx (%s) below floor %.2fx",
+        worst, worst_profile, min_speedup));
 }
 
 } // namespace wc3d::core

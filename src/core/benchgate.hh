@@ -50,6 +50,31 @@ struct GateResult
 GateResult evalParallelSpeedupGate(const json::Value &doc,
                                    double min_speedup);
 
+/**
+ * True when a speed_simulation.sweep entry asked for more simulation
+ * threads than the measuring host had hardware threads — its wall time
+ * measures time-slicing, not scaling, and must not arm any gate.
+ * Detected from the explicit "oversubscribed" annotation (written by
+ * bench_speed_simulation on re-record) or, for older documents,
+ * computed from threads > host_threads. Entries without host_threads
+ * are assumed not oversubscribed.
+ */
+bool sweepEntryOversubscribed(const json::Value &entry);
+
+/**
+ * The jit-vs-decoded interpreter speedup gate over hotpath.interp.
+ * Each profile's speedup_vs_decoded (vertex, fragment, texture) must
+ * reach @p min_speedup. Like the decoded-vs-legacy ratios this
+ * compares two measurements from the same binary on the same host, so
+ * it is machine-independent. The gate *skips* (never fails) when the
+ * document records interp.jit_available == false or omits the flag —
+ * non-x86-64 hosts cannot measure the JIT at all. A document with
+ * jit_available true but missing per-profile jit numbers fails
+ * (the measurement should have happened and did not).
+ */
+GateResult evalJitSpeedupGate(const json::Value &doc,
+                              double min_speedup);
+
 } // namespace wc3d::core
 
 #endif // WC3D_CORE_BENCHGATE_HH

@@ -3,20 +3,9 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "shader/alucore.hh"
 #include "shader/decoded.hh"
-
-/**
- * The per-instruction helpers below are large enough that the compiler
- * declines to inline them on its own, which would put an opaque call
- * (and a by-value Vec4 round-trip through memory) on every operand of
- * every interpreted instruction — and would stop the templated ALU
- * dispatch from constant-folding its opcode switch. Force the issue.
- */
-#if defined(__GNUC__) || defined(__clang__)
-#define WC3D_FORCE_INLINE inline __attribute__((always_inline))
-#else
-#define WC3D_FORCE_INLINE inline
-#endif
+#include "shader/jit/jit.hh"
 
 namespace wc3d::shader {
 
@@ -92,137 +81,9 @@ writeDst(LaneState &lane, const DstOperand &dst, Vec4 value)
         reg->w = value.w;
 }
 
-/** The shared arithmetic core; @p a/@p b/@p c are fully modified
- *  operand values. Returns the result to store (not used for KIL).
- *  Force-inlined so the switch folds away wherever @p op is a
- *  compile-time constant (the templated dispatch below). */
-WC3D_FORCE_INLINE Vec4
-aluResult(Opcode op, const Vec4 &a, const Vec4 &b, const Vec4 &c)
-{
-    Vec4 r;
-    switch (op) {
-      case Opcode::MOV:
-        r = a;
-        break;
-      case Opcode::ADD:
-        r = a + b;
-        break;
-      case Opcode::SUB:
-        r = a - b;
-        break;
-      case Opcode::MUL:
-        r = {a.x * b.x, a.y * b.y, a.z * b.z, a.w * b.w};
-        break;
-      case Opcode::MAD:
-        r = {a.x * b.x + c.x, a.y * b.y + c.y, a.z * b.z + c.z,
-             a.w * b.w + c.w};
-        break;
-      case Opcode::DP3: {
-        float d = a.x * b.x + a.y * b.y + a.z * b.z;
-        r = {d, d, d, d};
-        break;
-      }
-      case Opcode::DP4: {
-        float d = a.dot(b);
-        r = {d, d, d, d};
-        break;
-      }
-      case Opcode::RCP: {
-        float d = a.x != 0.0f ? 1.0f / a.x : 0.0f;
-        r = {d, d, d, d};
-        break;
-      }
-      case Opcode::RSQ: {
-        float s = std::fabs(a.x);
-        float d = s > 0.0f ? 1.0f / std::sqrt(s) : 0.0f;
-        r = {d, d, d, d};
-        break;
-      }
-      case Opcode::MIN:
-        r = {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z),
-             std::fmin(a.w, b.w)};
-        break;
-      case Opcode::MAX:
-        r = {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z),
-             std::fmax(a.w, b.w)};
-        break;
-      case Opcode::SLT:
-        r = {a.x < b.x ? 1.0f : 0.0f, a.y < b.y ? 1.0f : 0.0f,
-             a.z < b.z ? 1.0f : 0.0f, a.w < b.w ? 1.0f : 0.0f};
-        break;
-      case Opcode::SGE:
-        r = {a.x >= b.x ? 1.0f : 0.0f, a.y >= b.y ? 1.0f : 0.0f,
-             a.z >= b.z ? 1.0f : 0.0f, a.w >= b.w ? 1.0f : 0.0f};
-        break;
-      case Opcode::FRC:
-        r = {a.x - std::floor(a.x), a.y - std::floor(a.y),
-             a.z - std::floor(a.z), a.w - std::floor(a.w)};
-        break;
-      case Opcode::FLR:
-        r = {std::floor(a.x), std::floor(a.y), std::floor(a.z),
-             std::floor(a.w)};
-        break;
-      case Opcode::ABS:
-        r = {std::fabs(a.x), std::fabs(a.y), std::fabs(a.z),
-             std::fabs(a.w)};
-        break;
-      case Opcode::EX2: {
-        float d = std::exp2(a.x);
-        r = {d, d, d, d};
-        break;
-      }
-      case Opcode::LG2: {
-        float d = a.x > 0.0f ? std::log2(a.x) : -126.0f;
-        r = {d, d, d, d};
-        break;
-      }
-      case Opcode::POW: {
-        float d = std::pow(std::fabs(a.x), b.x);
-        r = {d, d, d, d};
-        break;
-      }
-      case Opcode::LRP:
-        r = {a.x * b.x + (1.0f - a.x) * c.x,
-             a.y * b.y + (1.0f - a.y) * c.y,
-             a.z * b.z + (1.0f - a.z) * c.z,
-             a.w * b.w + (1.0f - a.w) * c.w};
-        break;
-      case Opcode::CMP:
-        r = {a.x < 0.0f ? b.x : c.x, a.y < 0.0f ? b.y : c.y,
-             a.z < 0.0f ? b.z : c.z, a.w < 0.0f ? b.w : c.w};
-        break;
-      case Opcode::NRM: {
-        Vec3 n = a.xyz().normalized();
-        r = {n.x, n.y, n.z, a.w};
-        break;
-      }
-      case Opcode::XPD: {
-        Vec3 x = a.xyz().cross(b.xyz());
-        r = {x.x, x.y, x.z, 1.0f};
-        break;
-      }
-      case Opcode::DST: {
-        r = {1.0f, a.y * b.y, a.z, b.w};
-        break;
-      }
-      case Opcode::LIT: {
-        float diffuse = std::fmax(a.x, 0.0f);
-        float specular = 0.0f;
-        if (a.x > 0.0f) {
-            float e = clampf(a.w, -128.0f, 128.0f);
-            specular = std::pow(std::fmax(a.y, 0.0f), e);
-        }
-        r = {1.0f, diffuse, specular, 1.0f};
-        break;
-      }
-      default:
-        panic("shader: ALU executor got texture opcode %s",
-              opcodeName(op));
-    }
-    return r;
-}
-
-/** Execute a non-texture instruction on one lane; returns kill flag. */
+/** Execute a non-texture instruction on one lane; returns kill flag.
+ *  Arithmetic semantics live in shader/alucore.hh (aluResult), shared
+ *  with the decoded path below and the JIT's transcendental helpers. */
 bool
 execAlu(const Instruction &in, LaneState &lane, const Vec4 *constants)
 {
@@ -313,34 +174,6 @@ isTexOp(Opcode op)
     return op == Opcode::TEX || op == Opcode::TXP || op == Opcode::TXB;
 }
 
-/** Compile-time source-operand arity (mirrors opcodeInfo().numSrcs;
- *  the decoded-vs-legacy differential tests pin the two together). */
-constexpr int
-arityFor(Opcode op)
-{
-    switch (op) {
-      case Opcode::ADD:
-      case Opcode::SUB:
-      case Opcode::MUL:
-      case Opcode::DP3:
-      case Opcode::DP4:
-      case Opcode::MIN:
-      case Opcode::MAX:
-      case Opcode::SLT:
-      case Opcode::SGE:
-      case Opcode::POW:
-      case Opcode::XPD:
-      case Opcode::DST:
-        return 2;
-      case Opcode::MAD:
-      case Opcode::LRP:
-      case Opcode::CMP:
-        return 3;
-      default:
-        return 1;
-    }
-}
-
 /**
  * Execute one decoded ALU op across @p N lanes. The opcode is a
  * template parameter so the aluResult() switch constant-folds into each
@@ -418,6 +251,16 @@ execKill(const DecodedOp &op, const RegTables &t)
 void
 Interpreter::run(const Program &program, LaneState &lane)
 {
+    if (const jit::JitProgram *jp = program.jitted();
+        jp && jp->laneKernel()) [[likely]] {
+        jit::CallCtx ctx;
+        ctx.lane = &lane;
+        jp->laneKernel()(&lane, program.constants().data(), &ctx);
+        _stats.instructionsExecuted += jp->opCount();
+        _stats.killsTaken += ctx.kills;
+        ++_stats.programsRun;
+        return;
+    }
     const DecodedProgram &dec = program.decoded();
     WC3D_ASSERT(!dec.hasTexture() &&
                 "texture sampling requires quad execution");
@@ -498,6 +341,10 @@ void
 Interpreter::runQuad(const Program &program, QuadState &quad,
                      TextureSampleHandler *tex_handler)
 {
+    if (const jit::JitProgram *jp = program.jitted()) [[likely]] {
+        runQuadsJit(program, *jp, &quad, 1, tex_handler);
+        return;
+    }
     runQuadDecoded(program, program.decoded(), quad, tex_handler);
 }
 
@@ -507,9 +354,42 @@ Interpreter::runQuads(const Program &program, QuadState *quads,
 {
     if (count == 0)
         return;
+    if (const jit::JitProgram *jp = program.jitted()) [[likely]] {
+        runQuadsJit(program, *jp, quads, count, tex_handler);
+        return;
+    }
     const DecodedProgram &dec = program.decoded();
     for (std::size_t i = 0; i < count; ++i)
         runQuadDecoded(program, dec, quads[i], tex_handler);
+}
+
+void
+Interpreter::runQuadsJit(const Program &program, const jit::JitProgram &jp,
+                         QuadState *quads, std::size_t count,
+                         TextureSampleHandler *tex_handler)
+{
+    WC3D_ASSERT((jp.texOpCount() == 0 || tex_handler) &&
+                "texture instruction without a sampler handler");
+    const Vec4 *constants = program.constants().data();
+    jit::JitProgram::QuadFn fn = jp.quadKernel();
+    jit::CallCtx ctx;
+    ctx.handler = tex_handler;
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        QuadState &quad = quads[i];
+        ctx.quad = &quad;
+        fn(&quad, constants, &ctx);
+        for (int l = 0; l < 4; ++l)
+            covered += quad.covered[l] ? 1 : 0;
+    }
+    // Identical accounting to runQuadDecoded: every op (ALU, texture,
+    // KIL) counts once per covered lane; KIL takes were tallied by the
+    // kernel's kill helper with the decoded path's exact covered /
+    // not-yet-killed predicate.
+    _stats.instructionsExecuted += covered * jp.opCount();
+    _stats.textureInstructions += covered * jp.texOpCount();
+    _stats.killsTaken += ctx.kills;
+    _stats.programsRun += covered;
 }
 
 void

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Minimal x86-64 machine-code emitter for the shader JIT: exactly the
+ * instruction set the translator needs (SSE/SSE4.1 packed-float ops,
+ * a handful of GPR moves, call-through-register, one forward branch
+ * shape), encoded by hand into a byte vector. Legacy (non-VEX)
+ * encodings only, so the kernels run on any x86-64 part with SSE4.1.
+ *
+ * Register operands are plain ints: XMM registers 0-15 for the vector
+ * ops, GPR numbers (RAX=0 ... R15=15) for the scalar ops. REX prefixes
+ * are derived from the high bits automatically.
+ */
+
+#ifndef WC3D_SHADER_JIT_EMITTER_HH
+#define WC3D_SHADER_JIT_EMITTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wc3d::shader::jit {
+
+// GPR numbers (SysV argument order: RDI, RSI, RDX, RCX, R8, R9).
+constexpr int kRax = 0;
+constexpr int kRcx = 1;
+constexpr int kRdx = 2;
+constexpr int kRbx = 3;
+constexpr int kRsp = 4;
+constexpr int kRsi = 6;
+constexpr int kRdi = 7;
+constexpr int kR12 = 12;
+constexpr int kR13 = 13;
+constexpr int kR14 = 14;
+
+// cmpps predicate immediates.
+constexpr std::uint8_t kCmpEq = 0;
+constexpr std::uint8_t kCmpLt = 1;
+constexpr std::uint8_t kCmpLe = 2;
+constexpr std::uint8_t kCmpUnord = 3;
+constexpr std::uint8_t kCmpNeq = 4;
+
+/** roundps control: round toward -inf, suppress exceptions — floor(). */
+constexpr std::uint8_t kRoundFloor = 0x09;
+
+class Emitter
+{
+  public:
+    std::vector<std::uint8_t> code;
+
+    void u8(std::uint8_t b) { code.push_back(b); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    // --- SSE register-register / register-memory forms ------------------
+
+    void movaps(int dst, int src) { sseRR(0x28, dst, src); }
+    void movapsLoad(int dst, int base, std::int32_t disp)
+    {
+        sseRM(0x28, dst, base, disp);
+    }
+    void movapsStore(int base, std::int32_t disp, int src)
+    {
+        sseRM(0x29, src, base, disp);
+    }
+    void movupsLoad(int dst, int base, std::int32_t disp)
+    {
+        sseRM(0x10, dst, base, disp);
+    }
+    void movupsStore(int base, std::int32_t disp, int src)
+    {
+        sseRM(0x11, src, base, disp);
+    }
+    void movssLoad(int dst, int base, std::int32_t disp)
+    {
+        u8(0xF3);
+        sseRM(0x10, dst, base, disp);
+    }
+
+    void addps(int dst, int src) { sseRR(0x58, dst, src); }
+    void subps(int dst, int src) { sseRR(0x5C, dst, src); }
+    void mulps(int dst, int src) { sseRR(0x59, dst, src); }
+    void divps(int dst, int src) { sseRR(0x5E, dst, src); }
+    void minps(int dst, int src) { sseRR(0x5D, dst, src); }
+    void maxps(int dst, int src) { sseRR(0x5F, dst, src); }
+    void sqrtps(int dst, int src) { sseRR(0x51, dst, src); }
+    void andps(int dst, int src) { sseRR(0x54, dst, src); }
+    void andnps(int dst, int src) { sseRR(0x55, dst, src); }
+    void orps(int dst, int src) { sseRR(0x56, dst, src); }
+    void xorps(int dst, int src) { sseRR(0x57, dst, src); }
+
+    void andpsMem(int dst, int base, std::int32_t disp)
+    {
+        sseRM(0x54, dst, base, disp);
+    }
+    void mulpsMem(int dst, int base, std::int32_t disp)
+    {
+        sseRM(0x59, dst, base, disp);
+    }
+    void addpsMem(int dst, int base, std::int32_t disp)
+    {
+        sseRM(0x58, dst, base, disp);
+    }
+    void divpsMem(int dst, int base, std::int32_t disp)
+    {
+        sseRM(0x5E, dst, base, disp);
+    }
+
+    void cmpps(int dst, int src, std::uint8_t pred)
+    {
+        sseRR(0xC2, dst, src);
+        u8(pred);
+    }
+    void cmppsMem(int dst, int base, std::int32_t disp, std::uint8_t pred)
+    {
+        sseRM(0xC2, dst, base, disp);
+        u8(pred);
+    }
+    void shufps(int dst, int src, std::uint8_t imm)
+    {
+        sseRR(0xC6, dst, src);
+        u8(imm);
+    }
+
+    /** movmskps gpr, xmm — sign bits of the four lanes. */
+    void movmskps(int gpr, int xmm) { sseRR(0x50, gpr, xmm); }
+
+    // --- SSE4.1 (66 0F 3A xx /r ib) -------------------------------------
+
+    /** roundps dst, src, mode. */
+    void roundps(int dst, int src, std::uint8_t mode)
+    {
+        sse4RR(0x08, dst, src, mode);
+    }
+
+    /** blendps dst, src, imm — imm bit i set selects src lane i. */
+    void blendps(int dst, int src, std::uint8_t imm)
+    {
+        sse4RR(0x0C, dst, src, imm);
+    }
+    void blendpsMem(int dst, int base, std::int32_t disp, std::uint8_t imm)
+    {
+        sse4RM(0x0C, dst, base, disp, imm);
+    }
+
+    // --- GPR ------------------------------------------------------------
+
+    void push(int r)
+    {
+        if (r & 8)
+            u8(0x41);
+        u8(static_cast<std::uint8_t>(0x50 | (r & 7)));
+    }
+
+    void pop(int r)
+    {
+        if (r & 8)
+            u8(0x41);
+        u8(static_cast<std::uint8_t>(0x58 | (r & 7)));
+    }
+
+    /** mov dst64, src64. */
+    void movRR64(int dst, int src)
+    {
+        u8(static_cast<std::uint8_t>(0x48 | ((src & 8) ? 4 : 0) |
+                                     ((dst & 8) ? 1 : 0)));
+        u8(0x89);
+        u8(modRR(src, dst));
+    }
+
+    /** mov dst32, src32 (zero-extends to 64 bits). */
+    void movRR32(int dst, int src)
+    {
+        rex(false, src, dst);
+        u8(0x89);
+        u8(modRR(src, dst));
+    }
+
+    /** mov r64, imm64. */
+    void movRI64(int r, std::uint64_t imm)
+    {
+        u8(static_cast<std::uint8_t>(0x48 | ((r & 8) ? 1 : 0)));
+        u8(static_cast<std::uint8_t>(0xB8 | (r & 7)));
+        u64(imm);
+    }
+
+    /** mov r32, imm32 (zero-extends). */
+    void movRI32(int r, std::uint32_t imm)
+    {
+        if (r & 8)
+            u8(0x41);
+        u8(static_cast<std::uint8_t>(0xB8 | (r & 7)));
+        u32(imm);
+    }
+
+    /** lea dst64, [base + disp]. */
+    void lea(int dst, int base, std::int32_t disp)
+    {
+        u8(static_cast<std::uint8_t>(0x48 | ((dst & 8) ? 4 : 0) |
+                                     ((base & 8) ? 1 : 0)));
+        u8(0x8D);
+        mem(dst, base, disp);
+    }
+
+    void subRsp(std::int32_t n)
+    {
+        u8(0x48);
+        u8(0x81);
+        u8(0xEC);
+        u32(static_cast<std::uint32_t>(n));
+    }
+
+    void addRsp(std::int32_t n)
+    {
+        u8(0x48);
+        u8(0x81);
+        u8(0xC4);
+        u32(static_cast<std::uint32_t>(n));
+    }
+
+    /** Low-GPR (no REX) 32-bit ALU forms — enough for the kill mask. */
+    void xorR32(int dst, int src)
+    {
+        u8(0x31);
+        u8(modRR(src, dst));
+    }
+    void orR32(int dst, int src)
+    {
+        u8(0x09);
+        u8(modRR(src, dst));
+    }
+    void testR32(int a, int b)
+    {
+        u8(0x85);
+        u8(modRR(b, a));
+    }
+    void setne8(int r)
+    {
+        u8(0x0F);
+        u8(0x95);
+        u8(static_cast<std::uint8_t>(0xC0 | (r & 7)));
+    }
+    void movzx32From8(int dst, int src)
+    {
+        u8(0x0F);
+        u8(0xB6);
+        u8(modRR(dst, src));
+    }
+    void shlR32(int r, std::uint8_t n)
+    {
+        u8(0xC1);
+        u8(static_cast<std::uint8_t>(0xE0 | (r & 7)));
+        u8(n);
+    }
+
+    void callReg(int r)
+    {
+        if (r & 8)
+            u8(0x41);
+        u8(0xFF);
+        u8(static_cast<std::uint8_t>(0xD0 | (r & 7)));
+    }
+
+    void ret() { u8(0xC3); }
+
+    /** jz rel32 with the target unknown; @return the fixup position. */
+    std::size_t
+    jzForward()
+    {
+        u8(0x0F);
+        u8(0x84);
+        std::size_t pos = code.size();
+        u32(0);
+        return pos;
+    }
+
+    /** Point a jzForward() at the current position. */
+    void
+    patchForward(std::size_t pos)
+    {
+        std::uint32_t rel =
+            static_cast<std::uint32_t>(code.size() - (pos + 4));
+        for (int i = 0; i < 4; ++i)
+            code[pos + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(rel >> (8 * i));
+    }
+
+  private:
+    static std::uint8_t
+    modRR(int reg, int rm)
+    {
+        return static_cast<std::uint8_t>(0xC0 | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    /** Optional REX for reg-field @p reg and rm/base @p rm. */
+    void
+    rex(bool w, int reg, int rm)
+    {
+        std::uint8_t r = static_cast<std::uint8_t>(
+            0x40 | (w ? 8 : 0) | ((reg & 8) ? 4 : 0) | ((rm & 8) ? 1 : 0));
+        if (r != 0x40)
+            u8(r);
+    }
+
+    /** ModRM (+SIB, +disp) for [base + disp]. */
+    void
+    mem(int reg, int base, std::int32_t disp)
+    {
+        int b = base & 7;
+        bool sib = b == 4; // RSP/R12 need a SIB byte
+        int mod;
+        if (disp == 0 && b != 5)
+            mod = 0; // no disp (RBP/R13 can't use mod 00)
+        else if (disp >= -128 && disp <= 127)
+            mod = 1;
+        else
+            mod = 2;
+        u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) |
+                                     (sib ? 4 : b)));
+        if (sib)
+            u8(0x24); // scale 0, no index, base = rsp/r12
+        if (mod == 1)
+            u8(static_cast<std::uint8_t>(disp));
+        else if (mod == 2)
+            u32(static_cast<std::uint32_t>(disp));
+    }
+
+    void
+    sseRR(std::uint8_t op, int dst, int src)
+    {
+        rex(false, dst, src);
+        u8(0x0F);
+        u8(op);
+        u8(modRR(dst, src));
+    }
+
+    void
+    sseRM(std::uint8_t op, int reg, int base, std::int32_t disp)
+    {
+        rex(false, reg, base);
+        u8(0x0F);
+        u8(op);
+        mem(reg, base, disp);
+    }
+
+    void
+    sse4RR(std::uint8_t op, int dst, int src, std::uint8_t imm)
+    {
+        u8(0x66);
+        rex(false, dst, src);
+        u8(0x0F);
+        u8(0x3A);
+        u8(op);
+        u8(modRR(dst, src));
+        u8(imm);
+    }
+
+    void
+    sse4RM(std::uint8_t op, int reg, int base, std::int32_t disp,
+           std::uint8_t imm)
+    {
+        u8(0x66);
+        rex(false, reg, base);
+        u8(0x0F);
+        u8(0x3A);
+        u8(op);
+        mem(reg, base, disp);
+        u8(imm);
+    }
+};
+
+} // namespace wc3d::shader::jit
+
+#endif // WC3D_SHADER_JIT_EMITTER_HH

@@ -1,0 +1,317 @@
+#include "shader/jit/jit.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "common/prof.hh"
+#include "common/strutil.hh"
+#include "shader/alucore.hh"
+#include "shader/decoded.hh"
+#include "shader/jit/emitter.hh"
+#include "shader/jit/runtime.hh"
+#include "shader/program.hh"
+
+// --- C-ABI trampolines (called from generated code by address) ----------
+
+using wc3d::Vec4;
+using wc3d::shader::jit::CallCtx;
+
+extern "C" void
+wc3dJitSampleQuad(CallCtx *ctx, int sampler, const Vec4 *coords,
+                  float lod_bias, Vec4 *out)
+{
+    WC3D_ASSERT(ctx->handler &&
+                "texture instruction without a sampler handler");
+    ctx->handler->sampleQuad(sampler, coords, lod_bias, out);
+}
+
+extern "C" void
+wc3dJitKillQuad(CallCtx *ctx, std::uint64_t mask)
+{
+    wc3d::shader::QuadState *quad = ctx->quad;
+    for (int l = 0; l < 4; ++l) {
+        if (!(mask & (1ull << l)))
+            continue;
+        if (!quad->lanes[l].killed && quad->covered[l])
+            ++ctx->kills;
+        quad->lanes[l].killed = true;
+    }
+}
+
+extern "C" void
+wc3dJitKillLane(CallCtx *ctx)
+{
+    ctx->lane->killed = true;
+    ++ctx->kills;
+}
+
+#define WC3D_JIT_ALU_HELPER(NAME, OP)                                        \
+    extern "C" void NAME(Vec4 *d, const Vec4 *a, const Vec4 *b)              \
+    {                                                                        \
+        *d = wc3d::shader::aluResult(wc3d::shader::Opcode::OP, *a, *b,       \
+                                     Vec4());                                \
+    }
+
+WC3D_JIT_ALU_HELPER(wc3dJitAluEx2, EX2)
+WC3D_JIT_ALU_HELPER(wc3dJitAluLg2, LG2)
+WC3D_JIT_ALU_HELPER(wc3dJitAluPow, POW)
+WC3D_JIT_ALU_HELPER(wc3dJitAluNrm, NRM)
+WC3D_JIT_ALU_HELPER(wc3dJitAluXpd, XPD)
+WC3D_JIT_ALU_HELPER(wc3dJitAluDst, DST)
+WC3D_JIT_ALU_HELPER(wc3dJitAluLit, LIT)
+
+#undef WC3D_JIT_ALU_HELPER
+
+namespace wc3d::shader::jit {
+
+namespace {
+
+// enabled() tri-state: -1 = derive from WC3D_JIT on first use.
+std::atomic<int> gEnabled{-1};
+
+std::mutex gStatsMutex;
+Stats gStats;
+
+std::once_flag gUnavailableWarn;
+std::once_flag gCompileFailWarn;
+
+bool
+detectHost()
+{
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("sse4.1") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+deriveFromEnv()
+{
+    bool want = envInt("WC3D_JIT", 1) != 0;
+    if (!want)
+        return false;
+    if (!available()) {
+        // Only worth a warning when the user explicitly asked for the
+        // JIT; the default-on case degrades silently on non-x86 hosts.
+        if (!envString("WC3D_JIT", "").empty()) {
+            std::call_once(gUnavailableWarn, [] {
+                warn("shader jit: WC3D_JIT requested but this host has "
+                     "no x86-64 SSE4.1 support; using the decoded "
+                     "interpreter");
+            });
+        }
+        return false;
+    }
+    return true;
+}
+
+/** Generous per-op upper bound on emitted bytes (widest case: a
+ *  three-operand helper op with swizzle+abs+negate on every source and
+ *  a saturated partial store, per lane). Checked after emission. */
+constexpr std::size_t kBytesPerOpLane = 320;
+constexpr std::size_t kKernelOverhead = 128;
+
+std::size_t
+estimateBytes(const DecodedProgram &dec)
+{
+    std::size_t ops = dec.ops().size();
+    std::size_t quad = kKernelOverhead + ops * 4 * kBytesPerOpLane;
+    std::size_t lane =
+        dec.hasTexture() ? 0 : kKernelOverhead + ops * kBytesPerOpLane;
+    return static_cast<std::size_t>(kPoolBytes) + quad + lane;
+}
+
+void
+fillError(JitError *err, const char *stage, std::string reason)
+{
+    if (err) {
+        err->stage = stage;
+        err->reason = std::move(reason);
+    }
+}
+
+std::shared_ptr<const JitProgram>
+fallback(JitError *err, const char *stage, std::string reason)
+{
+    fillError(err, stage, reason);
+    {
+        std::lock_guard<std::mutex> lock(gStatsMutex);
+        ++gStats.fallbacks;
+    }
+    std::call_once(gCompileFailWarn, [&] {
+        warn("shader jit: compile failed (%s: %s); falling back to the "
+             "decoded interpreter",
+             stage, reason.c_str());
+    });
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+JitError::describe() const
+{
+    return format("jit %s: %s", stage.c_str(), reason.c_str());
+}
+
+bool
+available()
+{
+    static const bool ok = detectHost();
+    return ok;
+}
+
+bool
+enabled()
+{
+    int v = gEnabled.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = deriveFromEnv() ? 1 : 0;
+        gEnabled.store(v, std::memory_order_relaxed);
+    }
+    return v == 1;
+}
+
+void
+setEnabled(bool on)
+{
+    gEnabled.store(on && available() ? 1 : 0, std::memory_order_relaxed);
+}
+
+void
+resetFromEnv()
+{
+    gEnabled.store(-1, std::memory_order_relaxed);
+}
+
+Stats
+stats()
+{
+    std::lock_guard<std::mutex> lock(gStatsMutex);
+    return gStats;
+}
+
+void
+resetStats()
+{
+    std::lock_guard<std::mutex> lock(gStatsMutex);
+    gStats = Stats();
+}
+
+std::shared_ptr<const JitProgram>
+compile(const Program &program, JitError *err)
+{
+    WC3D_PROF_SCOPE("shader.jit.compile");
+    auto start = std::chrono::steady_clock::now();
+
+    if (!available())
+        return fallback(err, "detect", "host lacks x86-64 SSE4.1");
+
+    const DecodedProgram &dec = program.decoded();
+    faultio::IoError io;
+    ExecMemory mem =
+        ExecMemory::map(estimateBytes(dec), "shader-jit-code", &io);
+    if (!mem.valid())
+        return fallback(err, "mmap", io.describe());
+
+    // Literal pool at the block base (already 16-byte aligned).
+    static const float kPool[16] = {
+        0.0f, 0.0f, 0.0f, 0.0f, // kPoolZero
+        1.0f, 1.0f, 1.0f, 1.0f, // kPoolOne
+        0.0f, 0.0f, 0.0f, 0.0f, // kPoolAbsMask, patched below
+        -1.0f, -1.0f, -1.0f, -1.0f, // kPoolNegOne
+    };
+    std::memcpy(mem.data(), kPool, sizeof(kPool));
+    const std::uint32_t abs_mask = 0x7fffffffu;
+    for (int i = 0; i < 4; ++i) {
+        std::memcpy(mem.data() + kPoolAbsMask +
+                        static_cast<std::size_t>(i) * 4,
+                    &abs_mask, 4);
+    }
+    std::uint64_t pool_addr = reinterpret_cast<std::uint64_t>(mem.data());
+
+    std::string why;
+    Emitter quad;
+    if (!emitKernel(quad, dec, 4, pool_addr, &why))
+        return fallback(err, "translate", why);
+
+    Emitter lane;
+    bool has_lane = !dec.hasTexture();
+    if (has_lane && !emitKernel(lane, dec, 1, pool_addr, &why))
+        return fallback(err, "translate", why);
+
+    // Lay out: [pool][quad kernel][lane kernel], 16-byte aligned.
+    std::size_t quad_off = static_cast<std::size_t>(kPoolBytes);
+    std::size_t lane_off_raw = quad_off + quad.code.size();
+    lane_off_raw = (lane_off_raw + 15) & ~static_cast<std::size_t>(15);
+    std::size_t total = lane_off_raw + (has_lane ? lane.code.size() : 0);
+    if (total > mem.size()) {
+        return fallback(err, "translate",
+                        format("code estimate too small: %zu > %zu bytes",
+                               total, mem.size()));
+    }
+    std::memcpy(mem.data() + quad_off, quad.code.data(), quad.code.size());
+    if (has_lane) {
+        std::memcpy(mem.data() + lane_off_raw, lane.code.data(),
+                    lane.code.size());
+    }
+
+    if (!mem.seal(&io))
+        return fallback(err, "mprotect", io.describe());
+
+    std::uint32_t op_count =
+        static_cast<std::uint32_t>(dec.ops().size());
+    std::uint32_t tex_count = 0;
+    for (const DecodedOp &op : dec.ops()) {
+        if (op.op == Opcode::TEX || op.op == Opcode::TXP ||
+            op.op == Opcode::TXB) {
+            ++tex_count;
+        }
+    }
+
+    std::size_t code_bytes =
+        quad.code.size() + (has_lane ? lane.code.size() : 0);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    {
+        std::lock_guard<std::mutex> lock(gStatsMutex);
+        ++gStats.programsCompiled;
+        gStats.compileSeconds += seconds;
+        gStats.codeBytes += code_bytes;
+    }
+
+    return std::make_shared<const JitProgram>(
+        std::move(mem), quad_off, has_lane ? lane_off_raw : 0, op_count,
+        tex_count, code_bytes);
+}
+
+} // namespace wc3d::shader::jit
+
+namespace wc3d::shader {
+
+const jit::JitProgram *
+Program::jitted() const
+{
+    // Same lazy, non-atomic cache discipline as decoded(): the first
+    // call must happen on the owning thread (the simulator pre-compiles
+    // bound programs at the top of each draw); afterwards concurrent
+    // readers are safe. Failure is cached so hot paths don't retry a
+    // broken compile per quad.
+    if (!jit::enabled())
+        return nullptr;
+    if (_jitState == 0) {
+        jit::JitError err;
+        _jit = jit::compile(*this, &err);
+        _jitState = _jit ? 1 : 2;
+    }
+    return _jitState == 1 ? _jit.get() : nullptr;
+}
+
+} // namespace wc3d::shader

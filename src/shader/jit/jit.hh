@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-program x86-64 shader JIT. compile() consumes a Program's
+ * pre-decoded form (shader/decoded.hh) — operand files, swizzle plans
+ * and modifier flags are already resolved there, which makes it the
+ * ideal translation input — and emits two native kernels into one
+ * W^X-sealed executable block:
+ *
+ *   - a quad kernel shading all four lanes of a QuadState (the unit
+ *     every rasterizer path and per-tile worker feeds the interpreter),
+ *   - a single-lane kernel for vertex shading (omitted for programs
+ *     with texture instructions, which require quad execution).
+ *
+ * Straight-line SSE covers the whole ALU; the transcendental tail
+ * (EX2/LG2/POW/NRM/XPD/DST/LIT) and texture sampling call back into
+ * C++ helpers that share aluResult() / sampleQuad() with the decoded
+ * interpreter, so results, sampler call order and all pipeline
+ * statistics are bit-identical to the decoded path by construction.
+ *
+ * Programs cache their compiled form exactly like the decode cache
+ * (Program::jitted(), invalidated by emit()). Compilation failure is a
+ * structured JitError, logged once and counted in stats().fallbacks;
+ * execution then degrades to the decoded interpreter. Nothing here
+ * calls fatal().
+ */
+
+#ifndef WC3D_SHADER_JIT_JIT_HH
+#define WC3D_SHADER_JIT_JIT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/execmem.hh"
+#include "common/vecmath.hh"
+#include "shader/interp.hh"
+
+namespace wc3d::shader::jit {
+
+/** One failed compilation: which stage gave up, and why. */
+struct JitError
+{
+    std::string stage;  ///< "detect", "translate", "mmap", "mprotect"
+    std::string reason;
+
+    /** @return a one-line human-readable description. */
+    std::string describe() const;
+};
+
+/**
+ * Per-call context handed to every kernel invocation. The generated
+ * code never dereferences it; only the C++ helper trampolines (texture
+ * sampling, KIL bookkeeping) do, so its layout is not ABI-frozen into
+ * the emitted code beyond "a pointer".
+ */
+struct CallCtx
+{
+    TextureSampleHandler *handler = nullptr; ///< texture sink (quad runs)
+    QuadState *quad = nullptr;               ///< current quad (quad runs)
+    LaneState *lane = nullptr;               ///< current lane (lane runs)
+    std::uint64_t kills = 0;                 ///< KIL takes, caller-accumulated
+};
+
+/** A compiled program: sealed code plus the static op counts the
+ *  interpreter needs to charge statistics without walking the ops. */
+class JitProgram
+{
+  public:
+    using QuadFn = void (*)(QuadState *, const Vec4 *, CallCtx *);
+    using LaneFn = void (*)(LaneState *, const Vec4 *, CallCtx *);
+
+    JitProgram(ExecMemory mem, std::size_t quad_off, std::size_t lane_off,
+               std::uint32_t op_count, std::uint32_t tex_op_count,
+               std::size_t code_bytes)
+        : _mem(std::move(mem)), _quadOff(quad_off), _laneOff(lane_off),
+          _opCount(op_count), _texOpCount(tex_op_count),
+          _codeBytes(code_bytes)
+    {
+    }
+
+    JitProgram(const JitProgram &) = delete;
+    JitProgram &operator=(const JitProgram &) = delete;
+
+    /** Quad-major kernel; always present. */
+    QuadFn
+    quadKernel() const
+    {
+        return reinterpret_cast<QuadFn>(_mem.data() + _quadOff);
+    }
+
+    /** Single-lane kernel, or nullptr for texture programs. */
+    LaneFn
+    laneKernel() const
+    {
+        if (_laneOff == 0)
+            return nullptr;
+        return reinterpret_cast<LaneFn>(_mem.data() + _laneOff);
+    }
+
+    std::uint32_t opCount() const { return _opCount; }
+    std::uint32_t texOpCount() const { return _texOpCount; }
+    std::size_t codeBytes() const { return _codeBytes; }
+
+  private:
+    ExecMemory _mem;
+    std::size_t _quadOff;
+    std::size_t _laneOff; ///< 0 = no lane kernel
+    std::uint32_t _opCount;
+    std::uint32_t _texOpCount;
+    std::size_t _codeBytes;
+};
+
+/** @return true when this host can run JIT'd kernels (x86-64 build
+ *  with SSE4.1 detected at runtime). */
+bool available();
+
+/**
+ * @return true when JIT execution is on: available() and not disabled
+ * by WC3D_JIT=0 (default on) or setEnabled(false). When WC3D_JIT
+ * explicitly requests the JIT on a host where it is unavailable, a
+ * warning is logged once and execution stays on the decoded
+ * interpreter.
+ */
+bool enabled();
+
+/** Programmatic override (tests, benchmarks). Forcing true on a host
+ *  where available() is false leaves the JIT off. */
+void setEnabled(bool on);
+
+/** Drop the programmatic override and re-derive enabled() from the
+ *  WC3D_JIT environment knob. */
+void resetFromEnv();
+
+/** Process-wide compile-time counters, published in the runmeta "jit"
+ *  block and the CI runmeta artifact. */
+struct Stats
+{
+    std::uint64_t programsCompiled = 0;
+    double compileSeconds = 0.0;
+    std::uint64_t fallbacks = 0;   ///< failed compiles (decoded path used)
+    std::uint64_t codeBytes = 0;   ///< emitted machine code, summed
+};
+
+Stats stats();
+
+/** Zero the process-wide counters (tests). */
+void resetStats();
+
+/**
+ * Compile @p program's decoded form to native code. Wrapped in a
+ * "shader.jit.compile" prof span and accounted in stats(). @return
+ * nullptr with @p err filled (when non-null) on any failure; the first
+ * failure per process is also logged via warn().
+ */
+std::shared_ptr<const JitProgram> compile(const Program &program,
+                                          JitError *err);
+
+} // namespace wc3d::shader::jit
+
+#endif // WC3D_SHADER_JIT_JIT_HH

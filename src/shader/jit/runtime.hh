@@ -1,0 +1,77 @@
+/**
+ * @file
+ * C-ABI trampolines the generated kernels call back into. Declared in
+ * a shared internal header so the translator (which bakes their
+ * addresses into the code stream) and the definitions in jit.cc agree
+ * on the signatures. extern "C" keeps the symbols un-mangled, though
+ * the JIT calls them by absolute address, not by name.
+ */
+
+#ifndef WC3D_SHADER_JIT_RUNTIME_HH
+#define WC3D_SHADER_JIT_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/vecmath.hh"
+#include "shader/jit/emitter.hh"
+#include "shader/jit/jit.hh"
+
+extern "C" {
+
+/** TEX/TXP/TXB: forward one per-quad sample request to the handler.
+ *  Coordinate projection and bias extraction happen in generated code
+ *  beforehand, so call order and arguments match the decoded
+ *  interpreter exactly (sampler statistics depend on it). */
+void wc3dJitSampleQuad(wc3d::shader::jit::CallCtx *ctx, int sampler,
+                       const wc3d::Vec4 *coords, float lod_bias,
+                       wc3d::Vec4 *out);
+
+/** Quad KIL: apply the taken-kill mask (bit l = lane l's condition)
+ *  with the decoded path's bookkeeping — a take counts only for lanes
+ *  that are covered and not already killed. */
+void wc3dJitKillQuad(wc3d::shader::jit::CallCtx *ctx, std::uint64_t mask);
+
+/** Single-lane KIL: run() counts every taken KIL, even on a lane that
+ *  is already killed — different from the quad rule above. */
+void wc3dJitKillLane(wc3d::shader::jit::CallCtx *ctx);
+
+/** Transcendental / irregular ALU ops: evaluate via the shared
+ *  aluResult() core so libm-dependent results (exp2, log2, pow, the
+ *  pinned minf/maxf in LIT) are bit-identical to the interpreter. @p b
+ *  is read only by the two-operand ops. */
+void wc3dJitAluEx2(wc3d::Vec4 *d, const wc3d::Vec4 *a, const wc3d::Vec4 *b);
+void wc3dJitAluLg2(wc3d::Vec4 *d, const wc3d::Vec4 *a, const wc3d::Vec4 *b);
+void wc3dJitAluPow(wc3d::Vec4 *d, const wc3d::Vec4 *a, const wc3d::Vec4 *b);
+void wc3dJitAluNrm(wc3d::Vec4 *d, const wc3d::Vec4 *a, const wc3d::Vec4 *b);
+void wc3dJitAluXpd(wc3d::Vec4 *d, const wc3d::Vec4 *a, const wc3d::Vec4 *b);
+void wc3dJitAluDst(wc3d::Vec4 *d, const wc3d::Vec4 *a, const wc3d::Vec4 *b);
+void wc3dJitAluLit(wc3d::Vec4 *d, const wc3d::Vec4 *a, const wc3d::Vec4 *b);
+
+} // extern "C"
+
+namespace wc3d::shader::jit {
+
+/**
+ * Literal pool layout, placed at the base of every program's code
+ * block (16-byte aligned; the translator reaches it through a pinned
+ * register).
+ */
+constexpr std::int32_t kPoolZero = 0x00;    ///< {0, 0, 0, 0}
+constexpr std::int32_t kPoolOne = 0x10;     ///< {1, 1, 1, 1}
+constexpr std::int32_t kPoolAbsMask = 0x20; ///< 0x7fffffff lanes
+constexpr std::int32_t kPoolNegOne = 0x30;  ///< {-1, -1, -1, -1}
+constexpr std::int32_t kPoolBytes = 0x40;
+
+/**
+ * Emit one kernel for @p dec into @p e. @p lanes is 4 (quad kernel)
+ * or 1 (single-lane kernel; rejects texture programs). @p pool_addr
+ * is the absolute address the literal pool will live at. @return false
+ * with @p why set when the program can't be translated.
+ */
+bool emitKernel(Emitter &e, const shader::DecodedProgram &dec, int lanes,
+                std::uint64_t pool_addr, std::string *why);
+
+} // namespace wc3d::shader::jit
+
+#endif // WC3D_SHADER_JIT_RUNTIME_HH

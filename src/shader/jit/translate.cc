@@ -1,0 +1,479 @@
+/**
+ * @file
+ * DecodedProgram -> x86-64 translator. One straight-line kernel per
+ * program (no control flow beyond the skip-branch around the KIL
+ * trampoline), quad-major: each decoded op is emitted once per lane,
+ * which is exactly the decoded interpreter's loop structure with the
+ * dispatch overhead compiled away.
+ *
+ * Bit-exactness contract with shader/interp.cc, relied on by the
+ * three-way differential tests:
+ *  - every SSE sequence mirrors the scalar expression's operand order
+ *    (mulps/addps for MAD — the build never enables FMA contraction —
+ *    left-associated adds for DP3/DP4, dst-operand NaN propagation);
+ *  - negate is a multiply by -1.0 (matching `v * -1.0f`), not a sign
+ *    flip, so NaN and zero signs come out identically;
+ *  - MIN/MAX emit the pinned alucore.hh minf/maxf blend (pick a when
+ *    the strict ordered compare holds || isnan(b), else b) with
+ *    cmpps+blend logic;
+ *  - FLR/FRC use roundps toward -inf, the same instruction glibc's
+ *    SSE4.1 floorf resolves to;
+ *  - everything libm-dependent (EX2/LG2/POW/NRM/XPD/DST/LIT) and all
+ *    texture sampling calls back into C++ helpers that share
+ *    aluResult()/sampleQuad() with the interpreter.
+ */
+
+#include <cstddef>
+#include <utility>
+
+#include "common/log.hh"
+#include "shader/alucore.hh"
+#include "shader/decoded.hh"
+#include "shader/jit/emitter.hh"
+#include "shader/jit/jit.hh"
+#include "shader/jit/runtime.hh"
+
+namespace wc3d::shader::jit {
+
+namespace {
+
+// Stack frame: [rsp+0x00) quad texture coords, [rsp+0x40) quad texture
+// results / helper result, [rsp+0x80) helper operand a, [rsp+0x90)
+// helper operand b. 0xA8 keeps calls 16-byte aligned (entry rsp = 8
+// mod 16, four pushes preserve that, 0xA8 = 8 mod 16 cancels it).
+constexpr std::int32_t kScratchCoords = 0x00;
+constexpr std::int32_t kScratchOut = 0x40;
+constexpr std::int32_t kScratchA = 0x80;
+constexpr std::int32_t kScratchB = 0x90;
+constexpr std::int32_t kFrameBytes = 0xA8;
+
+// Pinned registers (all callee-saved, so helper calls preserve them):
+// r12 = state base (QuadState* / LaneState*), r13 = constants,
+// rbx = CallCtx*, r14 = literal pool.
+
+std::uint64_t
+addrOf(void (*fn)(Vec4 *, const Vec4 *, const Vec4 *))
+{
+    return reinterpret_cast<std::uint64_t>(
+        reinterpret_cast<void *>(fn));
+}
+
+/** Helper for the ops that round-trip through aluResult(). */
+std::uint64_t
+aluHelper(Opcode op)
+{
+    switch (op) {
+      case Opcode::EX2:
+        return addrOf(&wc3dJitAluEx2);
+      case Opcode::LG2:
+        return addrOf(&wc3dJitAluLg2);
+      case Opcode::POW:
+        return addrOf(&wc3dJitAluPow);
+      case Opcode::NRM:
+        return addrOf(&wc3dJitAluNrm);
+      case Opcode::XPD:
+        return addrOf(&wc3dJitAluXpd);
+      case Opcode::DST:
+        return addrOf(&wc3dJitAluDst);
+      case Opcode::LIT:
+        return addrOf(&wc3dJitAluLit);
+      default:
+        return 0;
+    }
+}
+
+constexpr bool
+isTexOp(Opcode op)
+{
+    return op == Opcode::TEX || op == Opcode::TXP || op == Opcode::TXB;
+}
+
+/** Base register + displacement of a register-file slot for the lane
+ *  whose LaneState starts at @p lane_disp from r12. */
+std::pair<int, std::int32_t>
+regSlot(std::uint8_t file, std::uint8_t index, std::int32_t lane_disp)
+{
+    std::int32_t elem = static_cast<std::int32_t>(index) * 16;
+    switch (static_cast<RegFile>(file)) {
+      case RegFile::Input:
+        return {kR12, lane_disp +
+                          static_cast<std::int32_t>(
+                              offsetof(LaneState, inputs)) +
+                          elem};
+      case RegFile::Temp:
+        return {kR12, lane_disp +
+                          static_cast<std::int32_t>(
+                              offsetof(LaneState, temps)) +
+                          elem};
+      case RegFile::Const:
+        return {kR13, elem};
+      case RegFile::Output:
+        return {kR12, lane_disp +
+                          static_cast<std::int32_t>(
+                              offsetof(LaneState, outputs)) +
+                          elem};
+    }
+    return {kR12, 0};
+}
+
+std::uint8_t
+swizzleImm(const DecodedSrc &src)
+{
+    return static_cast<std::uint8_t>(src.comps[0] | (src.comps[1] << 2) |
+                                     (src.comps[2] << 4) |
+                                     (src.comps[3] << 6));
+}
+
+/** Load a fully modified source operand into xmm @p x. */
+void
+emitLoadSrc(Emitter &e, int x, const DecodedSrc &src, std::int32_t lane_disp)
+{
+    auto [base, disp] = regSlot(src.file, src.index, lane_disp);
+    e.movupsLoad(x, base, disp);
+    if (src.flags & kSrcSwizzled)
+        e.shufps(x, x, swizzleImm(src));
+    if (src.flags & kSrcAbsolute)
+        e.andpsMem(x, kR14, kPoolAbsMask);
+    if (src.flags & kSrcNegate)
+        e.mulpsMem(x, kR14, kPoolNegOne);
+}
+
+/** Store xmm @p val to the destination with saturate / write-mask
+ *  handling (clobbers xmm6/xmm7). */
+void
+emitStoreDst(Emitter &e, const DecodedOp &op, std::int32_t lane_disp,
+             int val)
+{
+    if (op.dstFlags & kDstSaturate) {
+        // clampf order: max(v, 0) then min(t, 1), with the constant in
+        // the dst operand so NaN lanes come out as the scalar code's.
+        e.movapsLoad(6, kR14, kPoolZero);
+        e.maxps(6, val);
+        e.movapsLoad(7, kR14, kPoolOne);
+        e.minps(7, 6);
+        val = 7;
+    }
+    auto [base, disp] = regSlot(op.dstFile, op.dstIndex, lane_disp);
+    if (op.dstFlags & kDstPartial) {
+        e.movupsLoad(6, base, disp);
+        e.blendps(6, val, op.writeMask);
+        e.movupsStore(base, disp, 6);
+    } else {
+        e.movupsStore(base, disp, val);
+    }
+}
+
+/** Inline SSE for the regular ALU ops. Operands arrive in xmm0 (a),
+ *  xmm1 (b), xmm2 (c); the result must end in xmm0. xmm3-xmm5 are
+ *  scratch. @return false for ops that need the C++ helper. */
+bool
+emitAluInline(Emitter &e, Opcode op)
+{
+    switch (op) {
+      case Opcode::MOV:
+        break;
+      case Opcode::ADD:
+        e.addps(0, 1);
+        break;
+      case Opcode::SUB:
+        e.subps(0, 1);
+        break;
+      case Opcode::MUL:
+        e.mulps(0, 1);
+        break;
+      case Opcode::MAD:
+        e.mulps(0, 1);
+        e.addps(0, 2);
+        break;
+      case Opcode::DP3:
+        e.mulps(0, 1);
+        e.movaps(3, 0);
+        e.shufps(3, 3, 0x55); // yyyy
+        e.movaps(4, 0);
+        e.shufps(4, 4, 0xAA); // zzzz
+        e.shufps(0, 0, 0x00); // xxxx
+        e.addps(0, 3);        // (x+y)
+        e.addps(0, 4);        // (x+y)+z
+        break;
+      case Opcode::DP4:
+        e.mulps(0, 1);
+        e.movaps(3, 0);
+        e.shufps(3, 3, 0x55);
+        e.movaps(4, 0);
+        e.shufps(4, 4, 0xAA);
+        e.movaps(5, 0);
+        e.shufps(5, 5, 0xFF); // wwww
+        e.shufps(0, 0, 0x00);
+        e.addps(0, 3);
+        e.addps(0, 4);
+        e.addps(0, 5); // ((x+y)+z)+w
+        break;
+      case Opcode::RCP:
+        e.shufps(0, 0, 0x00); // broadcast a.x
+        e.movaps(3, 0);
+        e.cmppsMem(3, kR14, kPoolZero, kCmpNeq); // x != 0 (NaN: true)
+        e.movapsLoad(4, kR14, kPoolOne);
+        e.divps(4, 0); // 1/x
+        e.andps(4, 3); // zero the x == 0 case
+        e.movaps(0, 4);
+        break;
+      case Opcode::RSQ:
+        e.shufps(0, 0, 0x00);
+        e.andpsMem(0, kR14, kPoolAbsMask); // s = |a.x|
+        e.movapsLoad(3, kR14, kPoolZero);
+        e.cmpps(3, 0, kCmpLt); // 0 < s (NaN: false)
+        e.sqrtps(4, 0);
+        e.movapsLoad(5, kR14, kPoolOne);
+        e.divps(5, 4); // 1/sqrt(s)
+        e.andps(5, 3); // zero the s <= 0 and NaN cases
+        e.movaps(0, 5);
+        break;
+      case Opcode::MIN:
+        // alucore.hh minf: pick a only when a<b strictly (an ordered
+        // compare) or isnan(b), else b — so min(+0,-0) = -0. Pinned
+        // there because std::fmin's equal-compare result is a build
+        // detail.
+        e.movaps(3, 0);
+        e.cmpps(3, 1, kCmpLt);
+        e.movaps(4, 1);
+        e.cmpps(4, 4, kCmpUnord); // isnan(b)
+        e.orps(3, 4);             // pick-a mask
+        e.movaps(4, 0);
+        e.andps(4, 3);
+        e.andnps(3, 1);
+        e.orps(3, 4);
+        e.movaps(0, 3);
+        break;
+      case Opcode::MAX:
+        // alucore.hh maxf: pick a only when b<a strictly (ordered)
+        // or isnan(b), else b.
+        e.movaps(3, 1);
+        e.cmpps(3, 0, kCmpLt); // b<a, ordered
+        e.movaps(4, 1);
+        e.cmpps(4, 4, kCmpUnord);
+        e.orps(3, 4);
+        e.movaps(4, 0);
+        e.andps(4, 3);
+        e.andnps(3, 1);
+        e.orps(3, 4);
+        e.movaps(0, 3);
+        break;
+      case Opcode::SLT:
+        e.cmpps(0, 1, kCmpLt);
+        e.andpsMem(0, kR14, kPoolOne); // mask -> 1.0f / +0.0f
+        break;
+      case Opcode::SGE:
+        // a>=b == b<=a ordered; NaN lanes correctly yield 0.
+        e.movaps(3, 1);
+        e.cmpps(3, 0, kCmpLe);
+        e.andpsMem(3, kR14, kPoolOne);
+        e.movaps(0, 3);
+        break;
+      case Opcode::FRC:
+        e.movaps(3, 0);
+        e.roundps(3, 3, kRoundFloor);
+        e.subps(0, 3); // a - floor(a)
+        break;
+      case Opcode::FLR:
+        e.roundps(0, 0, kRoundFloor);
+        break;
+      case Opcode::ABS:
+        e.andpsMem(0, kR14, kPoolAbsMask);
+        break;
+      case Opcode::LRP:
+        e.movapsLoad(3, kR14, kPoolOne);
+        e.subps(3, 0); // 1-a
+        e.mulps(3, 2); // (1-a)*c
+        e.mulps(0, 1); // a*b
+        e.addps(0, 3); // a*b + (1-a)*c
+        break;
+      case Opcode::CMP:
+        e.movaps(3, 0);
+        e.cmppsMem(3, kR14, kPoolZero, kCmpLt); // a < 0 (NaN: false -> c)
+        e.movaps(4, 3);
+        e.andps(4, 1);  // mask & b
+        e.andnps(3, 2); // ~mask & c
+        e.orps(3, 4);
+        e.movaps(0, 3);
+        break;
+      default:
+        return false;
+    }
+    return true;
+}
+
+/** Emit one ALU op for the lane at @p lane_disp. */
+void
+emitAluLane(Emitter &e, const DecodedOp &op, std::int32_t lane_disp)
+{
+    int arity = arityFor(op.op);
+    std::uint64_t helper = aluHelper(op.op);
+    emitLoadSrc(e, 0, op.src[0], lane_disp);
+    if (helper != 0) {
+        e.movapsStore(kRsp, kScratchA, 0);
+        if (arity >= 2) {
+            emitLoadSrc(e, 0, op.src[1], lane_disp);
+            e.movapsStore(kRsp, kScratchB, 0);
+        }
+        e.lea(kRdi, kRsp, kScratchOut);
+        e.lea(kRsi, kRsp, kScratchA);
+        e.lea(kRdx, kRsp, kScratchB);
+        e.movRI64(kRax, helper);
+        e.callReg(kRax);
+        e.movapsLoad(0, kRsp, kScratchOut);
+    } else {
+        if (arity >= 2)
+            emitLoadSrc(e, 1, op.src[1], lane_disp);
+        if (arity >= 3)
+            emitLoadSrc(e, 2, op.src[2], lane_disp);
+        bool ok = emitAluInline(e, op.op);
+        WC3D_ASSERT(ok && "ALU op neither inline nor helper");
+    }
+    emitStoreDst(e, op, lane_disp, 0);
+}
+
+/** Emit a quad KIL: evaluate all four lane conditions into a mask,
+ *  then call the bookkeeping trampoline only when any lane kills. */
+void
+emitKillQuad(Emitter &e, const DecodedOp &op, const std::int32_t *lane_disp)
+{
+    e.xorR32(kRax, kRax);
+    for (int l = 0; l < 4; ++l) {
+        emitLoadSrc(e, 0, op.src[0], lane_disp[l]);
+        e.cmppsMem(0, kR14, kPoolZero, kCmpLt); // any comp < 0
+        e.movmskps(kRcx, 0);
+        e.testR32(kRcx, kRcx);
+        e.setne8(kRcx);
+        e.movzx32From8(kRcx, kRcx);
+        if (l > 0)
+            e.shlR32(kRcx, static_cast<std::uint8_t>(l));
+        e.orR32(kRax, kRcx);
+    }
+    e.testR32(kRax, kRax);
+    std::size_t skip = e.jzForward();
+    e.movRR64(kRdi, kRbx);
+    e.movRR32(kRsi, kRax);
+    e.movRI64(kRax, reinterpret_cast<std::uint64_t>(
+                        reinterpret_cast<void *>(&wc3dJitKillQuad)));
+    e.callReg(kRax);
+    e.patchForward(skip);
+}
+
+/** Emit a single-lane KIL (run() counts every take). */
+void
+emitKillLane(Emitter &e, const DecodedOp &op)
+{
+    emitLoadSrc(e, 0, op.src[0], 0);
+    e.cmppsMem(0, kR14, kPoolZero, kCmpLt);
+    e.movmskps(kRax, 0);
+    e.testR32(kRax, kRax);
+    std::size_t skip = e.jzForward();
+    e.movRR64(kRdi, kRbx);
+    e.movRI64(kRax, reinterpret_cast<std::uint64_t>(
+                        reinterpret_cast<void *>(&wc3dJitKillLane)));
+    e.callReg(kRax);
+    e.patchForward(skip);
+}
+
+/** Emit a texture op for the whole quad: project/extract-bias per lane
+ *  in the decoded interpreter's order, then one sampleQuad trampoline
+ *  call, then per-lane stores. */
+void
+emitTexQuad(Emitter &e, const DecodedOp &op, const std::int32_t *lane_disp)
+{
+    for (int l = 0; l < 4; ++l) {
+        emitLoadSrc(e, 0, op.src[0], lane_disp[l]);
+        if (op.op == Opcode::TXP) {
+            // c.w != 0 ? {c.x/c.w, c.y/c.w, c.z/c.w, 1} : c — computed
+            // unconditionally, selected by the w != 0 mask (NaN w takes
+            // the projected branch, like the scalar comparison).
+            e.movaps(1, 0);
+            e.shufps(1, 1, 0xFF); // wwww
+            e.movaps(2, 0);
+            e.divps(2, 1);
+            e.blendpsMem(2, kR14, kPoolOne, 0x8); // w := 1
+            e.movaps(3, 1);
+            e.cmppsMem(3, kR14, kPoolZero, kCmpNeq);
+            e.movaps(4, 3);
+            e.andps(4, 2);  // mask & projected
+            e.andnps(3, 0); // ~mask & original
+            e.orps(3, 4);
+            e.movaps(0, 3);
+        }
+        e.movapsStore(kRsp, kScratchCoords + 16 * l, 0);
+    }
+    if (op.op == Opcode::TXB) {
+        // Per-quad bias comes from the first lane's (unprojected) w.
+        e.movssLoad(0, kRsp, kScratchCoords + 12);
+    } else {
+        e.xorps(0, 0);
+    }
+    e.movRR64(kRdi, kRbx);
+    e.movRI32(kRsi, op.sampler);
+    e.lea(kRdx, kRsp, kScratchCoords);
+    e.lea(kRcx, kRsp, kScratchOut);
+    e.movRI64(kRax, reinterpret_cast<std::uint64_t>(
+                        reinterpret_cast<void *>(&wc3dJitSampleQuad)));
+    e.callReg(kRax);
+    for (int l = 0; l < 4; ++l) {
+        e.movapsLoad(0, kRsp, kScratchOut + 16 * l);
+        emitStoreDst(e, op, lane_disp[l], 0);
+    }
+}
+
+} // namespace
+
+bool
+emitKernel(Emitter &e, const DecodedProgram &dec, int lanes,
+           std::uint64_t pool_addr, std::string *why)
+{
+    WC3D_ASSERT((lanes == 1 || lanes == 4) && "kernel shape");
+    std::int32_t lane_disp[4] = {0, 0, 0, 0};
+    if (lanes == 4) {
+        for (int l = 0; l < 4; ++l) {
+            lane_disp[l] = static_cast<std::int32_t>(
+                offsetof(QuadState, lanes) +
+                static_cast<std::size_t>(l) * sizeof(LaneState));
+        }
+    }
+
+    e.push(kRbx);
+    e.push(kR12);
+    e.push(kR13);
+    e.push(kR14);
+    e.subRsp(kFrameBytes);
+    e.movRR64(kR12, kRdi);
+    e.movRR64(kR13, kRsi);
+    e.movRR64(kRbx, kRdx);
+    e.movRI64(kR14, pool_addr);
+
+    for (const DecodedOp &op : dec.ops()) {
+        if (isTexOp(op.op)) {
+            if (lanes != 4) {
+                if (why)
+                    *why = "texture op in single-lane kernel";
+                return false;
+            }
+            emitTexQuad(e, op, lane_disp);
+        } else if (op.op == Opcode::KIL) {
+            if (lanes == 4) {
+                emitKillQuad(e, op, lane_disp);
+            } else {
+                emitKillLane(e, op);
+            }
+        } else {
+            for (int l = 0; l < lanes; ++l)
+                emitAluLane(e, op, lane_disp[l]);
+        }
+    }
+
+    e.addRsp(kFrameBytes);
+    e.pop(kR14);
+    e.pop(kR13);
+    e.pop(kR12);
+    e.pop(kRbx);
+    e.ret();
+    return true;
+}
+
+} // namespace wc3d::shader::jit

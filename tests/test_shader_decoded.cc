@@ -3,10 +3,13 @@
  * Tests for the pre-decoded shader execution path (shader/decoded.hh):
  * decode caching and invalidation, the register clear plan / arena
  * reuse, batched quad execution, and a full-ISA differential that pins
- * the decoded interpreter bit-exactly to the legacy field-by-field
- * reference — including opcodes no current workload emits (DST, LIT,
- * XPD, ...), so operand-arity mismatches between the two decoders
- * cannot hide.
+ * all three executors — legacy field-by-field reference, pre-decoded
+ * interpreter, and (on x86-64 hosts) the native JIT — bit-exactly to
+ * one another, including opcodes no current workload emits (DST, LIT,
+ * XPD, ...), so operand-arity mismatches between the decoders cannot
+ * hide. The decoded runs pin the JIT off and the JIT runs pin it on,
+ * so each comparison genuinely exercises its executor whatever
+ * WC3D_JIT says.
  */
 
 #include <cmath>
@@ -16,6 +19,7 @@
 
 #include "shader/decoded.hh"
 #include "shader/interp.hh"
+#include "shader/jit/jit.hh"
 
 using namespace wc3d;
 using namespace wc3d::shader;
@@ -122,6 +126,13 @@ fullIsaAluProgram()
     return p;
 }
 
+/** Pin the JIT on or off for a scope, restoring WC3D_JIT on exit. */
+struct JitMode
+{
+    explicit JitMode(bool on) { jit::setEnabled(on); }
+    ~JitMode() { jit::resetFromEnv(); }
+};
+
 /** Compare every register of two lanes bit-exactly. */
 void
 expectLanesIdentical(const LaneState &a, const LaneState &b,
@@ -150,11 +161,31 @@ TEST(Decoded, FullIsaMatchesLegacyBitExactly)
         hot.inputs[i] = v4(i + 1);
     }
     legacy.runLegacy(p, ref);
-    decoded.run(p, hot);
+    {
+        JitMode off(false);
+        decoded.run(p, hot);
+    }
     expectLanesIdentical(ref, hot, "full ISA");
     EXPECT_EQ(legacy.stats().instructionsExecuted,
               decoded.stats().instructionsExecuted);
     EXPECT_EQ(legacy.stats().programsRun, decoded.stats().programsRun);
+
+    // Third executor: the native JIT must agree with both, including
+    // on the helper-backed opcodes (DST, LIT, EX2/LG2/POW, NRM, XPD).
+    if (jit::available()) {
+        JitMode on(true);
+        Interpreter jitted;
+        LaneState nat;
+        for (int i = 0; i < 3; ++i)
+            nat.inputs[i] = v4(i + 1);
+        ASSERT_NE(p.jitted(), nullptr);
+        jitted.run(p, nat);
+        expectLanesIdentical(ref, nat, "full ISA jit");
+        EXPECT_EQ(legacy.stats().instructionsExecuted,
+                  jitted.stats().instructionsExecuted);
+        EXPECT_EQ(legacy.stats().programsRun,
+                  jitted.stats().programsRun);
+    }
 }
 
 TEST(Decoded, ArityMatchesOpcodeInfo)
@@ -194,11 +225,26 @@ TEST(Decoded, KillMatchesLegacy)
         ref.inputs[0] = hot.inputs[0] = {1, 1, 1, alpha};
         ref.inputs[1] = hot.inputs[1] = v4(9);
         legacy.runLegacy(p, ref);
-        decoded.run(p, hot);
+        {
+            JitMode off(false);
+            decoded.run(p, hot);
+        }
         expectLanesIdentical(ref, hot, "kil lane");
         EXPECT_EQ(ref.killed, alpha < 0.5f);
         EXPECT_EQ(legacy.stats().killsTaken,
                   decoded.stats().killsTaken);
+
+        if (jit::available()) {
+            JitMode on(true);
+            Interpreter jitted;
+            LaneState nat;
+            nat.inputs[0] = ref.inputs[0];
+            nat.inputs[1] = ref.inputs[1];
+            jitted.run(p, nat);
+            expectLanesIdentical(ref, nat, "kil lane jit");
+            EXPECT_EQ(legacy.stats().killsTaken,
+                      jitted.stats().killsTaken);
+        }
     }
 }
 
@@ -222,7 +268,10 @@ TEST(Decoded, QuadTextureMatchesLegacy)
     HashTexture tex_ref, tex_hot;
     Interpreter legacy, decoded;
     legacy.runQuadLegacy(p, ref, &tex_ref);
-    decoded.runQuad(p, hot, &tex_hot);
+    {
+        JitMode off(false);
+        decoded.runQuad(p, hot, &tex_hot);
+    }
     for (int l = 0; l < 4; ++l)
         expectLanesIdentical(ref.lanes[l], hot.lanes[l], "tex quad lane");
     EXPECT_EQ(tex_ref.calls, tex_hot.calls);
@@ -231,6 +280,32 @@ TEST(Decoded, QuadTextureMatchesLegacy)
     EXPECT_EQ(legacy.stats().textureInstructions,
               decoded.stats().textureInstructions);
     EXPECT_EQ(legacy.stats().programsRun, decoded.stats().programsRun);
+
+    // Third executor: the JIT's quad kernel calls back into the same
+    // sampler interface, with identical call ordering and TXP/TXB
+    // coordinate handling, on a partially covered quad.
+    if (jit::available()) {
+        JitMode on(true);
+        QuadState nat;
+        for (int l = 0; l < 4; ++l) {
+            nat.covered[l] = ref.covered[l];
+            for (int i = 0; i < 3; ++i)
+                nat.lanes[l].inputs[i] = ref.lanes[l].inputs[i];
+        }
+        HashTexture tex_nat;
+        Interpreter jitted;
+        jitted.runQuad(p, nat, &tex_nat);
+        for (int l = 0; l < 4; ++l)
+            expectLanesIdentical(ref.lanes[l], nat.lanes[l],
+                                 "tex quad lane jit");
+        EXPECT_EQ(tex_ref.calls, tex_nat.calls);
+        EXPECT_EQ(legacy.stats().instructionsExecuted,
+                  jitted.stats().instructionsExecuted);
+        EXPECT_EQ(legacy.stats().textureInstructions,
+                  jitted.stats().textureInstructions);
+        EXPECT_EQ(legacy.stats().programsRun,
+                  jitted.stats().programsRun);
+    }
 }
 
 TEST(Decoded, PrepareLaneEqualsFreshState)

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Tests for the x86-64 shader JIT (shader/jit/): compile-cache keying
+ * and invalidation, kernel shape (quad always, lane only for
+ * texture-free programs), special-value bit-exactness against the
+ * decoded interpreter, KIL and sampler bookkeeping, and — the part no
+ * differential can cover — the graceful-degradation paths: WC3D_JIT=0,
+ * injected mmap exhaustion and injected W^X mprotect refusal must all
+ * fall back to the decoded interpreter with a structured JitError and
+ * a fallbacks counter tick, never a fatal().
+ *
+ * Every test that needs generated code skips itself on hosts where
+ * jit::available() is false; the fallback-path tests run everywhere
+ * the JIT is available (the injection makes the failure, not the
+ * host).
+ */
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/faultio.hh"
+#include "shader/decoded.hh"
+#include "shader/interp.hh"
+#include "shader/jit/jit.hh"
+
+using namespace wc3d;
+using namespace wc3d::shader;
+
+namespace {
+
+/** Pin the JIT on for a scope; restores WC3D_JIT and clears any fault
+ *  plan on exit so a failing test cannot poison its neighbours. */
+struct JitOn
+{
+    JitOn() { jit::setEnabled(true); }
+
+    ~JitOn()
+    {
+        jit::resetFromEnv();
+        faultio::setPlan(faultio::FaultPlan());
+    }
+};
+
+/** A small texture-free program exercising inline and helper opcodes. */
+Program
+aluProgram()
+{
+    Program p(ProgramKind::Fragment, "jit_alu");
+    p.add(dstTemp(0), srcInput(0), srcConst(0));
+    p.mul(dstTemp(1), srcTemp(0), srcInput(1));
+    p.dp3(dstTemp(2), srcTemp(1), srcConst(1));
+    p.pow(dstTemp(3, kMaskX), srcTemp(2, packSwizzle(0, 0, 0, 0)),
+          srcConst(0, packSwizzle(3, 3, 3, 3)));
+    p.mad(saturate(dstOutput(0)), srcTemp(1), srcTemp(3), srcTemp(2));
+    p.setConstant(0, {0.5f, -0.25f, 1.5f, 2.0f});
+    p.setConstant(1, {0.25f, 0.75f, -0.5f, 1.0f});
+    return p;
+}
+
+/** Sampler recording the exact (sampler, lod_bias, coords) sequence. */
+class RecordingTexture : public TextureSampleHandler
+{
+  public:
+    struct Call
+    {
+        int sampler;
+        float lodBias;
+        Vec4 coords[4];
+    };
+
+    void
+    sampleQuad(int sampler, const Vec4 coords[4], float lod_bias,
+               Vec4 out[4]) override
+    {
+        Call c;
+        c.sampler = sampler;
+        c.lodBias = lod_bias;
+        for (int l = 0; l < 4; ++l)
+            c.coords[l] = coords[l];
+        calls.push_back(c);
+        for (int l = 0; l < 4; ++l)
+            out[l] = {coords[l].x * 0.5f,
+                      coords[l].y + static_cast<float>(sampler),
+                      lod_bias, 1.0f};
+    }
+
+    std::vector<Call> calls;
+};
+
+/** Bitwise Vec4 comparison: NaNs must match as bit patterns, not
+ *  compare-equal — the JIT must reproduce the decoded interpreter's
+ *  exact NaN propagation, zero signs included. */
+void
+expectBitsEqual(const Vec4 &a, const Vec4 &b, const char *what)
+{
+    for (int k = 0; k < 4; ++k) {
+        float fa = a[k];
+        float fb = b[k];
+        std::uint32_t ba, bb;
+        std::memcpy(&ba, &fa, 4);
+        std::memcpy(&bb, &fb, 4);
+        EXPECT_EQ(ba, bb) << what << " component " << k;
+    }
+}
+
+} // namespace
+
+TEST(Jit, CompileProducesQuadAndLaneKernels)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    Program alu = aluProgram();
+    jit::JitError err;
+    auto compiled = jit::compile(alu, &err);
+    ASSERT_NE(compiled, nullptr) << err.describe();
+    EXPECT_NE(compiled->quadKernel(), nullptr);
+    EXPECT_NE(compiled->laneKernel(), nullptr);
+    EXPECT_EQ(compiled->opCount(),
+              static_cast<std::uint32_t>(alu.instructionCount()));
+    EXPECT_EQ(compiled->texOpCount(), 0u);
+    EXPECT_GT(compiled->codeBytes(), 0u);
+
+    // Texture programs need the quad's derivative neighbourhood, so
+    // the single-lane kernel is omitted, never wrong.
+    Program tex(ProgramKind::Fragment, "jit_tex");
+    tex.tex(dstTemp(0), srcInput(0), 0);
+    tex.mov(dstOutput(0), srcTemp(0));
+    auto tex_compiled = jit::compile(tex, &err);
+    ASSERT_NE(tex_compiled, nullptr) << err.describe();
+    EXPECT_NE(tex_compiled->quadKernel(), nullptr);
+    EXPECT_EQ(tex_compiled->laneKernel(), nullptr);
+    EXPECT_EQ(tex_compiled->texOpCount(), 1u);
+}
+
+TEST(Jit, CacheKeyedAndInvalidatedLikeDecode)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    Program p = aluProgram();
+    const jit::JitProgram *first = p.jitted();
+    ASSERT_NE(first, nullptr);
+    // Stable across repeated calls with no emit in between.
+    EXPECT_EQ(first, p.jitted());
+    std::uint32_t ops_before = first->opCount();
+
+    // emit() invalidates the compiled form exactly like the decode
+    // cache; the recompile reflects the new instruction stream.
+    p.mov(dstOutput(1), srcTemp(0));
+    const jit::JitProgram *second = p.jitted();
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->opCount(), ops_before + 1);
+}
+
+TEST(Jit, SpecialValuesMatchDecodedBitExactly)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    // MIN/MAX NaN-propagation, RCP/RSQ zero guards, FLR/FRC on
+    // negatives, saturation of NaN, negative-zero signs: the places a
+    // naive SSE translation diverges from the scalar interpreter.
+    Program p(ProgramKind::Fragment, "jit_special");
+    p.minOp(dstTemp(0), srcInput(0), srcInput(1));
+    p.maxOp(dstTemp(1), srcInput(0), srcInput(1));
+    p.rcp(dstTemp(2, kMaskX), srcInput(0, packSwizzle(0, 0, 0, 0)));
+    p.rsq(dstTemp(2, kMaskY), srcInput(0, packSwizzle(1, 1, 1, 1)));
+    p.flr(dstTemp(3), srcInput(0));
+    p.frc(dstTemp(4), srcInput(0));
+    p.slt(dstTemp(5), srcInput(0), srcInput(1));
+    p.add(saturate(dstOutput(0)), srcInput(0), srcInput(1));
+    p.mul(dstOutput(1), srcInput(1), srcTemp(0));
+
+    const float qnan = std::nanf("");
+    const float inf = std::numeric_limits<float>::infinity();
+    const Vec4 specials[] = {
+        {qnan, -0.0f, inf, -inf},
+        {0.0f, qnan, -1.5f, 2.25f},
+        {-0.0f, 0.0f, qnan, -3.75f},
+        {inf, -inf, 0.5f, qnan},
+    };
+
+    for (std::size_t i = 0; i + 1 < std::size(specials); ++i) {
+        SCOPED_TRACE(i);
+        LaneState dec_lane, jit_lane;
+        dec_lane.inputs[0] = jit_lane.inputs[0] = specials[i];
+        dec_lane.inputs[1] = jit_lane.inputs[1] = specials[i + 1];
+
+        Interpreter decoded;
+        jit::setEnabled(false);
+        decoded.run(p, dec_lane);
+
+        jit::setEnabled(true);
+        Interpreter jitted;
+        ASSERT_NE(p.jitted(), nullptr);
+        jitted.run(p, jit_lane);
+
+        for (int t = 0; t < 6; ++t) {
+            SCOPED_TRACE(t);
+            expectBitsEqual(dec_lane.temps[t], jit_lane.temps[t],
+                            "temp");
+        }
+        for (int o = 0; o < 2; ++o) {
+            SCOPED_TRACE(o);
+            expectBitsEqual(dec_lane.outputs[o], jit_lane.outputs[o],
+                            "output");
+        }
+    }
+}
+
+TEST(Jit, KillSemanticsMatchDecodedOnPartialCoverage)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    // Two KILs: a lane killed by the first must not be re-counted by
+    // the second, and uncovered lanes must never count at all.
+    Program p(ProgramKind::Fragment, "jit_kil");
+    p.sub(dstTemp(0), srcInput(0), srcConst(0));
+    p.kil(srcTemp(0));
+    p.kil(srcTemp(0, packSwizzle(3, 3, 3, 3)));
+    p.mov(dstOutput(0), srcInput(0));
+    p.setConstant(0, {0.5f, 0.5f, 0.5f, 0.5f});
+
+    QuadState dec_quad, jit_quad;
+    for (int l = 0; l < 4; ++l) {
+        dec_quad.covered[l] = jit_quad.covered[l] = (l != 1);
+        float v = 0.25f * static_cast<float>(l + 1); // 0.25..1.0
+        dec_quad.lanes[l].inputs[0] = jit_quad.lanes[l].inputs[0] =
+            {v, 1.0f - v, v, v};
+    }
+
+    Interpreter decoded;
+    jit::setEnabled(false);
+    decoded.runQuad(p, dec_quad, nullptr);
+
+    jit::setEnabled(true);
+    Interpreter jitted;
+    jitted.runQuad(p, jit_quad, nullptr);
+
+    for (int l = 0; l < 4; ++l)
+        EXPECT_EQ(dec_quad.lanes[l].killed, jit_quad.lanes[l].killed)
+            << "lane " << l;
+    EXPECT_EQ(decoded.stats().killsTaken, jitted.stats().killsTaken);
+    EXPECT_EQ(decoded.stats().instructionsExecuted,
+              jitted.stats().instructionsExecuted);
+    EXPECT_EQ(decoded.stats().programsRun, jitted.stats().programsRun);
+}
+
+TEST(Jit, SamplerSeesIdenticalCallSequence)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    // TEX, TXP (projective divide) and TXB (lod bias from .w) against
+    // a recording sampler: the JIT must issue the same samplers in the
+    // same order with bit-identical coordinates and biases.
+    Program p(ProgramKind::Fragment, "jit_sampler");
+    p.tex(dstTemp(0), srcInput(0), 2);
+    p.txp(dstTemp(1), srcInput(1), 0);
+    p.txb(dstTemp(2), srcInput(2), 1);
+    p.mad(dstOutput(0), srcTemp(0), srcTemp(1), srcTemp(2));
+
+    QuadState dec_quad, jit_quad;
+    for (int l = 0; l < 4; ++l) {
+        dec_quad.covered[l] = jit_quad.covered[l] = true;
+        for (int i = 0; i < 3; ++i) {
+            Vec4 v = {0.1f * static_cast<float>(l + i), 0.75f,
+                      -0.25f, 2.0f + static_cast<float>(i)};
+            dec_quad.lanes[l].inputs[i] = jit_quad.lanes[l].inputs[i] = v;
+        }
+    }
+    // A zero TXP w on one lane exercises the divide-by-zero mask.
+    dec_quad.lanes[2].inputs[1].w = jit_quad.lanes[2].inputs[1].w = 0.0f;
+
+    RecordingTexture dec_tex, jit_tex;
+    Interpreter decoded;
+    jit::setEnabled(false);
+    decoded.runQuad(p, dec_quad, &dec_tex);
+
+    jit::setEnabled(true);
+    Interpreter jitted;
+    jitted.runQuad(p, jit_quad, &jit_tex);
+
+    ASSERT_EQ(dec_tex.calls.size(), jit_tex.calls.size());
+    for (std::size_t c = 0; c < dec_tex.calls.size(); ++c) {
+        EXPECT_EQ(dec_tex.calls[c].sampler, jit_tex.calls[c].sampler);
+        EXPECT_EQ(dec_tex.calls[c].lodBias, jit_tex.calls[c].lodBias);
+        for (int l = 0; l < 4; ++l)
+            expectBitsEqual(dec_tex.calls[c].coords[l],
+                            jit_tex.calls[c].coords[l], "coords");
+    }
+    for (int l = 0; l < 4; ++l)
+        expectBitsEqual(dec_quad.lanes[l].outputs[0],
+                        jit_quad.lanes[l].outputs[0], "output");
+    EXPECT_EQ(decoded.stats().textureInstructions,
+              jitted.stats().textureInstructions);
+}
+
+TEST(Jit, DisabledFallsBackToDecoded)
+{
+    // Runs on every host: with the JIT off, jitted() must return
+    // nullptr without attempting a compile, and execution must still
+    // be correct through the decoded interpreter.
+    jit::setEnabled(false);
+    Program p = aluProgram();
+    EXPECT_EQ(p.jitted(), nullptr);
+
+    Interpreter interp;
+    LaneState lane;
+    lane.inputs[0] = {0.5f, 0.25f, -0.5f, 1.0f};
+    lane.inputs[1] = {1.0f, 2.0f, 0.5f, 0.75f};
+    interp.run(p, lane);
+    EXPECT_EQ(interp.stats().programsRun, 1u);
+    EXPECT_TRUE(std::isfinite(lane.outputs[0].x));
+    jit::resetFromEnv();
+}
+
+TEST(Jit, MmapFailureDegradesToDecodedInterpreter)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    faultio::FaultPlan plan;
+    plan.failNthMmap = 1;
+    faultio::setPlan(plan);
+
+    jit::Stats before = jit::stats();
+    Program p = aluProgram();
+    jit::JitError err;
+    auto compiled = jit::compile(p, &err);
+    EXPECT_EQ(compiled, nullptr);
+    EXPECT_EQ(err.stage, "mmap");
+    EXPECT_NE(err.reason.find("injected"), std::string::npos)
+        << err.describe();
+    EXPECT_EQ(jit::stats().fallbacks, before.fallbacks + 1);
+
+    // Through the cache: the failed compile is cached as a failure and
+    // execution silently uses the decoded interpreter...
+    faultio::setPlan(plan); // re-arm (the counter consumed the 1st mmap)
+    EXPECT_EQ(p.jitted(), nullptr);
+    faultio::setPlan(faultio::FaultPlan());
+    EXPECT_EQ(p.jitted(), nullptr) << "failure must be cached, "
+                                      "not retried per call";
+
+    Interpreter interp;
+    LaneState lane;
+    lane.inputs[0] = {0.5f, 0.25f, -0.5f, 1.0f};
+    lane.inputs[1] = {1.0f, 2.0f, 0.5f, 0.75f};
+    interp.run(p, lane);
+    EXPECT_EQ(interp.stats().programsRun, 1u);
+
+    // ...until emit() invalidates the cache, after which (no fault
+    // plan armed) compilation succeeds again.
+    p.mov(dstOutput(1), srcTemp(0));
+    EXPECT_NE(p.jitted(), nullptr);
+}
+
+TEST(Jit, MprotectFailureDegradesToDecodedInterpreter)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    // The W^X flip refusing is a distinct failure point: code was
+    // emitted, the seal failed, and the block must be released, not
+    // executed RW.
+    faultio::FaultPlan plan;
+    plan.failNthProtect = 1;
+    faultio::setPlan(plan);
+
+    jit::Stats before = jit::stats();
+    Program p = aluProgram();
+    jit::JitError err;
+    auto compiled = jit::compile(p, &err);
+    EXPECT_EQ(compiled, nullptr);
+    EXPECT_EQ(err.stage, "mprotect");
+    EXPECT_NE(err.reason.find("injected"), std::string::npos)
+        << err.describe();
+    EXPECT_EQ(jit::stats().fallbacks, before.fallbacks + 1);
+
+    // With the plan cleared the same program compiles and runs, and
+    // matches the decoded interpreter on a smoke input.
+    faultio::setPlan(faultio::FaultPlan());
+    compiled = jit::compile(p, &err);
+    ASSERT_NE(compiled, nullptr) << err.describe();
+
+    LaneState dec_lane, jit_lane;
+    dec_lane.inputs[0] = jit_lane.inputs[0] = {0.5f, 0.25f, -0.5f, 1.0f};
+    dec_lane.inputs[1] = jit_lane.inputs[1] = {1.0f, 2.0f, 0.5f, 0.75f};
+    Interpreter decoded;
+    jit::setEnabled(false);
+    decoded.run(p, dec_lane);
+    jit::setEnabled(true);
+    Interpreter jitted;
+    jitted.run(p, jit_lane);
+    for (int o = 0; o < 1; ++o)
+        expectBitsEqual(dec_lane.outputs[o], jit_lane.outputs[o],
+                        "output");
+}
+
+TEST(Jit, CompileStatsAccumulate)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "host cannot run the x86-64 JIT";
+    JitOn on;
+
+    jit::resetStats();
+    Program p = aluProgram();
+    jit::JitError err;
+    auto compiled = jit::compile(p, &err);
+    ASSERT_NE(compiled, nullptr) << err.describe();
+    jit::Stats s = jit::stats();
+    EXPECT_EQ(s.programsCompiled, 1u);
+    EXPECT_EQ(s.fallbacks, 0u);
+    EXPECT_GE(s.compileSeconds, 0.0);
+    EXPECT_EQ(s.codeBytes, compiled->codeBytes());
+}
